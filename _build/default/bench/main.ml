@@ -1,0 +1,85 @@
+(* Benchmark harness: one Bechamel test per paper table/figure (the time to
+   regenerate the artifact from the shared memoized runs), plus substrate
+   microbenchmarks (compilation, simulation, cache replay).
+
+   Before timing anything the harness populates the run cache and prints
+   every regenerated artifact, so the run doubles as the reproduction
+   driver: `dune exec bench/main.exe` both reproduces the paper's tables
+   and figures and reports how long each analysis takes. *)
+
+open Bechamel
+open Toolkit
+module Target = Repro_core.Target
+module Experiments = Repro_harness.Experiments
+module Compile = Repro_harness.Compile
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Suite = Repro_workloads.Suite
+
+let experiment_tests =
+  List.map
+    (fun (e : Experiments.t) ->
+      Test.make ~name:e.Experiments.id
+        (Staged.stage (fun () -> ignore (e.Experiments.render ()))))
+    Experiments.all
+
+let queens = (Suite.find "queens").Suite.source
+
+let substrate_tests =
+  [
+    Test.make ~name:"compile:d16:queens"
+      (Staged.stage (fun () -> ignore (Compile.compile Target.d16 queens)));
+    Test.make ~name:"compile:dlxe:queens"
+      (Staged.stage (fun () -> ignore (Compile.compile Target.dlxe queens)));
+    (let img = Compile.compile Target.d16 queens in
+     Test.make ~name:"simulate:d16:queens"
+       (Staged.stage (fun () -> ignore (Machine.run ~trace:false img))));
+    (let img = Compile.compile Target.dlxe queens in
+     Test.make ~name:"simulate:dlxe:queens"
+       (Staged.stage (fun () -> ignore (Machine.run ~trace:false img))));
+    (let img = Compile.compile Target.d16 queens in
+     let r = Machine.run ~trace:true img in
+     Test.make ~name:"cache-replay:4K:queens"
+       (Staged.stage (fun () ->
+            let cfg =
+              { Memsys.size_bytes = 4096; block_bytes = 32; sub_block_bytes = 4 }
+            in
+            ignore (Memsys.replay_cached ~insn_bytes:2 ~icache:cfg ~dcache:cfg r))));
+    (let img = Compile.compile Target.d16 queens in
+     let r = Machine.run ~trace:true img in
+     Test.make ~name:"fetch-replay:queens"
+       (Staged.stage (fun () -> ignore (Memsys.replay_nocache ~bus_bytes:4 r))));
+  ]
+
+let benchmark test =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> (name, nan) :: acc)
+    results []
+
+let pp_time ns =
+  if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.2f ns" ns
+
+let () =
+  (* Phase 1: regenerate and print every artifact (also warms the memo). *)
+  print_endline (Experiments.render_all ());
+  (* Phase 2: time each regeneration and the substrates. *)
+  Printf.printf "\n================ bench timings ================\n%!";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, ns) -> Printf.printf "%-28s %s\n%!" name (pp_time ns))
+        (List.sort compare (benchmark test)))
+    (experiment_tests @ substrate_tests)

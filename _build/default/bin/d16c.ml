@@ -1,0 +1,134 @@
+(* d16c: compile and run mini-C programs on the paper's targets.
+
+   Usage examples:
+     d16c --target d16 --run prog.c
+     d16c --bench queens --all-targets
+     d16c --target dlxe --asm prog.c          (dump assembly items)
+     d16c --list                              (list suite benchmarks)     *)
+
+open Cmdliner
+
+let target_of_name = function
+  | "d16" -> Ok Repro_core.Target.d16
+  | "d16x" -> Ok Repro_core.Target.d16x
+  | "dlxe" -> Ok Repro_core.Target.dlxe
+  | "dlxe-16-2" -> Ok Repro_core.Target.dlxe_16_2
+  | "dlxe-16-3" -> Ok Repro_core.Target.dlxe_16_3
+  | "dlxe-32-2" -> Ok Repro_core.Target.dlxe_32_2
+  | s -> Error (`Msg ("unknown target " ^ s))
+
+let target_conv =
+  Arg.conv
+    ( target_of_name,
+      fun fmt t -> Format.pp_print_string fmt t.Repro_core.Target.name )
+
+let run_one target source ~show_asm ~show_stats =
+  if show_asm then begin
+    (* Recompile per function to print items. *)
+    let module P = Repro_minic.Parser in
+    let module L = Repro_ir.Lower in
+    let module O = Repro_ir.Opt in
+    let module R = Repro_ir.Regalloc in
+    let module I = Repro_codegen.Irprep in
+    let module S = Repro_codegen.Select in
+    let module Sc = Repro_codegen.Sched in
+    let src = Repro_workloads.Runtime_lib.source ^ source in
+    let u = L.lower_program (P.parse src) in
+    let lits = I.empty_fp_literals () in
+    List.iter
+      (fun f ->
+        O.optimize f;
+        I.prepare target lits f;
+        let alloc = R.allocate target f in
+        let frag = Sc.fill_delay_slots target (Sc.schedule_loads (S.select target alloc f)) in
+        print_string (Repro_codegen.Asm.fragment_to_string frag))
+      u.L.funcs
+  end;
+  let img, r = Repro_harness.Compile.compile_and_run ~trace:false target source in
+  print_string r.Repro_sim.Machine.output;
+  if show_stats then
+    Printf.eprintf
+      "[%s] exit=%d size=%dB text=%dB path=%d loads=%d stores=%d interlocks=%d\n"
+      target.Repro_core.Target.name r.Repro_sim.Machine.exit_code
+      (Repro_link.Link.size_bytes img)
+      img.Repro_link.Link.text_bytes r.Repro_sim.Machine.ic
+      r.Repro_sim.Machine.loads r.Repro_sim.Machine.stores
+      r.Repro_sim.Machine.interlocks;
+  r.Repro_sim.Machine.exit_code
+
+let main target file bench all_targets list_benchmarks show_asm show_stats =
+  if list_benchmarks then begin
+    List.iter
+      (fun (b : Repro_workloads.Suite.benchmark) ->
+        Printf.printf "%-12s %s\n" b.name b.description)
+      Repro_workloads.Suite.all;
+    `Ok 0
+  end
+  else begin
+    let source =
+      match (file, bench) with
+      | Some f, None -> Ok (In_channel.with_open_text f In_channel.input_all)
+      | None, Some b -> (
+        try Ok (Repro_workloads.Suite.find b).Repro_workloads.Suite.source
+        with Not_found -> Error ("unknown benchmark " ^ b))
+      | Some _, Some _ -> Error "give either a file or --bench, not both"
+      | None, None -> Error "no input (file or --bench)"
+    in
+    match source with
+    | Error m ->
+      prerr_endline m;
+      `Ok 1
+    | Ok source ->
+      let targets =
+        if all_targets then Repro_core.Target.all else [ target ]
+      in
+      let code =
+        List.fold_left
+          (fun acc t ->
+            try max acc (run_one t source ~show_asm ~show_stats) with
+            | Repro_harness.Compile.Compile_error m ->
+              Printf.eprintf "compile error (%s): %s\n" t.Repro_core.Target.name m;
+              2
+            | Repro_sim.Machine.Runtime_error m ->
+              Printf.eprintf "runtime error (%s): %s\n" t.Repro_core.Target.name m;
+              3)
+          0 targets
+      in
+      `Ok code
+  end
+
+let cmd =
+  let target =
+    Arg.(
+      value
+      & opt target_conv Repro_core.Target.d16
+      & info [ "t"; "target" ] ~doc:"Target: d16, d16x, dlxe, dlxe-16-2, dlxe-16-3, dlxe-32-2.")
+  in
+  let file = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE") in
+  let bench =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~doc:"Run a suite benchmark.")
+  in
+  let all_targets =
+    Arg.(value & flag & info [ "all-targets" ] ~doc:"Run on all five targets.")
+  in
+  let list_benchmarks =
+    Arg.(value & flag & info [ "list" ] ~doc:"List suite benchmarks.")
+  in
+  let show_asm = Arg.(value & flag & info [ "asm" ] ~doc:"Dump assembly.") in
+  let show_stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print run statistics to stderr.")
+  in
+  Cmd.v
+    (Cmd.info "d16c" ~doc:"mini-C compiler and simulator for D16/DLXe")
+    Term.(
+      ret
+        (const (fun a b c d e f g -> `Ok (main a b c d e f g))
+        $ target $ file $ bench $ all_targets $ list_benchmarks $ show_asm
+        $ show_stats))
+
+let () =
+  exit
+    (match Cmd.eval_value cmd with
+    | Ok (`Ok (`Ok n)) -> n
+    | Ok _ -> 0
+    | Error _ -> 124)

@@ -1,0 +1,79 @@
+(* objdump: disassemble a linked image — addresses, encodings, decoded
+   instructions, symbols, literal pools, and section summary — from either
+   a suite benchmark or a mini-C file.
+
+   Usage: dune exec bin/objdump.exe -- (--bench NAME | FILE) [target]
+   Default target: d16.                                                 *)
+
+module Target = Repro_core.Target
+module Insn = Repro_core.Insn
+module Link = Repro_link.Link
+
+let encode_for (t : Target.t) i =
+  match t.Target.isa with
+  | Target.D16 ->
+    if t.Target.ext_cmpeqi then Repro_core.D16x.encode i
+    else Repro_core.D16.encode i
+  | Target.Dlxe -> Repro_core.Dlxe.encode i
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let source, rest =
+    match args with
+    | "--bench" :: name :: rest ->
+      ((Repro_workloads.Suite.find name).Repro_workloads.Suite.source, rest)
+    | file :: rest when Sys.file_exists file ->
+      (In_channel.with_open_text file In_channel.input_all, rest)
+    | _ ->
+      prerr_endline "usage: objdump (--bench NAME | FILE) [d16|d16x|dlxe|...]";
+      exit 1
+  in
+  let target =
+    match rest with
+    | [] | [ "d16" ] -> Target.d16
+    | [ "d16x" ] -> Target.d16x
+    | [ "dlxe" ] -> Target.dlxe
+    | [ name ] -> (
+      match
+        List.find_opt (fun (t : Target.t) -> t.name = name) Target.all
+      with
+      | Some t -> t
+      | None ->
+        prerr_endline ("unknown target " ^ name);
+        exit 1)
+    | _ ->
+      prerr_endline "too many arguments";
+      exit 1
+  in
+  let img = Repro_harness.Compile.compile target source in
+  let b = Target.insn_bytes target in
+  Printf.printf
+    "target %s: text 0x%x..0x%x (%d bytes), data 0x%x (+%d bytes), entry 0x%x\n\n"
+    target.Target.name img.Link.text_base
+    (img.Link.text_base + img.Link.text_bytes)
+    img.Link.text_bytes img.Link.data_base img.Link.data_bytes
+    img.Link.addr_of.(img.Link.entry_index);
+  (* Function starts, by address. *)
+  let fn_at = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun s a -> if a < img.Link.data_base then Hashtbl.replace fn_at a s)
+    img.Link.symbols;
+  (* Pool words live in text but are not instructions: recover them from
+     the gaps between consecutive instructions. *)
+  let next_insn_addr = Hashtbl.create 64 in
+  Array.iter (fun a -> Hashtbl.replace next_insn_addr a ()) img.Link.addr_of;
+  Array.iteri
+    (fun i insn ->
+      let addr = img.Link.addr_of.(i) in
+      (* Pool gap before a function entry. *)
+      (match Hashtbl.find_opt fn_at addr with
+      | Some s -> Printf.printf "\n%08x <%s>:\n" addr s
+      | None -> ());
+      let word = encode_for target insn in
+      if b = 2 then Printf.printf "%08x:  %04x       %s\n" addr word (Insn.to_string insn)
+      else Printf.printf "%08x:  %08x   %s\n" addr word (Insn.to_string insn))
+    img.Link.insns;
+  Printf.printf "\nsymbols:\n";
+  Hashtbl.fold (fun s a acc -> (a, s) :: acc) img.Link.symbols []
+  |> List.sort compare
+  |> List.iter (fun (a, s) -> Printf.printf "  %08x  %s\n" a s)

@@ -1,0 +1,23 @@
+(* Regenerate every table and figure of the paper.  With arguments, only
+   the named experiment ids (e.g. "fig4 tab11"). *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let experiments =
+    match args with
+    | [] -> Repro_harness.Experiments.all
+    | ids -> (
+      try List.map Repro_harness.Experiments.by_id ids
+      with Not_found ->
+        prerr_endline "unknown experiment id; known ids:";
+        List.iter
+          (fun (e : Repro_harness.Experiments.t) -> prerr_endline ("  " ^ e.id))
+          Repro_harness.Experiments.all;
+        exit 1)
+  in
+  List.iter
+    (fun (e : Repro_harness.Experiments.t) ->
+      Printf.printf "================ %s: %s ================\n%s\n" e.id
+        e.title
+        (e.render ()))
+    experiments

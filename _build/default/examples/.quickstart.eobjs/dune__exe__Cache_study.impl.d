@@ -1,0 +1,1 @@
+examples/cache_study.ml: Array List Printf Repro_core Repro_harness Repro_sim Repro_util Repro_workloads Sys

@@ -1,0 +1,1 @@
+examples/density_explorer.ml: Array List Printf Repro_core Repro_harness Repro_link Repro_sim Repro_util Repro_workloads Sys

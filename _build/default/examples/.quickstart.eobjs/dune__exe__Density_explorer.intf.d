@@ -1,0 +1,1 @@
+examples/density_explorer.mli:

@@ -1,0 +1,1 @@
+examples/isa_tour.ml: List Printf Repro_core String

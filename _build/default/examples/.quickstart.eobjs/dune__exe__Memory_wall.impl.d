@@ -1,0 +1,1 @@
+examples/memory_wall.ml: Array List Printf Repro_core Repro_harness Repro_sim Repro_util Repro_workloads Sys

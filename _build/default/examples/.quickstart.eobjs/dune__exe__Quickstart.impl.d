@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Repro_core Repro_harness Repro_link Repro_sim

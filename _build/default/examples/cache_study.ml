@@ -1,0 +1,72 @@
+(* Cache study: Section 4.1 for one of the paper's "cache benchmarks".
+   Sweeps instruction-cache sizes, reporting miss rates and the CPI at a
+   given miss penalty — Figures 16 and 17 for one workload, plus the
+   headline observation that a D16 cache holds twice the instructions.
+
+   Run with:  dune exec examples/cache_study.exe [benchmark] [penalty]
+   (defaults: latex, 8 cycles)                                           *)
+
+module Target = Repro_core.Target
+module Compile = Repro_harness.Compile
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Suite = Repro_workloads.Suite
+module Table = Repro_util.Table
+
+let () =
+  let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "latex" in
+  let penalty =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 8
+  in
+  let source = (Suite.find bench).Suite.source in
+  Printf.printf
+    "Cache study for '%s' (split I/D, direct-mapped, 32B blocks, 4B sub-blocks,\n\
+     wrap-around prefetch, miss penalty %d cycles)\n\n"
+    bench penalty;
+  let run target = snd (Compile.compile_and_run ~trace:true target source) in
+  let r16 = run Target.d16 in
+  let r32 = run Target.dlxe in
+  let caches r insn_bytes size =
+    let cfg =
+      { Memsys.size_bytes = size; block_bytes = 32; sub_block_bytes = 4 }
+    in
+    Memsys.replay_cached ~insn_bytes ~icache:cfg ~dcache:cfg r
+  in
+  let rows =
+    List.map
+      (fun size ->
+        let c16 = caches r16 2 size in
+        let c32 = caches r32 4 size in
+        let cpi r c =
+          Memsys.cpi
+            ~cycles:(Memsys.cached_cycles ~miss_penalty:penalty r c)
+            ~ic:r.Machine.ic
+        in
+        let norm16 =
+          Memsys.normalized_cpi
+            ~cycles:(Memsys.cached_cycles ~miss_penalty:penalty r16 c16)
+            ~reference_ic:r32.Machine.ic
+        in
+        [
+          Printf.sprintf "%dK" (size / 1024);
+          Table.fmt3 (Memsys.miss_rate c16.Memsys.icache);
+          Table.fmt3 (Memsys.miss_rate c32.Memsys.icache);
+          Table.fmt2 (cpi r16 c16);
+          Table.fmt2 (cpi r32 c32);
+          Table.fmt2 norm16;
+        ])
+      [ 512; 1024; 2048; 4096; 8192; 16384 ]
+  in
+  print_string
+    (Table.render
+       [
+         "I-cache"; "D16 miss"; "DLXe miss"; "D16 CPI"; "DLXe CPI";
+         "D16 norm CPI";
+       ]
+       rows);
+  print_newline ();
+  Printf.printf
+    "Byte for byte, the D16 cache holds twice the instructions: its miss\n\
+     rate tracks the DLXe curve shifted one size up.  Normalized CPI (D16\n\
+     cycles over DLXe's path length) shows net performance: where it is\n\
+     below the DLXe CPI column, the denser encoding wins outright.\n"

@@ -1,0 +1,1 @@
+lib/codegen/asm.ml: List Printf Repro_core String

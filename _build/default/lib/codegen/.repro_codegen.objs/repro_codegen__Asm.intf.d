@@ -1,0 +1,1 @@
+lib/codegen/asm.mli: Repro_core

@@ -1,0 +1,1 @@
+lib/codegen/irprep.ml: Bytes Hashtbl Int64 List Option Printf Repro_core Repro_ir

@@ -1,0 +1,1 @@
+lib/codegen/irprep.mli: Repro_core Repro_ir

@@ -1,0 +1,1 @@
+lib/codegen/sched.ml: Array Asm List Repro_core

@@ -1,0 +1,1 @@
+lib/codegen/sched.mli: Asm Repro_core

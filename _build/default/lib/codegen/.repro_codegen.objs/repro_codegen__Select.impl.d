@@ -1,0 +1,1 @@
+lib/codegen/select.ml: Asm Hashtbl List Printf Repro_core Repro_ir

@@ -1,0 +1,1 @@
+lib/codegen/select.mli: Asm Repro_core Repro_ir

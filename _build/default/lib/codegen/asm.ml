@@ -1,0 +1,35 @@
+module Insn = Repro_core.Insn
+
+type label = int
+
+type item =
+  | Op of Insn.t
+  | Lbl of label
+  | Br_lbl of label
+  | Bz_lbl of Insn.gpr * label
+  | Bnz_lbl of Insn.gpr * label
+  | Call_sym of string
+  | La of Insn.gpr * string * int
+  | Lc of Insn.gpr * int
+
+type fragment = { fn_name : string; items : item list }
+
+let is_transfer = function
+  | Op i -> Insn.is_branch i
+  | Br_lbl _ | Bz_lbl _ | Bnz_lbl _ | Call_sym _ -> true
+  | Lbl _ | La _ | Lc _ -> false
+
+let item_to_string = function
+  | Op i -> "  " ^ Insn.to_string i
+  | Lbl l -> Printf.sprintf ".L%d:" l
+  | Br_lbl l -> Printf.sprintf "  br .L%d" l
+  | Bz_lbl (r, l) -> Printf.sprintf "  bz r%d, .L%d" r l
+  | Bnz_lbl (r, l) -> Printf.sprintf "  bnz r%d, .L%d" r l
+  | Call_sym s -> Printf.sprintf "  call %s" s
+  | La (r, s, o) ->
+    if o = 0 then Printf.sprintf "  la r%d, %s" r s
+    else Printf.sprintf "  la r%d, %s+%d" r s o
+  | Lc (r, v) -> Printf.sprintf "  lc r%d, %d" r v
+
+let fragment_to_string f =
+  f.fn_name ^ ":\n" ^ String.concat "\n" (List.map item_to_string f.items) ^ "\n"

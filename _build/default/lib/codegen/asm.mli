@@ -1,0 +1,30 @@
+(** Assembly items: the code generator's output, consumed by the linker.
+
+    Branch targets, global addresses, call destinations and (on D16)
+    large constants cannot be resolved until layout, so they stay symbolic.
+    Invariant maintained by {!Sched}: every control-transfer item is
+    followed by exactly one delay-slot instruction ([Op] — possibly
+    [Nop]). *)
+
+type label = int
+
+type item =
+  | Op of Repro_core.Insn.t  (** Fully resolved instruction. *)
+  | Lbl of label  (** Function-local label definition. *)
+  | Br_lbl of label  (** Unconditional branch to a local label. *)
+  | Bz_lbl of Repro_core.Insn.gpr * label
+  | Bnz_lbl of Repro_core.Insn.gpr * label
+  | Call_sym of string  (** Direct call; relaxed by the linker. *)
+  | La of Repro_core.Insn.gpr * string * int
+      (** rd <- address of symbol + offset. *)
+  | Lc of Repro_core.Insn.gpr * int
+      (** rd <- 32-bit constant too wide for the target's mvi
+          (D16 literal pool; never emitted for DLXe). *)
+
+type fragment = { fn_name : string; items : item list }
+
+val is_transfer : item -> bool
+(** Items that own a delay slot. *)
+
+val item_to_string : item -> string
+val fragment_to_string : fragment -> string

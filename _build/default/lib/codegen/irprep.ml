@@ -1,0 +1,241 @@
+module Target = Repro_core.Target
+module Insn = Repro_core.Insn
+module Ir = Repro_ir.Ir
+module Opt = Repro_ir.Opt
+module Lower = Repro_ir.Lower
+
+type fp_literals = { mutable table : (float * string) list; mutable next : int }
+
+let empty_fp_literals () = { table = []; next = 0 }
+
+let intern lits v =
+  (* Compare by bit pattern so that 0.0 and -0.0 stay distinct. *)
+  let bits = Int64.bits_of_float v in
+  match
+    List.find_opt (fun (v', _) -> Int64.bits_of_float v' = bits) lits.table
+  with
+  | Some (_, sym) -> sym
+  | None ->
+    let sym = Printf.sprintf "_fpc_%d" lits.next in
+    lits.next <- lits.next + 1;
+    lits.table <- (v, sym) :: lits.table;
+    sym
+
+let fp_literal_data lits =
+  List.rev_map
+    (fun (v, sym) ->
+      let b = Bytes.create 8 in
+      let bits = Int64.bits_of_float v in
+      for i = 0 to 7 do
+        Bytes.set_uint8 b i
+          (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+      done;
+      { Lower.dsym = sym; dbytes = b; dalign = 8 })
+    lits.table
+
+let materialize_fli lits (f : Ir.func) =
+  List.iter
+    (fun (b : Ir.block) ->
+      b.ins <-
+        List.concat_map
+          (fun (i : Ir.ins) ->
+            match i with
+            | Fli (d, v) ->
+              let sym = intern lits v in
+              let t = Ir.fresh_temp f in
+              [ Ir.Lea (t, Ir.Aglobal (sym, 0)); Ir.Fload (d, Ir.Abase (t, 0)) ]
+            | _ -> [ i ])
+          b.ins)
+    f.blocks
+
+(* Legalization ------------------------------------------------------------- *)
+
+let alu_of_binop : Ir.binop -> Insn.alu = function
+  | Add -> Add
+  | Sub -> Sub
+  | And -> And
+  | Or -> Or
+  | Xor -> Xor
+  | Shl -> Shl
+  | Shr -> Shr
+  | Shra -> Shra
+  | Mul | Div | Mod -> invalid_arg "mul/div must be lowered before codegen"
+
+let legalize target (f : Ir.func) =
+  let materialize k ins =
+    let t = Ir.fresh_temp f in
+    (Ir.Otemp t, ins @ [ Ir.Li (t, k) ])
+  in
+  (* Force an address into [Abase] form with a displacement the target's
+     memory instructions accept.  [word] selects the displacement rule. *)
+  let fix_addr ~word (a : Ir.addr) pre =
+    match a with
+    | Ir.Aslot _ -> (a, pre)  (* resolved against sp at selection time *)
+    | Ir.Aglobal _ ->
+      let t = Ir.fresh_temp f in
+      (Ir.Abase (t, 0), pre @ [ Ir.Lea (t, a) ])
+    | Ir.Abase (_, off) when Target.mem_offset_fits target ~word off ->
+      (a, pre)
+    | Ir.Abase (base, off) ->
+      let t = Ir.fresh_temp f in
+      let ot, pre = materialize off pre in
+      (match ot with
+      | Ir.Otemp offt ->
+        (Ir.Abase (t, 0), pre @ [ Ir.Bin (Ir.Add, t, base, Ir.Otemp offt) ])
+      | Ir.Oimm _ -> assert false)
+  in
+  let is_dlxe = target.Target.isa = Target.Dlxe in
+  let fix_ins (i : Ir.ins) : Ir.ins list =
+    match i with
+    | Not (d, s) when is_dlxe ->
+      (* DLXe has no inv; xor with an all-ones register. *)
+      let t = Ir.fresh_temp f in
+      [ Ir.Li (t, -1); Ir.Bin (Ir.Xor, d, s, Ir.Otemp t) ]
+    | Neg (d, s) when is_dlxe && not target.Target.three_address ->
+      (* The three-address form sub rd, r0, rs is unavailable. *)
+      let t = Ir.fresh_temp f in
+      [ Ir.Li (t, 0); Ir.Bin (Ir.Sub, d, t, Ir.Otemp s) ]
+    | Bin (op, d, a, Oimm k) -> (
+      let alu = alu_of_binop op in
+      if Target.alui_fits target alu k then [ i ]
+      else
+        (* Negative add/sub immediates flip on D16 (unsigned-only fields). *)
+        let flipped : Ir.ins option =
+          match op with
+          | Add when Target.alui_fits target Sub (-k) ->
+            Some (Bin (Sub, d, a, Oimm (-k)))
+          | Sub when Target.alui_fits target Add (-k) ->
+            Some (Bin (Add, d, a, Oimm (-k)))
+          | _ -> None
+        in
+        match flipped with
+        | Some i' -> [ i' ]
+        | None ->
+          let ot, pre = materialize k [] in
+          pre @ [ Ir.Bin (op, d, a, ot) ])
+    | Setcmp (c, d, a, b) -> (
+      let b, pre =
+        match b with
+        | Ir.Oimm k when not (Target.cmpi_ok target c k) -> materialize k []
+        | _ -> (b, [])
+      in
+      if Target.cond_supported target c then pre @ [ Ir.Setcmp (c, d, a, b) ]
+      else
+        (* Commute: both operands must be registers. *)
+        let b', pre =
+          match b with
+          | Ir.Otemp t -> (t, pre)
+          | Ir.Oimm k -> (
+            match materialize k pre with
+            | Ir.Otemp t, pre -> (t, pre)
+            | Ir.Oimm _, _ -> assert false)
+        in
+        pre @ [ Ir.Setcmp (Insn.swap_cond c, d, b', Ir.Otemp a) ])
+    | Fsetcmp (c, d, a, b) ->
+      if Target.cond_supported target c then [ i ]
+      else [ Fsetcmp (Insn.swap_cond c, d, b, a) ]
+    | Load (w, d, a) ->
+      let a, pre = fix_addr ~word:(w = Insn.Lw) a [] in
+      pre @ [ Ir.Load (w, d, a) ]
+    | Store (w, s, a) ->
+      let a, pre = fix_addr ~word:(w = Insn.Sw) a [] in
+      pre @ [ Ir.Store (w, s, a) ]
+    | Fload (d, a) ->
+      let a, pre = fix_addr ~word:true a [] in
+      pre @ [ Ir.Fload (d, a) ]
+    | Fstore (s, a) ->
+      let a, pre = fix_addr ~word:true a [] in
+      pre @ [ Ir.Fstore (s, a) ]
+    | _ -> [ i ]
+  in
+  List.iter
+    (fun (b : Ir.block) -> b.ins <- List.concat_map fix_ins b.ins)
+    f.blocks
+
+(* Branch-on-zero: a compare against zero feeding only the block's branch
+   is redundant — Bif already tests non-zero.  Rewriting before immediate
+   legalization saves D16 a zero materialization and both targets the
+   compare. *)
+let branch_on_zero (f : Ir.func) =
+  (* Count integer-temp uses so we only drop dead compare results. *)
+  let uses = Hashtbl.create 64 in
+  let bump t =
+    Hashtbl.replace uses t (1 + Option.value (Hashtbl.find_opt uses t) ~default:0)
+  in
+  Ir.iter_all_ins f (fun i -> List.iter bump (Ir.uses i));
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter bump (Repro_ir.Liveness.int_class.Repro_ir.Liveness.term_use b.Ir.term))
+    f.blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      match (List.rev b.ins, b.term) with
+      | Ir.Setcmp (c, d, a, Ir.Oimm 0) :: rest, Ir.Bif (t, l1, l2)
+        when d = t && Hashtbl.find_opt uses t = Some 1 -> (
+        match c with
+        | Insn.Ne ->
+          b.ins <- List.rev rest;
+          b.term <- Ir.Bif (a, l1, l2)
+        | Insn.Eq ->
+          b.ins <- List.rev rest;
+          b.term <- Ir.Bif (a, l2, l1)
+        | _ -> ())
+      | _ -> ())
+    f.blocks
+
+(* Two-address conversion ---------------------------------------------------- *)
+
+let commutative_bin : Ir.binop -> bool = function
+  | Add | And | Or | Xor -> true
+  | Sub | Shl | Shr | Shra | Mul | Div | Mod -> false
+
+let commutative_fbin : Insn.fbin -> bool = function
+  | Fadd | Fmul -> true
+  | Fsub | Fdiv -> false
+
+let two_address target (f : Ir.func) =
+  if not target.Target.three_address then
+    List.iter
+      (fun (b : Ir.block) ->
+        b.ins <-
+          List.concat_map
+            (fun (i : Ir.ins) ->
+              match i with
+              | Bin (op, d, a, rhs) when d <> a -> (
+                match rhs with
+                | Ir.Otemp b' when b' = d ->
+                  if commutative_bin op then [ Ir.Bin (op, d, d, Ir.Otemp a) ]
+                  else begin
+                    let t = Ir.fresh_temp f in
+                    [
+                      Ir.Mov (t, a);
+                      Ir.Bin (op, t, t, Ir.Otemp b');
+                      Ir.Mov (d, t);
+                    ]
+                  end
+                | _ -> [ Ir.Mov (d, a); Ir.Bin (op, d, d, rhs) ])
+              | Fbin (op, d, a, b') when d <> a ->
+                if b' = d then
+                  if commutative_fbin op then [ Ir.Fbin (op, d, d, a) ]
+                  else begin
+                    let t = Ir.fresh_ftemp f in
+                    [ Ir.Fmov (t, a); Ir.Fbin (op, t, t, b'); Ir.Fmov (d, t) ]
+                  end
+                else [ Ir.Fmov (d, a); Ir.Fbin (op, d, d, b') ]
+              | _ -> [ i ])
+            b.ins)
+      f.blocks
+
+let prepare ?(flags = Opt.all_flags) target lits (f : Ir.func) =
+  materialize_fli lits f;
+  branch_on_zero f;
+  legalize target f;
+  (* The Lea/Li instructions introduced by legalization expose sharing and
+     hoisting opportunities (notably D16 literal-pool loads in loops).
+     Note: local_simplify must not run here — it would fold materialized
+     constants back into immediate operands the target cannot encode. *)
+  if flags.Opt.cse then ignore (Opt.local_cse f);
+  if flags.Opt.do_licm then ignore (Opt.licm f);
+  if flags.Opt.cse then ignore (Opt.local_cse f);
+  if flags.Opt.dce then ignore (Opt.dead_code f);
+  two_address target f

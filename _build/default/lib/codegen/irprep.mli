@@ -1,0 +1,37 @@
+(** Target-dependent IR preparation, run after the optimizer and before
+    register allocation:
+
+    - {!materialize_fli}: floating-point literals become loads from interned
+      data symbols (neither machine has FP immediates);
+    - {!legalize}: immediates and addressing modes are rewritten to what the
+      target encodes — out-of-range ALU/compare immediates get materialized,
+      unsupported compare conditions are commuted, global memory operands go
+      through an explicit address temp, D16 subword/wide displacements
+      become address arithmetic;
+    - {!two_address}: on two-address targets, three-address ALU and FP
+      operations are rewritten to destructive form (with commutation where
+      the operation allows it). *)
+
+type fp_literals = {
+  mutable table : (float * string) list;
+  mutable next : int;
+}
+
+val empty_fp_literals : unit -> fp_literals
+
+val fp_literal_data : fp_literals -> Repro_ir.Lower.data_item list
+
+val materialize_fli : fp_literals -> Repro_ir.Ir.func -> unit
+
+val legalize : Repro_core.Target.t -> Repro_ir.Ir.func -> unit
+
+val two_address : Repro_core.Target.t -> Repro_ir.Ir.func -> unit
+
+val prepare :
+  ?flags:Repro_ir.Opt.flags ->
+  Repro_core.Target.t ->
+  fp_literals ->
+  Repro_ir.Ir.func ->
+  unit
+(** The full sequence, with a cleanup pass after; [flags] (default all on)
+    gates the post-legalization CSE/LICM/DCE for the ablation study. *)

@@ -1,0 +1,177 @@
+module Insn = Repro_core.Insn
+module Target = Repro_core.Target
+
+(* Dependence summaries ------------------------------------------------------ *)
+
+type eff = {
+  gd : int list;  (* general registers written *)
+  gu : int list;  (* general registers read *)
+  fd : int list;
+  fu : int list;
+  ld : bool;  (* reads memory *)
+  st : bool;  (* writes memory *)
+  sw : bool;  (* writes FP status *)
+  sr : bool;  (* reads FP status *)
+}
+
+let insn_eff (i : Insn.t) =
+  {
+    gd = (match Insn.defs_gpr i with Some r -> [ r ] | None -> []);
+    gu = Insn.uses_gpr i;
+    fd = (match Insn.defs_fpr i with Some r -> [ r ] | None -> []);
+    fu = Insn.uses_fpr i;
+    ld = Insn.is_load i;
+    st = Insn.is_store i;
+    sw = Insn.writes_fp_status i;
+    sr = (match i with Insn.Rdsr _ -> true | _ -> false);
+  }
+
+let item_eff ~is_d16 (it : Asm.item) =
+  match it with
+  | Asm.Op i -> Some (insn_eff i)
+  | Asm.La (r, _, _) ->
+    Some
+      {
+        gd = (if is_d16 then [ r; 0 ] else [ r ]);
+        gu = [];
+        fd = [];
+        fu = [];
+        ld = is_d16;
+        st = false;
+        sw = false;
+        sr = false;
+      }
+  | Asm.Lc (r, _) ->
+    Some
+      {
+        gd = (if is_d16 then [ r; 0 ] else [ r ]);
+        gu = [];
+        fd = [];
+        fu = [];
+        ld = is_d16;
+        st = false;
+        sw = false;
+        sr = false;
+      }
+  | Asm.Lbl _ | Asm.Br_lbl _ | Asm.Bz_lbl _ | Asm.Bnz_lbl _ | Asm.Call_sym _ ->
+    None
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+let independent a b =
+  disjoint a.gd (b.gu @ b.gd)
+  && disjoint a.gu b.gd
+  && disjoint a.fd (b.fu @ b.fd)
+  && disjoint a.fu b.fd
+  && (not (a.sw && (b.sw || b.sr)))
+  && (not (a.sr && b.sw))
+  && (not (a.st && (b.ld || b.st)))
+  && not (a.ld && b.st)
+
+(* Registers a transfer reads to make its decision / find its target. *)
+let transfer_reads = function
+  | Asm.Bz_lbl (r, _) | Asm.Bnz_lbl (r, _) -> [ r ]
+  | Asm.Op (Insn.J r) | Asm.Op (Insn.Jl r) -> [ r ]
+  | Asm.Op (Insn.Jz (rt, rd)) | Asm.Op (Insn.Jnz (rt, rd)) -> [ rt; rd ]
+  | Asm.Op (Insn.Bz (r, _)) | Asm.Op (Insn.Bnz (r, _)) -> [ r ]
+  | _ -> []
+
+let slot_candidate (it : Asm.item) =
+  match it with
+  | Asm.Op i -> (
+    match i with
+    | Insn.Trap _ | Insn.Nop -> false
+    | _ -> not (Insn.is_branch i))
+  | _ -> false
+
+(* Delay-slot filling --------------------------------------------------------- *)
+
+let fill_delay_slots ?(fill = true) target (frag : Asm.fragment) =
+  let is_d16 = target.Target.isa = Target.D16 in
+  let eff it = item_eff ~is_d16 it in
+  (* done_rev holds (item, usable-as-filler) with the most recent first. *)
+  let rec go done_rev remaining =
+    match remaining with
+    | [] -> List.rev_map fst done_rev
+    | it :: rest when Asm.is_transfer it ->
+      let treads = transfer_reads it in
+      (* On D16 the linker may relax label branches and calls into
+         ldc r0 + jump sequences, so their slot must not touch r0. *)
+      let relaxable =
+        is_d16
+        && match it with
+           | Asm.Br_lbl _ | Asm.Bz_lbl _ | Asm.Bnz_lbl _ | Asm.Call_sym _ ->
+             true
+           | _ -> false
+      in
+      (* Search backward for a filler, accumulating crossed effects. *)
+      let rec find acc crossed = function
+        | (c, true) :: _ | (c, _) :: _ when eff c = None ->
+          ignore c;
+          None
+        | (c, false) :: more -> (
+          match eff c with
+          | None -> None
+          | Some ce ->
+            let safe_for_transfer =
+              disjoint ce.gd treads
+              && not (relaxable && (List.mem 0 ce.gu || List.mem 0 ce.gd))
+            in
+            let indep_crossed =
+              List.for_all
+                (fun other -> independent ce other && independent other ce)
+                crossed
+            in
+            if slot_candidate c && safe_for_transfer && indep_crossed
+               && List.length crossed < 6
+            then Some (c, List.rev_append acc more)
+            else if List.length crossed >= 6 then None
+            else find ((c, false) :: acc) (ce :: crossed) more)
+        | _ -> None
+      in
+      let filler = if fill then find [] [] done_rev else None in
+      (match filler with
+      | Some (c, pruned) ->
+        go ((c, true) :: (it, true) :: pruned) rest
+      | None -> go ((Asm.Op Insn.Nop, true) :: (it, true) :: done_rev) rest)
+    | (Asm.Lbl _ as it) :: rest -> go ((it, true) :: done_rev) rest
+    | it :: rest -> go ((it, false) :: done_rev) rest
+  in
+  { frag with Asm.items = go [] frag.Asm.items }
+
+(* Load-use scheduling --------------------------------------------------------- *)
+
+let schedule_loads (frag : Asm.fragment) =
+  let items = Array.of_list frag.Asm.items in
+  let n = Array.length items in
+  let is_plain_op i =
+    i >= 0 && i < n
+    && match items.(i) with
+       | Asm.Op insn -> not (Insn.is_branch insn)
+       | _ -> false
+  in
+  for i = 1 to n - 2 do
+    match items.(i) with
+    | Asm.Op load when Insn.is_load load -> (
+      let dest_used_next =
+        match (Insn.defs_gpr load, Insn.defs_fpr load, items.(i + 1)) with
+        | Some d, _, Asm.Op nxt -> List.mem d (Insn.uses_gpr nxt)
+        | _, Some d, Asm.Op nxt -> List.mem d (Insn.uses_fpr nxt)
+        | _, _, (Asm.Bz_lbl (r, _) | Asm.Bnz_lbl (r, _)) ->
+          Insn.defs_gpr load = Some r
+        | _ -> false
+      in
+      if dest_used_next && is_plain_op (i - 1) && (i < 2 || not (Asm.is_transfer items.(i - 2)))
+      then
+        match (items.(i - 1), items.(i)) with
+        | Asm.Op prev, Asm.Op cur ->
+          let pe = insn_eff prev and ce = insn_eff cur in
+          if independent pe ce && independent ce pe && not (Insn.is_load prev)
+          then begin
+            items.(i - 1) <- Asm.Op cur;
+            items.(i) <- Asm.Op prev
+          end
+        | _ -> ())
+    | _ -> ()
+  done;
+  { frag with Asm.items = Array.to_list items }

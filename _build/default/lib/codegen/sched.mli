@@ -1,0 +1,18 @@
+(** Delay-slot scheduling.
+
+    Both machines execute one delay slot after every control transfer
+    (paper Section 2).  This pass establishes the invariant that each
+    transfer item is followed by exactly one slot instruction: it moves a
+    preceding independent instruction into the slot when the dependences
+    allow, and inserts a [nop] otherwise.  It also performs the simple
+    load-use reordering that the paper's "instruction scheduling"
+    optimization flag implies (swapping an independent neighbour between a
+    load and its consumer to hide the load delay). *)
+
+val fill_delay_slots :
+  ?fill:bool -> Repro_core.Target.t -> Asm.fragment -> Asm.fragment
+(** [fill:false] pads every slot with a nop instead of moving code into it
+    (ablation). *)
+
+val schedule_loads : Asm.fragment -> Asm.fragment
+(** Run before {!fill_delay_slots}. *)

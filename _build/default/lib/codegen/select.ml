@@ -1,0 +1,588 @@
+module Target = Repro_core.Target
+module Insn = Repro_core.Insn
+module Regs = Repro_core.Regs
+module Ir = Repro_ir.Ir
+module Iset = Repro_ir.Iset
+module Liveness = Repro_ir.Liveness
+module Regalloc = Repro_ir.Regalloc
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* Argument locations shared by caller and callee. ------------------------- *)
+
+type arg_loc = Reg_i of int | Reg_f of int | Out_i of int | Out_f of int
+
+(* Every stack-passed argument gets an 8-byte cell, so the layout does not
+   depend on argument types beyond their order. *)
+let arg_locations (args : Ir.arg list) =
+  let ni = ref 0 and nf = ref 0 and out = ref 0 in
+  let locs =
+    List.map
+      (fun a ->
+        match a with
+        | Ir.Aint _ ->
+          if !ni < Regs.n_arg_gpr then begin
+            let r = Regs.arg_gpr !ni in
+            incr ni;
+            Reg_i r
+          end
+          else begin
+            let o = !out in
+            out := o + 8;
+            Out_i o
+          end
+        | Ir.Afloat _ ->
+          if !nf < Regs.n_arg_fpr then begin
+            let r = Regs.arg_fpr !nf in
+            incr nf;
+            Reg_f r
+          end
+          else begin
+            let o = !out in
+            out := o + 8;
+            Out_f o
+          end)
+      args
+  in
+  (locs, !out)
+
+(* Frame layout -------------------------------------------------------------- *)
+
+type frame = {
+  size : int;
+  slot_off : (int, int) Hashtbl.t;
+  ra_off : int option;
+  callee_gpr_offs : (int * int) list;
+  callee_fpr_offs : (int * int) list;
+  scratch_off : int;  (* 8-byte cell for parallel-move cycle breaking *)
+}
+
+let align_up v a = (v + a - 1) / a * a
+
+let build_frame (f : Ir.func) (alloc : Regalloc.t) ~is_leaf =
+  let out_area =
+    let worst = ref 0 in
+    Ir.iter_all_ins f (fun i ->
+        match i with
+        | Ir.Call (_, _, args) ->
+          let _, out = arg_locations args in
+          worst := max !worst out
+        | _ -> ());
+    !worst
+  in
+  let off = ref out_area in
+  let scratch_off = align_up !off 8 in
+  off := scratch_off + 8;
+  let ra_off =
+    if is_leaf then None
+    else begin
+      let o = !off in
+      off := o + 4;
+      Some o
+    end
+  in
+  let callee_gpr_offs =
+    List.map
+      (fun r ->
+        let o = !off in
+        off := o + 4;
+        (r, o))
+      alloc.Regalloc.used_callee_gpr
+  in
+  let callee_fpr_offs =
+    List.map
+      (fun r ->
+        let o = align_up !off 8 in
+        off := o + 8;
+        (r, o))
+      alloc.Regalloc.used_callee_fpr
+  in
+  let slot_off = Hashtbl.create 16 in
+  let slots =
+    List.sort
+      (fun (a : Ir.slot) (b : Ir.slot) -> compare a.size b.size)
+      f.slots
+  in
+  List.iter
+    (fun (s : Ir.slot) ->
+      let o = align_up !off s.align in
+      off := o + s.size;
+      Hashtbl.replace slot_off s.slot_id o)
+    slots;
+  {
+    size = align_up !off 8;
+    slot_off;
+    ra_off;
+    callee_gpr_offs;
+    callee_fpr_offs;
+    scratch_off;
+  }
+
+(* Parallel move resolution --------------------------------------------------- *)
+
+let scratch_marker = -1000
+
+(* [moves] are (dst, src) with dst <> src, all in one register class.
+   [save]/[restore] break cycles through a scratch location. *)
+let parallel_moves ~emit ~save ~restore moves =
+  let rec loop pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let is_blocked (d, _) =
+        List.exists (fun (_, s) -> s = d) pending
+      in
+      let ready, blocked = List.partition (fun m -> not (is_blocked m)) pending in
+      (match ready with
+      | [] -> (
+        match blocked with
+        | (d0, s0) :: rest ->
+          save s0;
+          loop (rest @ [ (d0, scratch_marker) ])
+        | [] -> ())
+      | _ ->
+        List.iter
+          (fun (d, s) -> if s = scratch_marker then restore d else emit (d, s))
+          ready;
+        loop blocked)
+  in
+  loop (List.filter (fun (d, s) -> d <> s) moves)
+
+(* Selection ------------------------------------------------------------------ *)
+
+let select target (alloc : Regalloc.t) (f : Ir.func) =
+  let is_d16 = target.Target.isa = Target.D16 in
+  let items = ref [] in
+  let emit i = items := i :: !items in
+  let op i = emit (Asm.Op i) in
+  let regof t =
+    match Hashtbl.find_opt alloc.Regalloc.int_assign t with
+    | Some r -> r
+    | None -> fail "%s: temp t%d has no register" f.Ir.name t
+  in
+  let fregof t =
+    match Hashtbl.find_opt alloc.Regalloc.float_assign t with
+    | Some r -> r
+    | None -> fail "%s: ftemp f%d has no register" f.Ir.name t
+  in
+  let is_leaf =
+    let found = ref false in
+    Ir.iter_all_ins f (fun i ->
+        match i with Ir.Call _ -> found := true | _ -> ());
+    not !found
+  in
+  let frame = build_frame f alloc ~is_leaf in
+  let slot_addr id extra = Hashtbl.find frame.slot_off id + extra in
+
+  (* Load a constant into a register.  On D16 wide constants go through the
+     literal pool (Lc); a shifted 9-bit form is cheaper when available. *)
+  let emit_const rd k =
+    if Target.mvi_fits target k then op (Insn.Mvi (rd, k))
+    else if is_d16 then begin
+      let rec strip v s = if v land 1 = 0 && v <> 0 then strip (v asr 1) (s + 1) else (v, s) in
+      let m, s = strip k 0 in
+      if s > 0 && Target.mvi_fits target m then begin
+        op (Insn.Mvi (rd, m));
+        op (Insn.Alui (Insn.Shl, rd, rd, s))
+      end
+      else emit (Asm.Lc (rd, k))
+    end
+    else begin
+      let hi = (k lsr 16) land 0xFFFF in
+      let lo = k land 0xFFFF in
+      op (Insn.Mvhi (rd, hi));
+      if lo <> 0 then op (Insn.Alui (Insn.Or, rd, rd, lo))
+    end
+  in
+
+  (* rd <- rs + off, where rd may equal rs. *)
+  let emit_addi rd rs off =
+    if off = 0 then begin
+      if rd <> rs then op (Insn.Mv (rd, rs))
+    end
+    else if Target.alui_fits target Insn.Add off then begin
+      if target.Target.three_address || rd = rs then
+        op (Insn.Alui (Insn.Add, rd, rs, off))
+      else begin
+        op (Insn.Mv (rd, rs));
+        op (Insn.Alui (Insn.Add, rd, rd, off))
+      end
+    end
+    else if off < 0 && Target.alui_fits target Insn.Sub (-off) && rd = rs then
+      op (Insn.Alui (Insn.Sub, rd, rd, -off))
+    else if rd <> rs then begin
+      emit_const rd off;
+      if target.Target.three_address then op (Insn.Alu (Insn.Add, rd, rd, rs))
+      else op (Insn.Alu (Insn.Add, rd, rd, rs))
+    end
+    else if is_d16 then begin
+      (* rd = rs and the offset is wide: use the assembler temporary. *)
+      emit_const 0 off;
+      op (Insn.Alu (Insn.Add, rd, rd, 0))
+    end
+    else fail "%s: address computation out of range (off=%d)" f.Ir.name off
+  in
+
+  (* Memory access at sp+off, legalizing the displacement. *)
+  let emit_sp_mem ~word mk off =
+    if Target.mem_offset_fits target ~word off then mk Regs.sp off
+    else if is_d16 then begin
+      emit_const 0 off;
+      op (Insn.Alu (Insn.Add, 0, 0, Regs.sp));
+      mk 0 0
+    end
+    else fail "%s: frame offset %d out of range" f.Ir.name off
+  in
+  let load_word rd base off = op (Insn.Load (Insn.Lw, rd, base, off)) in
+  let store_word rs base off = op (Insn.Store (Insn.Sw, rs, base, off)) in
+  let fload fd base off = op (Insn.Fload (Insn.Df, fd, base, off)) in
+  let fstore fs base off = op (Insn.Fstore (Insn.Df, fs, base, off)) in
+
+  let gpr_moves moves =
+    if is_d16 then
+      parallel_moves
+        ~emit:(fun (d, s) -> op (Insn.Mv (d, s)))
+        ~save:(fun s -> op (Insn.Mv (0, s)))
+        ~restore:(fun d -> op (Insn.Mv (d, 0)))
+        moves
+    else
+      parallel_moves
+        ~emit:(fun (d, s) -> op (Insn.Mv (d, s)))
+        ~save:(fun s ->
+          emit_sp_mem ~word:true (fun b o -> store_word s b o) frame.scratch_off)
+        ~restore:(fun d ->
+          emit_sp_mem ~word:true (fun b o -> load_word d b o) frame.scratch_off)
+        moves
+  in
+  let fpr_moves moves =
+    parallel_moves
+      ~emit:(fun (d, s) -> op (Insn.Fmv (Insn.Df, d, s)))
+      ~save:(fun s ->
+        emit_sp_mem ~word:true (fun b o -> fstore s b o) frame.scratch_off)
+      ~restore:(fun d ->
+        emit_sp_mem ~word:true (fun b o -> fload d b o) frame.scratch_off)
+      moves
+  in
+
+  let cmp_dest = if is_d16 then 0 else -2 in
+  (* -2 is replaced by the real destination on three-address targets. *)
+
+  let emit_setcmp c rd a b =
+    match b with
+    | Ir.Oimm k ->
+      (* Only DLXe and the D16x extension reach here (legalization). *)
+      if is_d16 then op (Insn.Cmpi (c, 0, regof a, k))
+      else op (Insn.Cmpi (c, rd, regof a, k))
+    | Ir.Otemp bt ->
+      if is_d16 then op (Insn.Cmp (c, 0, regof a, regof bt))
+      else op (Insn.Cmp (c, rd, regof a, regof bt))
+  in
+  ignore cmp_dest;
+
+  let addr_mem ~word mk (a : Ir.addr) =
+    match a with
+    | Ir.Abase (t, off) -> mk (regof t) off
+    | Ir.Aslot (id, extra) -> emit_sp_mem ~word mk (slot_addr id extra)
+    | Ir.Aglobal _ -> fail "%s: global address survived legalization" f.Ir.name
+  in
+
+  let alu_of : Ir.binop -> Insn.alu = function
+    | Add -> Add
+    | Sub -> Sub
+    | And -> And
+    | Or -> Or
+    | Xor -> Xor
+    | Shl -> Shl
+    | Shr -> Shr
+    | Shra -> Shra
+    | Mul | Div | Mod -> fail "%s: mul/div survived lowering" f.Ir.name
+  in
+
+  let emit_ins (i : Ir.ins) =
+    match i with
+    | Ir.Li (d, k) -> emit_const (regof d) k
+    | Ir.Mov (d, s) -> if regof d <> regof s then op (Insn.Mv (regof d, regof s))
+    | Ir.Bin (bop, d, a, Ir.Otemp b) ->
+      op (Insn.Alu (alu_of bop, regof d, regof a, regof b))
+    | Ir.Bin (bop, d, a, Ir.Oimm k) ->
+      op (Insn.Alui (alu_of bop, regof d, regof a, k))
+    | Ir.Not (d, s) ->
+      if is_d16 then op (Insn.Inv (regof d, regof s))
+      else fail "%s: DLXe Not survived legalization" f.Ir.name
+    | Ir.Neg (d, s) ->
+      if is_d16 then op (Insn.Neg (regof d, regof s))
+      else if target.Target.three_address then
+        op (Insn.Alu (Insn.Sub, regof d, 0, regof s))
+      else fail "%s: two-address DLXe Neg survived legalization" f.Ir.name
+    | Ir.Setcmp (c, d, a, b) ->
+      emit_setcmp c (regof d) a b;
+      if is_d16 && regof d <> 0 then op (Insn.Mv (regof d, 0))
+    | Ir.Load (w, d, a) ->
+      addr_mem ~word:(w = Insn.Lw)
+        (fun base off -> op (Insn.Load (w, regof d, base, off)))
+        a
+    | Ir.Store (w, s, a) ->
+      addr_mem ~word:(w = Insn.Sw)
+        (fun base off -> op (Insn.Store (w, regof s, base, off)))
+        a
+    | Ir.Lea (d, Ir.Aglobal (sym, o)) -> emit (Asm.La (regof d, sym, o))
+    | Ir.Lea (d, Ir.Aslot (id, extra)) ->
+      emit_addi (regof d) Regs.sp (slot_addr id extra)
+    | Ir.Lea (d, Ir.Abase (t, off)) -> emit_addi (regof d) (regof t) off
+    | Ir.Fli _ -> fail "%s: FP literal survived materialization" f.Ir.name
+    | Ir.Fmov (d, s) ->
+      if fregof d <> fregof s then op (Insn.Fmv (Insn.Df, fregof d, fregof s))
+    | Ir.Fbin (fop, d, a, b) ->
+      op (Insn.Fbin (fop, Insn.Df, fregof d, fregof a, fregof b))
+    | Ir.Fneg (d, s) -> op (Insn.Fneg (Insn.Df, fregof d, fregof s))
+    | Ir.Fsetcmp (c, d, a, b) ->
+      op (Insn.Fcmp (c, Insn.Df, fregof a, fregof b));
+      op (Insn.Rdsr (regof d))
+    | Ir.Fload (d, a) ->
+      addr_mem ~word:true
+        (fun base off -> op (Insn.Fload (Insn.Df, fregof d, base, off)))
+        a
+    | Ir.Fstore (s, a) ->
+      addr_mem ~word:true
+        (fun base off -> op (Insn.Fstore (Insn.Df, fregof s, base, off)))
+        a
+    | Ir.Itof (d, s) -> op (Insn.Cvtif (Insn.Df, fregof d, regof s))
+    | Ir.Ftoi (d, s) -> op (Insn.Cvtfi (Insn.Df, regof d, fregof s))
+    | Ir.Call (ret, name, args) ->
+      let locs, _ = arg_locations args in
+      (* Stack extras first (they read argument-register sources before the
+         parallel move overwrites them). *)
+      List.iter2
+        (fun a loc ->
+          match (a, loc) with
+          | Ir.Aint t, Out_i o ->
+            emit_sp_mem ~word:true (fun b o' -> store_word (regof t) b o') o
+          | Ir.Afloat t, Out_f o ->
+            emit_sp_mem ~word:true (fun b o' -> fstore (fregof t) b o') o
+          | _, (Reg_i _ | Reg_f _) -> ()
+          | Ir.Aint _, Out_f _ | Ir.Afloat _, Out_i _ -> assert false)
+        args locs;
+      let gmoves =
+        List.filter_map
+          (fun (a, loc) ->
+            match (a, loc) with
+            | Ir.Aint t, Reg_i r -> Some (r, regof t)
+            | _ -> None)
+          (List.combine args locs)
+      in
+      let fmoves =
+        List.filter_map
+          (fun (a, loc) ->
+            match (a, loc) with
+            | Ir.Afloat t, Reg_f r -> Some (r, fregof t)
+            | _ -> None)
+          (List.combine args locs)
+      in
+      gpr_moves gmoves;
+      fpr_moves fmoves;
+      emit (Asm.Call_sym name);
+      (match ret with
+      | Ir.Rnone -> ()
+      | Ir.Rint d -> if regof d <> Regs.ret_gpr then op (Insn.Mv (regof d, Regs.ret_gpr))
+      | Ir.Rfloat d ->
+        if fregof d <> Regs.ret_fpr then
+          op (Insn.Fmv (Insn.Df, fregof d, Regs.ret_fpr)))
+    | Ir.Trap (code, arg) ->
+      (match arg with
+      | Some (Ir.Aint t) ->
+        if regof t <> Regs.ret_gpr then op (Insn.Mv (Regs.ret_gpr, regof t))
+      | Some (Ir.Afloat t) ->
+        if fregof t <> Regs.ret_fpr then
+          op (Insn.Fmv (Insn.Df, Regs.ret_fpr, fregof t))
+      | None -> ());
+      op (Insn.Trap code)
+  in
+
+  (* Compare/branch fusion: on D16 it saves the move out of r0. *)
+  let live = Liveness.compute f Liveness.int_class in
+  let fusable (b : Ir.block) =
+    match (List.rev b.ins, b.term) with
+    | last :: _, Ir.Bif (t, _, _) -> (
+      let live_out = Hashtbl.find live.Liveness.live_out b.lbl in
+      let dead_after = not (Iset.mem t live_out) in
+      match last with
+      | Ir.Setcmp (_, d, _, _) when d = t && dead_after -> Some last
+      | Ir.Fsetcmp (_, d, _, _) when d = t && dead_after -> Some last
+      | _ -> None)
+    | _ -> None
+  in
+
+  let epilogue_lbl = Ir.fresh_label f in
+
+  let emit_branch cond_reg l1 l2 ~next =
+    (* cond_reg holds the test value (r0 on D16). *)
+    if next = Some l2 then emit (Asm.Bnz_lbl (cond_reg, l1))
+    else if next = Some l1 then emit (Asm.Bz_lbl (cond_reg, l2))
+    else begin
+      emit (Asm.Bnz_lbl (cond_reg, l1));
+      emit (Asm.Br_lbl l2)
+    end
+  in
+
+  let emit_term (b : Ir.block) fused ~next =
+    match b.Ir.term with
+    | Ir.Jmp l -> if next <> Some l then emit (Asm.Br_lbl l)
+    | Ir.Bif (t, l1, l2) ->
+      let cond_reg =
+        match fused with
+        | Some (Ir.Setcmp (c, _, a, rhs)) ->
+          let dest = if is_d16 then 0 else regof t in
+          emit_setcmp c dest a rhs;
+          dest
+        | Some (Ir.Fsetcmp (c, _, a, rhs)) ->
+          op (Insn.Fcmp (c, Insn.Df, fregof a, fregof rhs));
+          let dest = if is_d16 then 0 else regof t in
+          op (Insn.Rdsr dest);
+          dest
+        | Some _ -> assert false
+        | None ->
+          if is_d16 then begin
+            op (Insn.Mv (0, regof t));
+            0
+          end
+          else regof t
+      in
+      emit_branch cond_reg l1 l2 ~next
+    | Ir.Ret arg ->
+      (match arg with
+      | Some (Ir.Aint t) ->
+        if regof t <> Regs.ret_gpr then op (Insn.Mv (Regs.ret_gpr, regof t))
+      | Some (Ir.Afloat t) ->
+        if fregof t <> Regs.ret_fpr then
+          op (Insn.Fmv (Insn.Df, Regs.ret_fpr, fregof t))
+      | None -> ());
+      if next <> Some epilogue_lbl then emit (Asm.Br_lbl epilogue_lbl)
+  in
+
+  (* Prologue. *)
+  if frame.size > 0 then begin
+    if is_d16 then begin
+      if Target.alui_fits target Insn.Sub frame.size then
+        op (Insn.Alui (Insn.Sub, Regs.sp, Regs.sp, frame.size))
+      else begin
+        emit_const 0 frame.size;
+        op (Insn.Alu (Insn.Sub, Regs.sp, Regs.sp, 0))
+      end
+    end
+    else op (Insn.Alui (Insn.Add, Regs.sp, Regs.sp, -frame.size))
+  end;
+  (match frame.ra_off with
+  | Some o -> emit_sp_mem ~word:true (fun b o' -> store_word Regs.link b o') o
+  | None -> ());
+  List.iter
+    (fun (r, o) -> emit_sp_mem ~word:true (fun b o' -> store_word r b o') o)
+    frame.callee_gpr_offs;
+  List.iter
+    (fun (r, o) -> emit_sp_mem ~word:true (fun b o' -> fstore r b o') o)
+    frame.callee_fpr_offs;
+  (* Bind parameters. *)
+  let locs, _ = arg_locations f.Ir.arg_temps in
+  let in_base = frame.size in
+  (* 1. Stack-passed parameters that were spilled: copy via r3 (free at
+     entry; it is not an argument register). *)
+  List.iter2
+    (fun a loc ->
+      match (a, loc) with
+      | Ir.Aint t, Out_i o when Hashtbl.mem alloc.Regalloc.spill_slot_int t ->
+        let slot = Hashtbl.find alloc.Regalloc.spill_slot_int t in
+        emit_sp_mem ~word:true (fun b o' -> load_word 3 b o') (in_base + o);
+        emit_sp_mem ~word:true (fun b o' -> store_word 3 b o') (slot_addr slot 0)
+      | _ -> ())
+    f.Ir.arg_temps locs;
+  (* 2. Register parameters that were spilled: store directly. *)
+  List.iter2
+    (fun a loc ->
+      match (a, loc) with
+      | Ir.Aint t, Reg_i r when Hashtbl.mem alloc.Regalloc.spill_slot_int t ->
+        let slot = Hashtbl.find alloc.Regalloc.spill_slot_int t in
+        emit_sp_mem ~word:true (fun b o' -> store_word r b o') (slot_addr slot 0)
+      | Ir.Afloat t, Reg_f r when Hashtbl.mem alloc.Regalloc.spill_slot_float t
+        ->
+        let slot = Hashtbl.find alloc.Regalloc.spill_slot_float t in
+        emit_sp_mem ~word:true (fun b o' -> fstore r b o') (slot_addr slot 0)
+      | _ -> ())
+    f.Ir.arg_temps locs;
+  (* 3. Parallel move of live register parameters. *)
+  let gmoves = ref [] and fmoves = ref [] in
+  List.iter2
+    (fun a loc ->
+      match (a, loc) with
+      | Ir.Aint t, Reg_i r ->
+        (match Hashtbl.find_opt alloc.Regalloc.int_assign t with
+        | Some dst -> gmoves := (dst, r) :: !gmoves
+        | None -> () (* spilled or unused *))
+      | Ir.Afloat t, Reg_f r -> (
+        match Hashtbl.find_opt alloc.Regalloc.float_assign t with
+        | Some dst -> fmoves := (dst, r) :: !fmoves
+        | None -> ())
+      | _ -> ())
+    f.Ir.arg_temps locs;
+  gpr_moves !gmoves;
+  fpr_moves !fmoves;
+  (* 4. Stack-passed parameters into their registers. *)
+  List.iter2
+    (fun a loc ->
+      match (a, loc) with
+      | Ir.Aint t, Out_i o -> (
+        match Hashtbl.find_opt alloc.Regalloc.int_assign t with
+        | Some dst ->
+          emit_sp_mem ~word:true (fun b o' -> load_word dst b o') (in_base + o)
+        | None -> ())
+      | Ir.Afloat t, Out_f o -> (
+        match Hashtbl.find_opt alloc.Regalloc.float_assign t with
+        | Some dst ->
+          emit_sp_mem ~word:true (fun b o' -> fload dst b o') (in_base + o)
+        | None -> ())
+      | _ -> ())
+    f.Ir.arg_temps locs;
+
+  (* Body. *)
+  let rec emit_blocks = function
+    | [] -> ()
+    | (b : Ir.block) :: rest ->
+      let next =
+        match rest with
+        | (nb : Ir.block) :: _ -> Some nb.Ir.lbl
+        | [] -> Some epilogue_lbl
+      in
+      emit (Asm.Lbl b.lbl);
+      let fused = fusable b in
+      let body =
+        match fused with
+        | Some _ -> List.rev (List.tl (List.rev b.ins))
+        | None -> b.ins
+      in
+      List.iter emit_ins body;
+      emit_term b fused ~next;
+      emit_blocks rest
+  in
+  emit_blocks f.Ir.blocks;
+
+  (* Epilogue. *)
+  emit (Asm.Lbl epilogue_lbl);
+  List.iter
+    (fun (r, o) -> emit_sp_mem ~word:true (fun b o' -> fload r b o') o)
+    frame.callee_fpr_offs;
+  List.iter
+    (fun (r, o) -> emit_sp_mem ~word:true (fun b o' -> load_word r b o') o)
+    frame.callee_gpr_offs;
+  (match frame.ra_off with
+  | Some o -> emit_sp_mem ~word:true (fun b o' -> load_word Regs.link b o') o
+  | None -> ());
+  if frame.size > 0 then begin
+    if Target.alui_fits target Insn.Add frame.size then
+      op (Insn.Alui (Insn.Add, Regs.sp, Regs.sp, frame.size))
+    else if is_d16 then begin
+      emit_const 0 frame.size;
+      op (Insn.Alu (Insn.Add, Regs.sp, Regs.sp, 0))
+    end
+    else op (Insn.Alui (Insn.Add, Regs.sp, Regs.sp, frame.size))
+  end;
+  op (Insn.J Regs.link);
+
+  { Asm.fn_name = f.Ir.name; items = List.rev !items }

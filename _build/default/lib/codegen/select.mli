@@ -1,0 +1,13 @@
+(** Instruction selection: allocated IR to assembly items.
+
+    Responsibilities: frame layout (outgoing-argument area, saved registers,
+    slots ordered small-first so D16's short displacements reach the hot
+    ones), prologue/epilogue, the calling convention (r4..r7 / f0..f3, extras
+    on the stack, parallel-move resolution with cycle breaking), compare/
+    branch fusion, and the target-specific expansions of constants and
+    frame accesses (using r0 as the D16 assembler temporary). *)
+
+val select :
+  Repro_core.Target.t -> Repro_ir.Regalloc.t -> Repro_ir.Ir.func -> Asm.fragment
+(** @raise Failure on IR the earlier phases should have eliminated
+    (unlowered mul/div, unmaterialized FP literals, unallocated temps). *)

@@ -1,0 +1,1 @@
+lib/core/d16.ml: Bitops Insn Printf Repro_util

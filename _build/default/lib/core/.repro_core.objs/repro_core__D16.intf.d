@@ -1,0 +1,1 @@
+lib/core/d16.mli: Insn

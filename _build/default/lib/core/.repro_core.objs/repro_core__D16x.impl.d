@@ -1,0 +1,1 @@
+lib/core/d16x.ml: Bitops D16 Insn Printf Repro_util

@@ -1,0 +1,1 @@
+lib/core/d16x.mli: Insn

@@ -1,0 +1,1 @@
+lib/core/dlxe.ml: Bitops Insn Printf Repro_util

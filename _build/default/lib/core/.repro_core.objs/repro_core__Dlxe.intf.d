@@ -1,0 +1,1 @@
+lib/core/dlxe.mli: Insn

@@ -1,0 +1,1 @@
+lib/core/target.ml: Bitops Insn Printf Regs Repro_util

@@ -1,0 +1,1 @@
+lib/core/trapcode.ml: Printf

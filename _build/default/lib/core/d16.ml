@@ -1,0 +1,281 @@
+open Repro_util
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+(* REG-format opcode map (6 bits). *)
+let op_add = 0
+and op_sub = 1
+and op_and = 2
+and op_or = 3
+and op_xor = 4
+and op_shl = 5
+and op_shr = 6
+and op_shra = 7
+and op_mv = 8
+and op_neg = 9
+and op_inv = 10
+and op_ldh = 11
+and op_ldhu = 12
+and op_sth = 13
+and op_ldb = 14
+and op_ldbu = 15
+and op_stb = 16
+and op_cmp_base = 17 (* +cond index, 6 slots *)
+and op_j = 23
+and op_jl = 24
+and op_trap = 25
+and op_rdsr = 26
+and op_fbin_df = 27 (* +fbin index, 4 slots *)
+and op_fneg_df = 31
+and op_fcmp_df = 32 (* +cond index, 6 slots *)
+and op_cvtif_df = 38
+and op_cvtfi_df = 39
+and op_fbin_sf = 40
+and op_fneg_sf = 44
+and op_fmv_df = 45
+and op_fmv_sf = 46
+and op_jz = 47
+and op_jnz = 48
+and op_cvtif_sf = 51
+and op_cvtfi_sf = 52
+and op_nop = 53
+and op_addi = 54 (* immediate forms take opcode pairs; bit 0 = imm bit 4 *)
+and op_subi = 56
+and op_shli = 58
+and op_shri = 60
+and op_shrai = 62
+
+let cond_index (c : Insn.cond) =
+  match c with
+  | Lt -> 0
+  | Ltu -> 1
+  | Le -> 2
+  | Leu -> 3
+  | Eq -> 4
+  | Ne -> 5
+  | Gt | Gtu | Ge | Geu -> bad "D16: condition %s" (Insn.cond_to_string c)
+
+let cond_of_index = function
+  | 0 -> Insn.Lt
+  | 1 -> Ltu
+  | 2 -> Le
+  | 3 -> Leu
+  | 4 -> Eq
+  | 5 -> Ne
+  | n -> bad "D16: cond index %d" n
+
+let fbin_index (f : Insn.fbin) =
+  match f with Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3
+
+let fbin_of_index = function
+  | 0 -> Insn.Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | n -> bad "D16: fbin index %d" n
+
+let mem ~op ~off ~ry ~rx =
+  Bitops.(
+    0 |> put ~lo:15 ~hi:15 1 |> put ~lo:13 ~hi:14 op
+    |> put ~lo:8 ~hi:12 (off / 4)
+    |> put ~lo:4 ~hi:7 ry |> put ~lo:0 ~hi:3 rx)
+
+let reg ~op ~ry ~rx =
+  Bitops.(
+    0 |> put ~lo:14 ~hi:15 1 |> put ~lo:8 ~hi:13 op |> put ~lo:4 ~hi:7 ry
+    |> put ~lo:0 ~hi:3 rx)
+
+let reg_imm ~base_op ~imm ~rx =
+  reg ~op:(base_op lor ((imm lsr 4) land 1)) ~ry:(imm land 0xF) ~rx
+
+let imm_base_op (op : Insn.alu) =
+  match op with
+  | Add -> op_addi
+  | Sub -> op_subi
+  | Shl -> op_shli
+  | Shr -> op_shri
+  | Shra -> op_shrai
+  | And | Or | Xor -> bad "D16: no immediate form of %s" (Insn.alu_to_string op)
+
+let rr_op (op : Insn.alu) =
+  match op with
+  | Add -> op_add
+  | Sub -> op_sub
+  | And -> op_and
+  | Or -> op_or
+  | Xor -> op_xor
+  | Shl -> op_shl
+  | Shr -> op_shr
+  | Shra -> op_shra
+
+let encode (i : Insn.t) =
+  match i with
+  | Load (Lw, rd, base, off) -> mem ~op:0 ~off ~ry:base ~rx:rd
+  | Store (Sw, rs, base, off) -> mem ~op:1 ~off ~ry:base ~rx:rs
+  | Fload (Df, fd, base, off) -> mem ~op:2 ~off ~ry:base ~rx:fd
+  | Fstore (Df, fs, base, off) -> mem ~op:3 ~off ~ry:base ~rx:fs
+  | Fload (Sf, _, _, _) | Fstore (Sf, _, _, _) ->
+    bad "D16: single-precision memory operations are not encoded"
+  | Load (Lh, rd, base, 0) -> reg ~op:op_ldh ~ry:base ~rx:rd
+  | Load (Lhu, rd, base, 0) -> reg ~op:op_ldhu ~ry:base ~rx:rd
+  | Load (Lb, rd, base, 0) -> reg ~op:op_ldb ~ry:base ~rx:rd
+  | Load (Lbu, rd, base, 0) -> reg ~op:op_ldbu ~ry:base ~rx:rd
+  | Store (Sh, rs, base, 0) -> reg ~op:op_sth ~ry:base ~rx:rs
+  | Store (Sb, rs, base, 0) -> reg ~op:op_stb ~ry:base ~rx:rs
+  | Load (_, _, _, off) | Store (_, _, _, off) ->
+    bad "D16: subword memory access with offset %d" off
+  | Ldc (0, off) ->
+    Bitops.(0 |> put ~lo:11 ~hi:15 1 |> put ~lo:0 ~hi:10 (-off / 4))
+  | Ldc (rd, _) -> bad "D16: ldc destination r%d (must be r0)" rd
+  | Alu (op, rd, ra, rb) ->
+    if rd <> ra then bad "D16: three-address alu";
+    reg ~op:(rr_op op) ~ry:rb ~rx:rd
+  | Alui (op, rd, ra, imm) ->
+    if rd <> ra then bad "D16: three-address alui";
+    if not (Bitops.fits_unsigned ~width:5 imm) then bad "D16: alui imm %d" imm;
+    reg_imm ~base_op:(imm_base_op op) ~imm ~rx:rd
+  | Mv (rd, rs) -> reg ~op:op_mv ~ry:rs ~rx:rd
+  | Mvi (rd, imm) ->
+    if not (Bitops.fits_signed ~width:9 imm) then bad "D16: mvi imm %d" imm;
+    Bitops.(
+      0 |> put ~lo:13 ~hi:15 1
+      |> put ~lo:4 ~hi:12 (zext ~width:9 imm)
+      |> put ~lo:0 ~hi:3 rd)
+  | Mvhi _ -> bad "D16: mvhi does not exist"
+  | Neg (rd, rs) -> reg ~op:op_neg ~ry:rs ~rx:rd
+  | Inv (rd, rs) -> reg ~op:op_inv ~ry:rs ~rx:rd
+  | Cmp (c, 0, ra, rb) -> reg ~op:(op_cmp_base + cond_index c) ~ry:rb ~rx:ra
+  | Cmp (_, rd, _, _) -> bad "D16: compare destination r%d (must be r0)" rd
+  | Cmpi _ -> bad "D16: compare immediate does not exist"
+  | Br off | Bz (0, off) | Bnz (0, off) | Brl off ->
+    let op =
+      match i with
+      | Br _ -> 0
+      | Bz _ -> 1
+      | Bnz _ -> 2
+      | Brl _ -> 3
+      | _ -> assert false
+    in
+    if off land 1 <> 0 then bad "D16: branch offset %d unaligned" off;
+    if not (Bitops.fits_signed ~width:10 (off / 2)) then
+      bad "D16: branch offset %d out of range" off;
+    Bitops.(
+      0 |> put ~lo:12 ~hi:15 1 |> put ~lo:10 ~hi:11 op
+      |> put ~lo:0 ~hi:9 (zext ~width:10 (off asr 1)))
+  | Bz (r, _) | Bnz (r, _) -> bad "D16: conditional branch on r%d (must be r0)" r
+  | J r -> reg ~op:op_j ~ry:0 ~rx:r
+  | Jz (0, rd) -> reg ~op:op_jz ~ry:0 ~rx:rd
+  | Jnz (0, rd) -> reg ~op:op_jnz ~ry:0 ~rx:rd
+  | Jz (rt, _) | Jnz (rt, _) ->
+    bad "D16: conditional jumps test r0 implicitly (got r%d)" rt
+  | Jl r -> reg ~op:op_jl ~ry:0 ~rx:r
+  | Fbin (op, s, fd, fa, fb) ->
+    if fd <> fa then bad "D16: three-address FP operation";
+    let base = match s with Df -> op_fbin_df | Sf -> op_fbin_sf in
+    reg ~op:(base + fbin_index op) ~ry:fb ~rx:fd
+  | Fneg (s, fd, fs) ->
+    reg ~op:(match s with Df -> op_fneg_df | Sf -> op_fneg_sf) ~ry:fs ~rx:fd
+  | Fcmp (c, Df, fa, fb) -> reg ~op:(op_fcmp_df + cond_index c) ~ry:fb ~rx:fa
+  | Fcmp (_, Sf, _, _) ->
+    bad "D16: single-precision compares are not encoded"
+  | Fmv (s, fd, fs) ->
+    reg ~op:(match s with Df -> op_fmv_df | Sf -> op_fmv_sf) ~ry:fs ~rx:fd
+  | Cvtif (s, fd, rs) ->
+    reg ~op:(match s with Df -> op_cvtif_df | Sf -> op_cvtif_sf) ~ry:rs ~rx:fd
+  | Cvtfi (s, rd, fs) ->
+    reg ~op:(match s with Df -> op_cvtfi_df | Sf -> op_cvtfi_sf) ~ry:fs ~rx:rd
+  | Rdsr rd -> reg ~op:op_rdsr ~ry:0 ~rx:rd
+  | Trap code ->
+    if code < 0 || code > 15 then bad "D16: trap code %d" code;
+    reg ~op:op_trap ~ry:0 ~rx:code
+  | Nop -> reg ~op:op_nop ~ry:0 ~rx:0
+
+let decode_reg w =
+  let op = Bitops.bits ~lo:8 ~hi:13 w in
+  let ry = Bitops.bits ~lo:4 ~hi:7 w in
+  let rx = Bitops.bits ~lo:0 ~hi:3 w in
+  let imm5 base = ((op - base) lsl 4) lor ry in
+  if op < 8 then
+    let alu : Insn.alu =
+      match op with
+      | 0 -> Add
+      | 1 -> Sub
+      | 2 -> And
+      | 3 -> Or
+      | 4 -> Xor
+      | 5 -> Shl
+      | 6 -> Shr
+      | _ -> Shra
+    in
+    Some (Insn.Alu (alu, rx, rx, ry))
+  else if op = op_mv then Some (Mv (rx, ry))
+  else if op = op_neg then Some (Neg (rx, ry))
+  else if op = op_inv then Some (Inv (rx, ry))
+  else if op = op_ldh then Some (Load (Lh, rx, ry, 0))
+  else if op = op_ldhu then Some (Load (Lhu, rx, ry, 0))
+  else if op = op_sth then Some (Store (Sh, rx, ry, 0))
+  else if op = op_ldb then Some (Load (Lb, rx, ry, 0))
+  else if op = op_ldbu then Some (Load (Lbu, rx, ry, 0))
+  else if op = op_stb then Some (Store (Sb, rx, ry, 0))
+  else if op >= op_cmp_base && op < op_cmp_base + 6 then
+    Some (Cmp (cond_of_index (op - op_cmp_base), 0, rx, ry))
+  else if op = op_j then Some (J rx)
+  else if op = op_jl then Some (Jl rx)
+  else if op = op_trap then Some (Trap rx)
+  else if op = op_rdsr then Some (Rdsr rx)
+  else if op >= op_fbin_df && op < op_fbin_df + 4 then
+    Some (Fbin (fbin_of_index (op - op_fbin_df), Df, rx, rx, ry))
+  else if op = op_fneg_df then Some (Fneg (Df, rx, ry))
+  else if op >= op_fcmp_df && op < op_fcmp_df + 6 then
+    Some (Fcmp (cond_of_index (op - op_fcmp_df), Df, rx, ry))
+  else if op = op_cvtif_df then Some (Cvtif (Df, rx, ry))
+  else if op = op_cvtfi_df then Some (Cvtfi (Df, rx, ry))
+  else if op >= op_fbin_sf && op < op_fbin_sf + 4 then
+    Some (Fbin (fbin_of_index (op - op_fbin_sf), Sf, rx, rx, ry))
+  else if op = op_fneg_sf then Some (Fneg (Sf, rx, ry))
+  else if op = op_jz then Some (Jz (0, rx))
+  else if op = op_jnz then Some (Jnz (0, rx))
+  else if op = op_fmv_df then Some (Fmv (Df, rx, ry))
+  else if op = op_fmv_sf then Some (Fmv (Sf, rx, ry))
+  else if op = op_cvtif_sf then Some (Cvtif (Sf, rx, ry))
+  else if op = op_cvtfi_sf then Some (Cvtfi (Sf, rx, ry))
+  else if op = op_nop then Some Nop
+  else if op >= op_addi && op <= op_addi + 1 then
+    Some (Alui (Add, rx, rx, imm5 op_addi))
+  else if op >= op_subi && op <= op_subi + 1 then
+    Some (Alui (Sub, rx, rx, imm5 op_subi))
+  else if op >= op_shli && op <= op_shli + 1 then
+    Some (Alui (Shl, rx, rx, imm5 op_shli))
+  else if op >= op_shri && op <= op_shri + 1 then
+    Some (Alui (Shr, rx, rx, imm5 op_shri))
+  else if op >= op_shrai && op <= op_shrai + 1 then
+    Some (Alui (Shra, rx, rx, imm5 op_shrai))
+  else None
+
+let decode w =
+  let w = w land 0xFFFF in
+  if w land 0x8000 <> 0 then
+    let op = Bitops.bits ~lo:13 ~hi:14 w in
+    let off = 4 * Bitops.bits ~lo:8 ~hi:12 w in
+    let ry = Bitops.bits ~lo:4 ~hi:7 w in
+    let rx = Bitops.bits ~lo:0 ~hi:3 w in
+    Some
+      (match op with
+      | 0 -> Insn.Load (Lw, rx, ry, off)
+      | 1 -> Store (Sw, rx, ry, off)
+      | 2 -> Fload (Df, rx, ry, off)
+      | _ -> Fstore (Df, rx, ry, off))
+  else if w land 0x4000 <> 0 then decode_reg w
+  else if w land 0x2000 <> 0 then
+    Some
+      (Mvi (Bitops.bits ~lo:0 ~hi:3 w, Bitops.sext ~width:9 (w lsr 4)))
+  else if w land 0x1000 <> 0 then
+    let off = 2 * Bitops.sext ~width:10 w in
+    Some
+      (match Bitops.bits ~lo:10 ~hi:11 w with
+      | 0 -> Insn.Br off
+      | 1 -> Bz (0, off)
+      | 2 -> Bnz (0, off)
+      | _ -> Brl off)
+  else if w land 0x0800 <> 0 then Some (Ldc (0, -4 * Bitops.bits ~lo:0 ~hi:10 w))
+  else None

@@ -1,0 +1,25 @@
+(** D16 binary encoding (paper Figure 1): five 16-bit formats.
+
+    The paper gives field widths but not a complete opcode map; this is a
+    faithful reconstruction with exactly the stated reach for every operand
+    class.  Formats (bit 15 first):
+
+    - MEM  [1 | op2 | off5 | ry4 | rx4] — word loads/stores (and FP doubles),
+      unsigned word-scaled displacement 0..124 bytes.
+    - REG  [01 | op6 | ry4 | rx4] — register-register operations, subword
+      memory (not offsettable), compares (dest implicitly r0), jumps,
+      FP operations, traps.  Immediate ALU forms use opcode pairs so the
+      5-bit immediate is split as (opcode bit 0) :: ry.
+    - MVI  [001 | const9 | rx4] — move sign-extended 9-bit immediate.
+    - BR   [0001 | op2 | off10] — br/bz/bnz/brl, PC-relative, word(2)-scaled,
+      reach +/-1024 bytes; bz/bnz test r0 implicitly.
+    - LDC  [00001 | off11] — literal-pool load to r0, relative to the
+      word-aligned PC, backward, 4-scaled, reach -8188 bytes. *)
+
+val encode : Insn.t -> int
+(** Encode to a 16-bit word.
+    @raise Invalid_argument if the instruction is not D16-legal
+    (use {!Target.legal} with {!Target.d16} first). *)
+
+val decode : int -> Insn.t option
+(** Decode a 16-bit word; [None] for reserved encodings. *)

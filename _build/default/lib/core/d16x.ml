@@ -1,0 +1,35 @@
+open Repro_util
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let encode (i : Insn.t) =
+  match i with
+  | Insn.Mvi (rd, imm) ->
+    if not (Bitops.fits_signed ~width:8 imm) then
+      bad "D16x: mvi immediate %d exceeds 8 bits" imm;
+    Bitops.(
+      0 |> put ~lo:13 ~hi:15 1
+      |> put ~lo:4 ~hi:11 (zext ~width:8 imm)
+      |> put ~lo:0 ~hi:3 rd)
+  | Insn.Cmpi (Eq, 0, ra, imm) ->
+    if not (Bitops.fits_signed ~width:8 imm) then
+      bad "D16x: compare immediate %d exceeds 8 bits" imm;
+    Bitops.(
+      0 |> put ~lo:13 ~hi:15 1 |> put ~lo:12 ~hi:12 1
+      |> put ~lo:4 ~hi:11 (zext ~width:8 imm)
+      |> put ~lo:0 ~hi:3 ra)
+  | Insn.Cmpi (c, rd, _, _) ->
+    bad "D16x: compare immediate is cmpeq to r0 only (got %s, r%d)"
+      (Insn.cond_to_string c) rd
+  | _ -> D16.encode i
+
+let decode w =
+  let w = w land 0xFFFF in
+  (* Only the MVI tag space differs from the base encoding. *)
+  if w land 0xE000 = 0x2000 then begin
+    let rx = Bitops.bits ~lo:0 ~hi:3 w in
+    let imm = Bitops.sext ~width:8 (w lsr 4) in
+    if w land 0x1000 = 0 then Some (Insn.Mvi (rx, imm))
+    else Some (Insn.Cmpi (Eq, 0, rx, imm))
+  end
+  else D16.decode w

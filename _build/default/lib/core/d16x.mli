@@ -1,0 +1,16 @@
+(** Binary encoding for the D16 extension of paper Section 3.3.3.
+
+    Identical to {!D16} except in the MVI tag space, where the former sign
+    bit selects between two 8-bit-immediate operations:
+
+    - MVI8    [001 | 0 | const8 | rx] — move sign-extended 8-bit immediate;
+    - CMPEQI8 [001 | 1 | const8 | rx] — r0 <- (rx == sext const8).
+
+    The paper: "Giving up one bit in the D16 MVI immediate field, one could
+    implement an 8-bit move immediate and an 8-bit compare-equal immediate
+    instruction, which could improve D16 performance by up to 2 percent." *)
+
+val encode : Insn.t -> int
+(** @raise Invalid_argument if the instruction is not D16x-legal. *)
+
+val decode : int -> Insn.t option

@@ -1,0 +1,295 @@
+open Repro_util
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+(* I-type / J-type major opcodes. *)
+let iop_ld = 1
+and iop_ldh = 2
+and iop_ldhu = 3
+and iop_ldb = 4
+and iop_ldbu = 5
+and iop_st = 6
+and iop_sth = 7
+and iop_stb = 8
+and iop_fld_sf = 9
+and iop_fst_sf = 10
+and iop_fld_df = 11
+and iop_fst_df = 12
+and iop_addi = 13
+and iop_subi = 14
+and iop_andi = 15
+and iop_ori = 16
+and iop_xori = 17
+and iop_shli = 18
+and iop_shri = 19
+and iop_shrai = 20
+and iop_mvi = 21
+and iop_mvhi = 22
+and iop_bz = 23
+and iop_bnz = 24
+and iop_cmpi_base = 25 (* +cond, 10 slots *)
+and jop_br = 35
+and jop_brl = 36
+and iop_trap = 37
+
+(* R-type func codes. *)
+let f_add = 0
+and f_sub = 1
+and f_and = 2
+and f_or = 3
+and f_xor = 4
+and f_shl = 5
+and f_shr = 6
+and f_shra = 7
+and f_cmp_base = 8 (* +cond, 10 slots *)
+and f_j = 18
+and f_jl = 19
+and f_rdsr = 20
+and f_mv = 21
+and f_fbin_sf = 22 (* 4 slots *)
+and f_fneg_sf = 26
+and f_fcmp_sf = 27 (* 10 slots *)
+and f_cvtif_sf = 37
+and f_cvtfi_sf = 38
+and f_fbin_df = 39
+and f_fneg_df = 43
+and f_fcmp_df = 44 (* 10 slots *)
+and f_cvtif_df = 54
+and f_cvtfi_df = 55
+and f_nop = 56
+and f_fmv_sf = 57
+and f_fmv_df = 58
+and f_jz = 59
+and f_jnz = 60
+
+let cond_index (c : Insn.cond) =
+  match c with
+  | Lt -> 0
+  | Ltu -> 1
+  | Le -> 2
+  | Leu -> 3
+  | Eq -> 4
+  | Ne -> 5
+  | Gt -> 6
+  | Gtu -> 7
+  | Ge -> 8
+  | Geu -> 9
+
+let cond_of_index = function
+  | 0 -> Insn.Lt
+  | 1 -> Ltu
+  | 2 -> Le
+  | 3 -> Leu
+  | 4 -> Eq
+  | 5 -> Ne
+  | 6 -> Gt
+  | 7 -> Gtu
+  | 8 -> Ge
+  | 9 -> Geu
+  | n -> bad "DLXe: cond index %d" n
+
+let fbin_index (f : Insn.fbin) =
+  match f with Fadd -> 0 | Fsub -> 1 | Fmul -> 2 | Fdiv -> 3
+
+let fbin_of_index = function
+  | 0 -> Insn.Fadd
+  | 1 -> Fsub
+  | 2 -> Fmul
+  | 3 -> Fdiv
+  | n -> bad "DLXe: fbin index %d" n
+
+let rtype ~rs1 ~rs2 ~rd ~func =
+  Bitops.(
+    0 |> put ~lo:21 ~hi:25 rs1 |> put ~lo:16 ~hi:20 rs2 |> put ~lo:11 ~hi:15 rd
+    |> put ~lo:0 ~hi:10 func)
+
+let itype ~op ~rs1 ~rd ~imm =
+  if not (Bitops.fits_signed ~width:16 imm || Bitops.fits_unsigned ~width:16 imm)
+  then bad "DLXe: immediate %d does not fit 16 bits" imm;
+  Bitops.(
+    0 |> put ~lo:26 ~hi:31 op |> put ~lo:21 ~hi:25 rs1 |> put ~lo:16 ~hi:20 rd
+    |> put ~lo:0 ~hi:15 (zext ~width:16 imm))
+
+let jtype ~op ~off =
+  if off land 3 <> 0 then bad "DLXe: jump offset %d unaligned" off;
+  if not (Bitops.fits_signed ~width:26 (off asr 2)) then
+    bad "DLXe: jump offset %d out of range" off;
+  Bitops.(
+    0 |> put ~lo:26 ~hi:31 op |> put ~lo:0 ~hi:25 (zext ~width:26 (off asr 2)))
+
+let branch_imm off =
+  if off land 3 <> 0 then bad "DLXe: branch offset %d unaligned" off;
+  if not (Bitops.fits_signed ~width:16 (off asr 2)) then
+    bad "DLXe: branch offset %d out of range" off;
+  off asr 2
+
+let alu_iop (op : Insn.alu) =
+  match op with
+  | Add -> iop_addi
+  | Sub -> iop_subi
+  | And -> iop_andi
+  | Or -> iop_ori
+  | Xor -> iop_xori
+  | Shl -> iop_shli
+  | Shr -> iop_shri
+  | Shra -> iop_shrai
+
+let alu_func (op : Insn.alu) =
+  match op with
+  | Add -> f_add
+  | Sub -> f_sub
+  | And -> f_and
+  | Or -> f_or
+  | Xor -> f_xor
+  | Shl -> f_shl
+  | Shr -> f_shr
+  | Shra -> f_shra
+
+let encode (i : Insn.t) =
+  match i with
+  | Load (w, rd, base, off) ->
+    let op =
+      match w with
+      | Lw -> iop_ld
+      | Lh -> iop_ldh
+      | Lhu -> iop_ldhu
+      | Lb -> iop_ldb
+      | Lbu -> iop_ldbu
+    in
+    itype ~op ~rs1:base ~rd ~imm:off
+  | Store (w, rs, base, off) ->
+    let op = match w with Sw -> iop_st | Sh -> iop_sth | Sb -> iop_stb in
+    itype ~op ~rs1:base ~rd:rs ~imm:off
+  | Fload (s, fd, base, off) ->
+    itype
+      ~op:(match s with Sf -> iop_fld_sf | Df -> iop_fld_df)
+      ~rs1:base ~rd:fd ~imm:off
+  | Fstore (s, fs, base, off) ->
+    itype
+      ~op:(match s with Sf -> iop_fst_sf | Df -> iop_fst_df)
+      ~rs1:base ~rd:fs ~imm:off
+  | Ldc _ -> bad "DLXe: ldc does not exist"
+  | Alu (op, rd, ra, rb) -> rtype ~rs1:ra ~rs2:rb ~rd ~func:(alu_func op)
+  | Alui (op, rd, ra, imm) -> itype ~op:(alu_iop op) ~rs1:ra ~rd ~imm
+  | Mv (rd, rs) -> rtype ~rs1:rs ~rs2:0 ~rd ~func:f_mv
+  | Mvi (rd, imm) -> itype ~op:iop_mvi ~rs1:0 ~rd ~imm
+  | Mvhi (rd, imm) -> itype ~op:iop_mvhi ~rs1:0 ~rd ~imm
+  | Neg _ | Inv _ -> bad "DLXe: neg/inv do not exist (r0 is zero)"
+  | Cmp (c, rd, ra, rb) ->
+    rtype ~rs1:ra ~rs2:rb ~rd ~func:(f_cmp_base + cond_index c)
+  | Cmpi (c, rd, ra, imm) ->
+    itype ~op:(iop_cmpi_base + cond_index c) ~rs1:ra ~rd ~imm
+  | Br off -> jtype ~op:jop_br ~off
+  | Brl off -> jtype ~op:jop_brl ~off
+  | Bz (r, off) -> itype ~op:iop_bz ~rs1:r ~rd:0 ~imm:(branch_imm off)
+  | Bnz (r, off) -> itype ~op:iop_bnz ~rs1:r ~rd:0 ~imm:(branch_imm off)
+  | J r -> rtype ~rs1:r ~rs2:0 ~rd:0 ~func:f_j
+  | Jz (rt, rd) -> rtype ~rs1:rd ~rs2:rt ~rd:0 ~func:f_jz
+  | Jnz (rt, rd) -> rtype ~rs1:rd ~rs2:rt ~rd:0 ~func:f_jnz
+  | Jl r -> rtype ~rs1:r ~rs2:0 ~rd:0 ~func:f_jl
+  | Fbin (op, s, fd, fa, fb) ->
+    let base = match s with Sf -> f_fbin_sf | Df -> f_fbin_df in
+    rtype ~rs1:fa ~rs2:fb ~rd:fd ~func:(base + fbin_index op)
+  | Fmv (s, fd, fs) ->
+    rtype ~rs1:fs ~rs2:0 ~rd:fd
+      ~func:(match s with Sf -> f_fmv_sf | Df -> f_fmv_df)
+  | Fneg (s, fd, fs) ->
+    rtype ~rs1:fs ~rs2:0 ~rd:fd
+      ~func:(match s with Sf -> f_fneg_sf | Df -> f_fneg_df)
+  | Fcmp (c, s, fa, fb) ->
+    let base = match s with Sf -> f_fcmp_sf | Df -> f_fcmp_df in
+    rtype ~rs1:fa ~rs2:fb ~rd:0 ~func:(base + cond_index c)
+  | Cvtif (s, fd, rs) ->
+    rtype ~rs1:rs ~rs2:0 ~rd:fd
+      ~func:(match s with Sf -> f_cvtif_sf | Df -> f_cvtif_df)
+  | Cvtfi (s, rd, fs) ->
+    rtype ~rs1:fs ~rs2:0 ~rd
+      ~func:(match s with Sf -> f_cvtfi_sf | Df -> f_cvtfi_df)
+  | Rdsr rd -> rtype ~rs1:0 ~rs2:0 ~rd ~func:f_rdsr
+  | Trap code -> itype ~op:iop_trap ~rs1:0 ~rd:0 ~imm:code
+  | Nop -> rtype ~rs1:0 ~rs2:0 ~rd:0 ~func:f_nop
+
+let decode_rtype w =
+  let rs1 = Bitops.bits ~lo:21 ~hi:25 w in
+  let rs2 = Bitops.bits ~lo:16 ~hi:20 w in
+  let rd = Bitops.bits ~lo:11 ~hi:15 w in
+  let func = Bitops.bits ~lo:0 ~hi:10 w in
+  if func < 8 then
+    let alu : Insn.alu =
+      match func with
+      | 0 -> Add
+      | 1 -> Sub
+      | 2 -> And
+      | 3 -> Or
+      | 4 -> Xor
+      | 5 -> Shl
+      | 6 -> Shr
+      | _ -> Shra
+    in
+    Some (Insn.Alu (alu, rd, rs1, rs2))
+  else if func >= f_cmp_base && func < f_cmp_base + 10 then
+    Some (Cmp (cond_of_index (func - f_cmp_base), rd, rs1, rs2))
+  else if func = f_j then Some (J rs1)
+  else if func = f_jl then Some (Jl rs1)
+  else if func = f_rdsr then Some (Rdsr rd)
+  else if func = f_mv then Some (Mv (rd, rs1))
+  else if func >= f_fbin_sf && func < f_fbin_sf + 4 then
+    Some (Fbin (fbin_of_index (func - f_fbin_sf), Sf, rd, rs1, rs2))
+  else if func = f_fneg_sf then Some (Fneg (Sf, rd, rs1))
+  else if func >= f_fcmp_sf && func < f_fcmp_sf + 10 then
+    Some (Fcmp (cond_of_index (func - f_fcmp_sf), Sf, rs1, rs2))
+  else if func = f_cvtif_sf then Some (Cvtif (Sf, rd, rs1))
+  else if func = f_cvtfi_sf then Some (Cvtfi (Sf, rd, rs1))
+  else if func >= f_fbin_df && func < f_fbin_df + 4 then
+    Some (Fbin (fbin_of_index (func - f_fbin_df), Df, rd, rs1, rs2))
+  else if func = f_fneg_df then Some (Fneg (Df, rd, rs1))
+  else if func >= f_fcmp_df && func < f_fcmp_df + 10 then
+    Some (Fcmp (cond_of_index (func - f_fcmp_df), Df, rs1, rs2))
+  else if func = f_cvtif_df then Some (Cvtif (Df, rd, rs1))
+  else if func = f_cvtfi_df then Some (Cvtfi (Df, rd, rs1))
+  else if func = f_nop then Some Nop
+  else if func = f_jz then Some (Jz (rs2, rs1))
+  else if func = f_jnz then Some (Jnz (rs2, rs1))
+  else if func = f_fmv_sf then Some (Fmv (Sf, rd, rs1))
+  else if func = f_fmv_df then Some (Fmv (Df, rd, rs1))
+  else None
+
+let decode w =
+  let w = w land 0xFFFF_FFFF in
+  let op = Bitops.bits ~lo:26 ~hi:31 w in
+  let rs1 = Bitops.bits ~lo:21 ~hi:25 w in
+  let rd = Bitops.bits ~lo:16 ~hi:20 w in
+  let imm_s = Bitops.sext ~width:16 w in
+  let imm_u = Bitops.zext ~width:16 w in
+  let joff = 4 * Bitops.sext ~width:26 w in
+  if op = 0 then decode_rtype w
+  else if op = iop_ld then Some (Load (Lw, rd, rs1, imm_s))
+  else if op = iop_ldh then Some (Load (Lh, rd, rs1, imm_s))
+  else if op = iop_ldhu then Some (Load (Lhu, rd, rs1, imm_s))
+  else if op = iop_ldb then Some (Load (Lb, rd, rs1, imm_s))
+  else if op = iop_ldbu then Some (Load (Lbu, rd, rs1, imm_s))
+  else if op = iop_st then Some (Store (Sw, rd, rs1, imm_s))
+  else if op = iop_sth then Some (Store (Sh, rd, rs1, imm_s))
+  else if op = iop_stb then Some (Store (Sb, rd, rs1, imm_s))
+  else if op = iop_fld_sf then Some (Fload (Sf, rd, rs1, imm_s))
+  else if op = iop_fst_sf then Some (Fstore (Sf, rd, rs1, imm_s))
+  else if op = iop_fld_df then Some (Fload (Df, rd, rs1, imm_s))
+  else if op = iop_fst_df then Some (Fstore (Df, rd, rs1, imm_s))
+  else if op = iop_addi then Some (Alui (Add, rd, rs1, imm_s))
+  else if op = iop_subi then Some (Alui (Sub, rd, rs1, imm_s))
+  else if op = iop_andi then Some (Alui (And, rd, rs1, imm_u))
+  else if op = iop_ori then Some (Alui (Or, rd, rs1, imm_u))
+  else if op = iop_xori then Some (Alui (Xor, rd, rs1, imm_u))
+  else if op = iop_shli then Some (Alui (Shl, rd, rs1, imm_u land 31))
+  else if op = iop_shri then Some (Alui (Shr, rd, rs1, imm_u land 31))
+  else if op = iop_shrai then Some (Alui (Shra, rd, rs1, imm_u land 31))
+  else if op = iop_mvi then Some (Mvi (rd, imm_s))
+  else if op = iop_mvhi then Some (Mvhi (rd, imm_u))
+  else if op = iop_bz then Some (Bz (rs1, 4 * imm_s))
+  else if op = iop_bnz then Some (Bnz (rs1, 4 * imm_s))
+  else if op >= iop_cmpi_base && op < iop_cmpi_base + 10 then
+    Some (Cmpi (cond_of_index (op - iop_cmpi_base), rd, rs1, imm_s))
+  else if op = jop_br then Some (Br joff)
+  else if op = jop_brl then Some (Brl joff)
+  else if op = iop_trap then Some (Trap imm_u)
+  else None

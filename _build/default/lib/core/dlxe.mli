@@ -1,0 +1,18 @@
+(** DLXe binary encoding (paper Figure 2): three 32-bit formats.
+
+    - R-type [op6=0 | rs1_5 | rs2_5 | rd5 | func11] — register-register ALU,
+      compares, jumps-through-register, FP operations, special.
+    - I-type [op6 | rs1_5 | rd5 | imm16] — memory, immediates, conditional
+      branches (word-scaled 16-bit offsets), compare-immediate.
+    - J-type [op6 | off26] — br and brl, word-scaled.
+
+    DLXe differs from DLX only in FP comparison instructions (status-register
+    based, read with rdsr) and in details of the FP/memory interface
+    (paper Section 2). *)
+
+val encode : Insn.t -> int
+(** Encode to a 32-bit word.
+    @raise Invalid_argument if the instruction is not DLXe-legal. *)
+
+val decode : int -> Insn.t option
+(** Decode a 32-bit word; [None] for reserved encodings. *)

@@ -1,0 +1,223 @@
+type gpr = int
+type fpr = int
+type cond = Lt | Ltu | Le | Leu | Eq | Ne | Gt | Gtu | Ge | Geu
+type load_width = Lw | Lh | Lhu | Lb | Lbu
+type store_width = Sw | Sh | Sb
+type alu = Add | Sub | And | Or | Xor | Shl | Shr | Shra
+type fbin = Fadd | Fsub | Fmul | Fdiv
+type fsize = Sf | Df
+
+type t =
+  | Load of load_width * gpr * gpr * int
+  | Store of store_width * gpr * gpr * int
+  | Fload of fsize * fpr * gpr * int
+  | Fstore of fsize * fpr * gpr * int
+  | Ldc of gpr * int
+  | Alu of alu * gpr * gpr * gpr
+  | Alui of alu * gpr * gpr * int
+  | Mv of gpr * gpr
+  | Mvi of gpr * int
+  | Mvhi of gpr * int
+  | Neg of gpr * gpr
+  | Inv of gpr * gpr
+  | Cmp of cond * gpr * gpr * gpr
+  | Cmpi of cond * gpr * gpr * int
+  | Br of int
+  | Bz of gpr * int
+  | Bnz of gpr * int
+  | Brl of int
+  | J of gpr
+  | Jz of gpr * gpr
+  | Jnz of gpr * gpr
+  | Jl of gpr
+  | Fbin of fbin * fsize * fpr * fpr * fpr
+  | Fmv of fsize * fpr * fpr
+  | Fneg of fsize * fpr * fpr
+  | Fcmp of cond * fsize * fpr * fpr
+  | Cvtif of fsize * fpr * gpr
+  | Cvtfi of fsize * gpr * fpr
+  | Rdsr of gpr
+  | Trap of int
+  | Nop
+
+let cond_to_string = function
+  | Lt -> "lt"
+  | Ltu -> "ltu"
+  | Le -> "le"
+  | Leu -> "leu"
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Gt -> "gt"
+  | Gtu -> "gtu"
+  | Ge -> "ge"
+  | Geu -> "geu"
+
+let negate_cond = function
+  | Lt -> Ge
+  | Ltu -> Geu
+  | Le -> Gt
+  | Leu -> Gtu
+  | Eq -> Ne
+  | Ne -> Eq
+  | Gt -> Le
+  | Gtu -> Leu
+  | Ge -> Lt
+  | Geu -> Ltu
+
+let swap_cond = function
+  | Lt -> Gt
+  | Ltu -> Gtu
+  | Le -> Ge
+  | Leu -> Geu
+  | Eq -> Eq
+  | Ne -> Ne
+  | Gt -> Lt
+  | Gtu -> Ltu
+  | Ge -> Le
+  | Geu -> Leu
+
+let alu_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Shra -> "shra"
+
+let load_width_to_string = function
+  | Lw -> "ld"
+  | Lh -> "ldh"
+  | Lhu -> "ldhu"
+  | Lb -> "ldb"
+  | Lbu -> "ldbu"
+
+let store_width_to_string = function Sw -> "st" | Sh -> "sth" | Sb -> "stb"
+let fsize_suffix = function Sf -> ".sf" | Df -> ".df"
+
+let fbin_to_string = function
+  | Fadd -> "add"
+  | Fsub -> "sub"
+  | Fmul -> "mul"
+  | Fdiv -> "div"
+
+let to_string = function
+  | Load (w, rd, b, off) ->
+    Printf.sprintf "%s r%d, %d(r%d)" (load_width_to_string w) rd off b
+  | Store (w, rs, b, off) ->
+    Printf.sprintf "%s r%d, %d(r%d)" (store_width_to_string w) rs off b
+  | Fload (s, fd, b, off) -> Printf.sprintf "ld%s f%d, %d(r%d)" (fsize_suffix s) fd off b
+  | Fstore (s, fs, b, off) -> Printf.sprintf "st%s f%d, %d(r%d)" (fsize_suffix s) fs off b
+  | Ldc (rd, off) -> Printf.sprintf "ldc r%d, pc%+d" rd off
+  | Alu (op, rd, ra, rb) ->
+    Printf.sprintf "%s r%d, r%d, r%d" (alu_to_string op) rd ra rb
+  | Alui (op, rd, ra, imm) ->
+    Printf.sprintf "%si r%d, r%d, %d" (alu_to_string op) rd ra imm
+  | Mv (rd, rs) -> Printf.sprintf "mv r%d, r%d" rd rs
+  | Mvi (rd, imm) -> Printf.sprintf "mvi r%d, %d" rd imm
+  | Mvhi (rd, imm) -> Printf.sprintf "mvhi r%d, %d" rd imm
+  | Neg (rd, rs) -> Printf.sprintf "neg r%d, r%d" rd rs
+  | Inv (rd, rs) -> Printf.sprintf "inv r%d, r%d" rd rs
+  | Cmp (c, rd, ra, rb) ->
+    Printf.sprintf "cmp%s r%d, r%d, r%d" (cond_to_string c) rd ra rb
+  | Cmpi (c, rd, ra, imm) ->
+    Printf.sprintf "cmp%si r%d, r%d, %d" (cond_to_string c) rd ra imm
+  | Br off -> Printf.sprintf "br %+d" off
+  | Bz (r, off) -> Printf.sprintf "bz r%d, %+d" r off
+  | Bnz (r, off) -> Printf.sprintf "bnz r%d, %+d" r off
+  | Brl off -> Printf.sprintf "brl %+d" off
+  | J r -> Printf.sprintf "j r%d" r
+  | Jz (rt, rd) -> Printf.sprintf "jz r%d, r%d" rt rd
+  | Jnz (rt, rd) -> Printf.sprintf "jnz r%d, r%d" rt rd
+  | Jl r -> Printf.sprintf "jl r%d" r
+  | Fbin (op, s, fd, fa, fb) ->
+    Printf.sprintf "%s%s f%d, f%d, f%d" (fbin_to_string op) (fsize_suffix s) fd
+      fa fb
+  | Fmv (s, fd, fs) -> Printf.sprintf "mv%s f%d, f%d" (fsize_suffix s) fd fs
+  | Fneg (s, fd, fs) -> Printf.sprintf "neg%s f%d, f%d" (fsize_suffix s) fd fs
+  | Fcmp (c, s, fa, fb) ->
+    Printf.sprintf "cmp%s%s f%d, f%d" (cond_to_string c) (fsize_suffix s) fa fb
+  | Cvtif (s, fd, rs) -> Printf.sprintf "cvtif%s f%d, r%d" (fsize_suffix s) fd rs
+  | Cvtfi (s, rd, fs) -> Printf.sprintf "cvtfi%s r%d, f%d" (fsize_suffix s) rd fs
+  | Rdsr rd -> Printf.sprintf "rdsr r%d" rd
+  | Trap code -> Printf.sprintf "trap %d" code
+  | Nop -> "nop"
+
+let defs_gpr = function
+  | Load (_, rd, _, _)
+  | Ldc (rd, _)
+  | Alu (_, rd, _, _)
+  | Alui (_, rd, _, _)
+  | Mv (rd, _)
+  | Mvi (rd, _)
+  | Mvhi (rd, _)
+  | Neg (rd, _)
+  | Inv (rd, _)
+  | Cmp (_, rd, _, _)
+  | Cmpi (_, rd, _, _)
+  | Cvtfi (_, rd, _)
+  | Rdsr rd -> Some rd
+  | Brl _ | Jl _ -> Some 1
+  | Store _ | Fload _ | Fstore _ | Br _ | Bz _ | Bnz _ | J _ | Jz _ | Jnz _
+  | Fbin _ | Fmv _ | Fneg _ | Fcmp _ | Cvtif _ | Trap _ | Nop -> None
+
+let uses_gpr = function
+  | Load (_, _, b, _) | Fload (_, _, b, _) -> [ b ]
+  | Store (_, rs, b, _) -> [ rs; b ]
+  | Fstore (_, _, b, _) -> [ b ]
+  | Alu (_, _, ra, rb) | Cmp (_, _, ra, rb) -> [ ra; rb ]
+  | Alui (_, _, ra, _) | Cmpi (_, _, ra, _) -> [ ra ]
+  | Mv (_, rs) | Neg (_, rs) | Inv (_, rs) -> [ rs ]
+  | Bz (r, _) | Bnz (r, _) | J r | Jl r -> [ r ]
+  | Jz (rt, rd) | Jnz (rt, rd) -> [ rt; rd ]
+  | Cvtif (_, _, rs) -> [ rs ]
+  | Trap _ -> [ 4 ]
+  | Ldc _ | Mvi _ | Mvhi _ | Br _ | Brl _ | Fbin _ | Fmv _ | Fneg _ | Fcmp _
+  | Cvtfi _ | Rdsr _ | Nop -> []
+
+let defs_fpr = function
+  | Fload (_, fd, _, _)
+  | Fbin (_, _, fd, _, _)
+  | Fmv (_, fd, _)
+  | Fneg (_, fd, _)
+  | Cvtif (_, fd, _) -> Some fd
+  | Load _ | Store _ | Fstore _ | Ldc _ | Alu _ | Alui _ | Mv _ | Mvi _
+  | Mvhi _ | Neg _ | Inv _ | Cmp _ | Cmpi _ | Br _ | Bz _ | Bnz _ | Brl _
+  | J _ | Jz _ | Jnz _ | Jl _ | Fcmp _ | Cvtfi _ | Rdsr _ | Trap _ | Nop ->
+    None
+
+let uses_fpr = function
+  | Fstore (_, fs, _, _) -> [ fs ]
+  | Fbin (_, _, _, fa, fb) | Fcmp (_, _, fa, fb) -> [ fa; fb ]
+  | Fmv (_, _, fs) | Fneg (_, _, fs) | Cvtfi (_, _, fs) -> [ fs ]
+  | Load _ | Store _ | Fload _ | Ldc _ | Alu _ | Alui _ | Mv _ | Mvi _
+  | Mvhi _ | Neg _ | Inv _ | Cmp _ | Cmpi _ | Br _ | Bz _ | Bnz _ | Brl _
+  | J _ | Jz _ | Jnz _ | Jl _ | Cvtif _ | Rdsr _ | Trap _ | Nop -> []
+
+let is_load = function
+  | Load _ | Fload _ | Ldc _ -> true
+  | Store _ | Fstore _ | Alu _ | Alui _ | Mv _ | Mvi _ | Mvhi _ | Neg _
+  | Inv _ | Cmp _ | Cmpi _ | Br _ | Bz _ | Bnz _ | Brl _ | J _ | Jz _ | Jnz _
+  | Jl _ | Fbin _ | Fmv _ | Fneg _ | Fcmp _ | Cvtif _ | Cvtfi _ | Rdsr _
+  | Trap _ | Nop -> false
+
+let is_store = function
+  | Store _ | Fstore _ -> true
+  | Load _ | Fload _ | Ldc _ | Alu _ | Alui _ | Mv _ | Mvi _ | Mvhi _ | Neg _
+  | Inv _ | Cmp _ | Cmpi _ | Br _ | Bz _ | Bnz _ | Brl _ | J _ | Jz _ | Jnz _
+  | Jl _ | Fbin _ | Fmv _ | Fneg _ | Fcmp _ | Cvtif _ | Cvtfi _ | Rdsr _
+  | Trap _ | Nop -> false
+
+let is_branch = function
+  | Br _ | Bz _ | Bnz _ | Brl _ | J _ | Jz _ | Jnz _ | Jl _ -> true
+  | Load _ | Store _ | Fload _ | Fstore _ | Ldc _ | Alu _ | Alui _ | Mv _
+  | Mvi _ | Mvhi _ | Neg _ | Inv _ | Cmp _ | Cmpi _ | Fbin _ | Fmv _ | Fneg _
+  | Fcmp _ | Cvtif _ | Cvtfi _ | Rdsr _ | Trap _ | Nop -> false
+
+let writes_fp_status = function
+  | Fcmp _ -> true
+  | Load _ | Store _ | Fload _ | Fstore _ | Ldc _ | Alu _ | Alui _ | Mv _
+  | Mvi _ | Mvhi _ | Neg _ | Inv _ | Cmp _ | Cmpi _ | Br _ | Bz _ | Bnz _
+  | Brl _ | J _ | Jz _ | Jnz _ | Jl _ | Fbin _ | Fmv _ | Fneg _ | Cvtif _
+  | Cvtfi _ | Rdsr _ | Trap _ | Nop -> false

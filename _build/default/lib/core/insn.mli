@@ -1,0 +1,106 @@
+(** The machine operation set shared by D16 and DLXe (paper Table 1).
+
+    Both instruction sets execute the same operations on the same five-stage
+    pipeline; they differ only in encoding size, register-file size, operand
+    count, and immediate/offset reach.  This module defines the decoded,
+    encoding-independent instruction form used by the code generator, the
+    assembler/linker, and the simulator.  [Target] states which instructions
+    and which operand values each encoding accepts; [D16] and [Dlxe] give the
+    binary formats. *)
+
+type gpr = int
+(** General register index ([0 .. n_gpr-1]).  Conventions: r1 = link,
+    r2 = stack pointer.  On DLXe r0 is hardwired to zero; on D16 r0 is the
+    implicit compare destination and assembler temporary. *)
+
+type fpr = int
+(** Floating-point register index ([0 .. n_fpr-1]). *)
+
+type cond = Lt | Ltu | Le | Leu | Eq | Ne | Gt | Gtu | Ge | Geu
+(** Comparison conditions.  D16 supports only the first six; DLXe all ten
+    (paper Table 1). *)
+
+type load_width = Lw | Lh | Lhu | Lb | Lbu
+type store_width = Sw | Sh | Sb
+
+type alu = Add | Sub | And | Or | Xor | Shl | Shr | Shra
+(** Two-operand ALU operations.  [Shr] is logical, [Shra] arithmetic. *)
+
+type fbin = Fadd | Fsub | Fmul | Fdiv
+type fsize = Sf | Df
+
+type t =
+  | Load of load_width * gpr * gpr * int
+      (** [Load (w, rd, base, off)]: rd <- mem\[base + off\]. *)
+  | Store of store_width * gpr * gpr * int
+      (** [Store (w, rs, base, off)]: mem\[base + off\] <- rs. *)
+  | Fload of fsize * fpr * gpr * int
+  | Fstore of fsize * fpr * gpr * int
+  | Ldc of gpr * int
+      (** D16 literal-pool load: rd <- mem\[pc + off\], [off] negative,
+          word-aligned.  The destination is architecturally fixed to r0;
+          the field is kept explicit so the simulator needs no special case. *)
+  | Alu of alu * gpr * gpr * gpr  (** [Alu (op, rd, ra, rb)]: rd <- ra op rb. *)
+  | Alui of alu * gpr * gpr * int  (** rd <- ra op imm. *)
+  | Mv of gpr * gpr
+  | Mvi of gpr * int
+  | Mvhi of gpr * int  (** DLXe only: set the upper 16 bits, clear the rest. *)
+  | Neg of gpr * gpr  (** D16 only (DLXe uses sub rd, r0, rs). *)
+  | Inv of gpr * gpr  (** Bitwise complement; D16 only. *)
+  | Cmp of cond * gpr * gpr * gpr
+      (** [Cmp (c, rd, ra, rb)]: rd <- (ra c rb) ? all-ones : 0.
+          D16 requires rd = r0. *)
+  | Cmpi of cond * gpr * gpr * int  (** DLXe only. *)
+  | Br of int  (** Unconditional PC-relative branch (byte offset). *)
+  | Bz of gpr * int  (** Branch if register zero.  D16 requires the r0. *)
+  | Bnz of gpr * int
+  | Brl of int
+      (** PC-relative call; link register is r1 on both machines
+          (D16 BR-format bl; DLXe 26-bit jal). *)
+  | J of gpr  (** Jump to absolute address in register. *)
+  | Jz of gpr * gpr
+      (** [Jz (rt, rd)]: jump to rd if rt is zero.  D16 tests r0
+          implicitly. *)
+  | Jnz of gpr * gpr
+  | Jl of gpr  (** Jump to register, linking r1. *)
+  | Fbin of fbin * fsize * fpr * fpr * fpr
+  | Fmv of fsize * fpr * fpr  (** FP register move (DLX MOVF/MOVD). *)
+  | Fneg of fsize * fpr * fpr
+  | Fcmp of cond * fsize * fpr * fpr
+      (** Sets the FP status register (read back with [Rdsr]); both machines
+          branch on FP conditions via fcmp; rdsr; bnz. *)
+  | Cvtif of fsize * fpr * gpr  (** Integer to float (paper's si2sf/di2df). *)
+  | Cvtfi of fsize * gpr * fpr  (** Float to integer (df2di). *)
+  | Rdsr of gpr  (** rd <- FP status register. *)
+  | Trap of int  (** System services; see {!Trapcode}. *)
+  | Nop
+
+val cond_to_string : cond -> string
+val alu_to_string : alu -> string
+val negate_cond : cond -> cond
+(** The condition testing the complementary outcome ([Lt] <-> [Ge], ...). *)
+
+val swap_cond : cond -> cond
+(** The condition equivalent under operand exchange ([Lt] <-> [Gt], ...). *)
+
+val to_string : t -> string
+(** Assembly-style rendering, e.g. ["add r4, r5, r6"]. *)
+
+val defs_gpr : t -> gpr option
+(** The general register written by the instruction, if any. *)
+
+val uses_gpr : t -> gpr list
+(** General registers read by the instruction. *)
+
+val defs_fpr : t -> fpr option
+val uses_fpr : t -> fpr list
+
+val is_load : t -> bool
+(** Loads (incl. FP and Ldc) — subject to the one-cycle load delay slot. *)
+
+val is_store : t -> bool
+
+val is_branch : t -> bool
+(** Control transfers (branches, jumps, calls) — followed by a delay slot. *)
+
+val writes_fp_status : t -> bool

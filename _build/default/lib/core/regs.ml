@@ -1,0 +1,27 @@
+let link = 1
+let sp = 2
+let n_arg_gpr = 4
+
+let arg_gpr i =
+  if i < 0 || i >= n_arg_gpr then invalid_arg "Regs.arg_gpr";
+  4 + i
+
+let ret_gpr = 4
+let n_arg_fpr = 4
+
+let arg_fpr i =
+  if i < 0 || i >= n_arg_fpr then invalid_arg "Regs.arg_fpr";
+  i
+
+let ret_fpr = 0
+
+(* r3 is grouped with the caller-saved set to give both machines one
+   scratch register beyond the four argument registers; the suite's hot
+   loops keep values live across calls, so the balance favors callee-saved
+   registers.  The same split applies to both machines, only the file size
+   differs. *)
+let caller_saved_gpr ~n_gpr:_ ~zero_r0:_ = [ 3; 4; 5; 6; 7 ]
+
+let callee_saved_gpr ~n_gpr = List.init (n_gpr - 8) (fun i -> 8 + i)
+let caller_saved_fpr ~n_fpr:_ = [ 0; 1; 2; 3 ]
+let callee_saved_fpr ~n_fpr = List.init (n_fpr - 4) (fun i -> 4 + i)

@@ -1,0 +1,36 @@
+(** Register-usage conventions shared by both targets.
+
+    The paper fixes a flat, compile-time-allocated register file with
+    procedure-level allocation (Section 3.3.1).  We use the same conventions
+    on both machines so that only the file *size* differs:
+
+    - r0: special.  DLXe: hardwired zero.  D16: implicit compare destination
+      and assembler temporary (never allocated).
+    - r1: link register (paper: "linkage register is r1").
+    - r2: stack pointer.  Frames are addressed at non-negative sp offsets so
+      that D16's unsigned MEM displacements can reach them.
+    - r3..r7: caller-saved (r4..r7 double as the integer argument/result
+      registers).
+    - r8..: callee-saved.
+    - f0..f3: FP argument/result registers, caller-saved; f4..: callee-saved.
+*)
+
+val link : int
+val sp : int
+val n_arg_gpr : int
+val arg_gpr : int -> int
+(** [arg_gpr i] is the register carrying integer argument [i] (0-based);
+    @raise Invalid_argument if [i >= n_arg_gpr]. *)
+
+val ret_gpr : int
+val n_arg_fpr : int
+val arg_fpr : int -> int
+val ret_fpr : int
+
+val caller_saved_gpr : n_gpr:int -> zero_r0:bool -> int list
+(** Caller-saved allocatable general registers (includes the argument
+    registers). *)
+
+val callee_saved_gpr : n_gpr:int -> int list
+val caller_saved_fpr : n_fpr:int -> int list
+val callee_saved_fpr : n_fpr:int -> int list

@@ -1,0 +1,236 @@
+open Repro_util
+
+type isa = D16 | Dlxe
+
+type t = {
+  name : string;
+  isa : isa;
+  n_gpr : int;
+  n_fpr : int;
+  three_address : bool;
+  zero_r0 : bool;
+  ext_cmpeqi : bool;
+}
+
+let d16 =
+  {
+    name = "D16/16/2";
+    isa = D16;
+    n_gpr = 16;
+    n_fpr = 16;
+    three_address = false;
+    zero_r0 = false;
+    ext_cmpeqi = false;
+  }
+
+(* The Section 3.3.3 extension: one MVI-format bit buys an 8-bit
+   compare-equal immediate, at the cost of the 9th move-immediate bit. *)
+let d16x = { d16 with name = "D16x/16/2"; ext_cmpeqi = true }
+
+let dlxe =
+  {
+    name = "DLXe/32/3";
+    isa = Dlxe;
+    n_gpr = 32;
+    n_fpr = 32;
+    three_address = true;
+    zero_r0 = true;
+    ext_cmpeqi = false;
+  }
+
+let dlxe_16_3 = { dlxe with name = "DLXe/16/3"; n_gpr = 16; n_fpr = 16 }
+let dlxe_16_2 = { dlxe_16_3 with name = "DLXe/16/2"; three_address = false }
+let dlxe_32_2 = { dlxe with name = "DLXe/32/2"; three_address = false }
+let all = [ d16; dlxe_16_2; dlxe_16_3; dlxe_32_2; dlxe ]
+let insn_bytes t = match t.isa with D16 -> 2 | Dlxe -> 4
+
+let alui_fits t (op : Insn.alu) imm =
+  match (t.isa, op) with
+  | D16, (Add | Sub | Shl | Shr | Shra) -> Bitops.fits_unsigned ~width:5 imm
+  | D16, (And | Or | Xor) -> false
+  | Dlxe, (Shl | Shr | Shra) -> Bitops.fits_unsigned ~width:5 imm
+  | Dlxe, (Add | Sub) -> Bitops.fits_signed ~width:16 imm
+  (* Logical immediates are zero-extended (MIPS-style). *)
+  | Dlxe, (And | Or | Xor) -> Bitops.fits_unsigned ~width:16 imm
+
+let cmpi_fits t imm =
+  match t.isa with
+  | D16 -> t.ext_cmpeqi && Bitops.fits_signed ~width:8 imm
+  | Dlxe -> Bitops.fits_signed ~width:16 imm
+
+
+
+let mvi_fits t imm =
+  match t.isa with
+  | D16 -> Bitops.fits_signed ~width:(if t.ext_cmpeqi then 8 else 9) imm
+  | Dlxe -> Bitops.fits_signed ~width:16 imm
+
+let has_mvhi t = t.isa = Dlxe
+
+let mem_offset_fits t ~word off =
+  match t.isa with
+  | D16 -> if word then off >= 0 && off <= 124 && off land 3 = 0 else off = 0
+  | Dlxe -> Bitops.fits_signed ~width:16 off
+
+let has_ldc t = t.isa = D16
+let ldc_reach t = match t.isa with D16 -> 8188 | Dlxe -> 0
+
+let branch_range t =
+  match t.isa with D16 -> 1024 | Dlxe -> (1 lsl 17) - 4
+
+let call_range t =
+  match t.isa with D16 -> 1024 | Dlxe -> (1 lsl 27) - 4
+
+let cond_supported t (c : Insn.cond) =
+  match (t.isa, c) with
+  | Dlxe, _ -> true
+  | D16, (Lt | Ltu | Le | Leu | Eq | Ne) -> true
+  | D16, (Gt | Gtu | Ge | Geu) -> false
+
+let cmp_dest_fixed t = t.isa = D16
+
+(* Condition-aware compare-immediate availability: the D16 extension only
+   provides equality. *)
+let cmpi_ok t (c : Insn.cond) imm =
+  match t.isa with
+  | D16 -> t.ext_cmpeqi && c = Insn.Eq && Bitops.fits_signed ~width:8 imm
+  | Dlxe -> cond_supported t c && Bitops.fits_signed ~width:16 imm
+
+let caller_saved_gpr t = Regs.caller_saved_gpr ~n_gpr:t.n_gpr ~zero_r0:t.zero_r0
+let callee_saved_gpr t = Regs.callee_saved_gpr ~n_gpr:t.n_gpr
+let caller_saved_fpr t = Regs.caller_saved_fpr ~n_fpr:t.n_fpr
+let callee_saved_fpr t = Regs.callee_saved_fpr ~n_fpr:t.n_fpr
+let allocatable_gpr t = caller_saved_gpr t @ callee_saved_gpr t
+let allocatable_fpr t = caller_saved_fpr t @ callee_saved_fpr t
+
+(* Legality checking -------------------------------------------------- *)
+
+let check b msg = if b then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let check_gpr t r =
+  check (r >= 0 && r < t.n_gpr) (Printf.sprintf "gpr r%d out of range" r)
+
+let check_fpr t r =
+  check (r >= 0 && r < t.n_fpr) (Printf.sprintf "fpr f%d out of range" r)
+
+let check_branch_off t off =
+  let* () = check (off land 1 = 0) "branch offset not aligned" in
+  check
+    (off >= -branch_range t && off <= branch_range t - insn_bytes t)
+    (Printf.sprintf "branch offset %d out of range" off)
+
+let check_two_address t rd ra what =
+  check
+    (t.three_address || rd = ra)
+    (Printf.sprintf "%s: two-address target requires dest = first source" what)
+
+let legal t (i : Insn.t) =
+  match i with
+  | Load (w, rd, base, off) ->
+    let* () = check_gpr t rd in
+    let* () = check_gpr t base in
+    check
+      (mem_offset_fits t ~word:(w = Insn.Lw) off)
+      (Printf.sprintf "load offset %d out of range" off)
+  | Store (w, rs, base, off) ->
+    let* () = check_gpr t rs in
+    let* () = check_gpr t base in
+    check
+      (mem_offset_fits t ~word:(w = Insn.Sw) off)
+      (Printf.sprintf "store offset %d out of range" off)
+  | Fload (_, fd, base, off) ->
+    let* () = check_fpr t fd in
+    let* () = check_gpr t base in
+    check (mem_offset_fits t ~word:true off) "fload offset out of range"
+  | Fstore (_, fs, base, off) ->
+    let* () = check_fpr t fs in
+    let* () = check_gpr t base in
+    check (mem_offset_fits t ~word:true off) "fstore offset out of range"
+  | Ldc (rd, off) ->
+    let* () = check (has_ldc t) "ldc not available" in
+    let* () = check (rd = 0) "ldc destination is implicitly r0" in
+    let* () = check (off land 3 = 0) "ldc offset not word aligned" in
+    check (off < 0 && off >= -ldc_reach t) "ldc offset out of range"
+  | Alu (_, rd, ra, rb) ->
+    let* () = check_gpr t rd in
+    let* () = check_gpr t ra in
+    let* () = check_gpr t rb in
+    check_two_address t rd ra "alu"
+  | Alui (op, rd, ra, imm) ->
+    let* () = check_gpr t rd in
+    let* () = check_gpr t ra in
+    let* () = check_two_address t rd ra "alui" in
+    check (alui_fits t op imm)
+      (Printf.sprintf "alu immediate %d not encodable" imm)
+  | Mv (rd, rs) ->
+    let* () = check_gpr t rd in
+    check_gpr t rs
+  | Mvi (rd, imm) ->
+    let* () = check_gpr t rd in
+    check (mvi_fits t imm) (Printf.sprintf "mvi immediate %d not encodable" imm)
+  | Mvhi (rd, imm) ->
+    let* () = check (has_mvhi t) "mvhi not available" in
+    let* () = check_gpr t rd in
+    check (imm >= 0 && imm < 0x10000) "mvhi immediate out of range"
+  | Neg (rd, rs) | Inv (rd, rs) ->
+    let* () = check (t.isa = D16) "neg/inv only exist on D16" in
+    let* () = check_gpr t rd in
+    check_gpr t rs
+  | Cmp (c, rd, ra, rb) ->
+    let* () = check_gpr t rd in
+    let* () = check_gpr t ra in
+    let* () = check_gpr t rb in
+    let* () = check (cond_supported t c) "condition not supported" in
+    check
+      ((not (cmp_dest_fixed t)) || rd = 0)
+      "D16 compare destination is implicitly r0"
+  | Cmpi (c, rd, ra, imm) ->
+    let* () = check_gpr t rd in
+    let* () = check_gpr t ra in
+    let* () =
+      check
+        ((not (cmp_dest_fixed t)) || rd = 0)
+        "D16 compare destination is implicitly r0"
+    in
+    check (cmpi_ok t c imm) "compare immediate not available"
+  | Br off | Brl off -> check_branch_off t off
+  | Bz (r, off) | Bnz (r, off) ->
+    let* () = check_gpr t r in
+    let* () =
+      check
+        ((not (cmp_dest_fixed t)) || r = 0)
+        "D16 conditional branches test r0 implicitly"
+    in
+    check_branch_off t off
+  | J r | Jl r -> check_gpr t r
+  | Jz (rt, rd) | Jnz (rt, rd) ->
+    let* () = check_gpr t rt in
+    let* () = check_gpr t rd in
+    check
+      ((not (cmp_dest_fixed t)) || rt = 0)
+      "D16 conditional jumps test r0 implicitly"
+  | Fbin (_, _, fd, fa, fb) ->
+    let* () = check_fpr t fd in
+    let* () = check_fpr t fa in
+    let* () = check_fpr t fb in
+    check
+      (t.three_address || fd = fa)
+      "fbin: two-address target requires dest = first source"
+  | Fmv (_, fd, fs) | Fneg (_, fd, fs) ->
+    let* () = check_fpr t fd in
+    check_fpr t fs
+  | Fcmp (c, _, fa, fb) ->
+    let* () = check_fpr t fa in
+    let* () = check_fpr t fb in
+    check (cond_supported t c) "condition not supported"
+  | Cvtif (_, fd, rs) ->
+    let* () = check_fpr t fd in
+    check_gpr t rs
+  | Cvtfi (_, rd, fs) ->
+    let* () = check_gpr t rd in
+    check_fpr t fs
+  | Rdsr rd -> check_gpr t rd
+  | Trap code -> check (code >= 0 && code < 16) "trap code out of range"
+  | Nop -> Ok ()

@@ -1,0 +1,98 @@
+(** Target descriptions: the experiment knobs of the paper.
+
+    A target fixes an encoding (which determines instruction size and
+    immediate/offset reach) plus the two compiler restrictions the paper
+    turns independently: register-file size (Section 3.3.1) and two- vs
+    three-address code generation (Section 3.3.2).  The five targets of
+    Tables 6/7 are exported below. *)
+
+type isa = D16 | Dlxe
+
+type t = private {
+  name : string;  (** e.g. "D16/16/2", "DLXe/32/3". *)
+  isa : isa;
+  n_gpr : int;
+  n_fpr : int;
+  three_address : bool;
+      (** When false the code generator must keep destination = first source
+          for ALU and FP operations (D16's format forces this). *)
+  zero_r0 : bool;  (** r0 hardwired to zero (DLXe). *)
+  ext_cmpeqi : bool;
+      (** The Section 3.3.3 D16 extension: 8-bit compare-equal immediate,
+          paid for with one bit of the move immediate. *)
+}
+
+val d16 : t
+val d16x : t
+(** D16 with the paper's proposed extension (Section 3.3.3): mvi shrinks to
+    8 bits signed; an 8-bit compare-equal immediate appears.  The paper
+    predicts "up to 2 percent" improvement. *)
+
+val dlxe : t  (** Full DLXe: 32 registers, three-address. *)
+
+val dlxe_16_3 : t
+val dlxe_16_2 : t
+val dlxe_32_2 : t
+
+val all : t list
+(** The five targets in the tables' column order:
+    D16, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3. *)
+
+val insn_bytes : t -> int
+(** 2 for D16, 4 for DLXe. *)
+
+val alui_fits : t -> Insn.alu -> int -> bool
+(** May [op] take this immediate?  D16: add/sub/shifts with unsigned 5-bit
+    immediates only.  DLXe: add/sub/and/or/xor with signed 16-bit, shifts
+    with 5-bit amounts. *)
+
+val cmpi_fits : t -> int -> bool
+(** DLXe: signed 16 bits.  D16: only with {!d16x}'s extension (8 bits,
+    equality only — see {!cmpi_ok}). *)
+
+val cmpi_ok : t -> Insn.cond -> int -> bool
+(** Condition-aware compare-immediate availability. *)
+
+val mvi_fits : t -> int -> bool
+(** D16: signed 9 bits.  DLXe: signed 16 bits. *)
+
+val has_mvhi : t -> bool
+
+val mem_offset_fits : t -> word:bool -> int -> bool
+(** Displacement reach of normal loads/stores.  D16: word modes take
+    word-aligned displacements in [0, 124]; subword modes are not
+    offsettable.  DLXe: signed 16 bits, any mode. *)
+
+val has_ldc : t -> bool
+(** D16's PC-relative literal-pool load. *)
+
+val ldc_reach : t -> int
+(** Maximum backward distance (positive number of bytes) LDC can address. *)
+
+val branch_range : t -> int
+(** Conditional/unconditional PC-relative branch reach in bytes (+/-).
+    D16: 1024.  DLXe: 2^17 (16-bit word offset). *)
+
+val call_range : t -> int
+(** Direct-call reach: D16 brl +/-1024; DLXe jal 26-bit. *)
+
+val cond_supported : t -> Insn.cond -> bool
+(** D16 compare conditions are lt/ltu/le/leu/eq/ne only. *)
+
+val cmp_dest_fixed : t -> bool
+(** D16: compares write r0 implicitly. *)
+
+val allocatable_gpr : t -> int list
+(** General registers available to the register allocator, caller-saved
+    first. *)
+
+val allocatable_fpr : t -> int list
+val caller_saved_gpr : t -> int list
+val callee_saved_gpr : t -> int list
+val caller_saved_fpr : t -> int list
+val callee_saved_fpr : t -> int list
+
+val legal : t -> Insn.t -> (unit, string) result
+(** Full legality check used by the assembler and in tests: register indices
+    in range, immediates encodable, D16 two-address and implicit-register
+    constraints respected. *)

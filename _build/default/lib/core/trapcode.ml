@@ -1,0 +1,13 @@
+let exit = 0
+let put_int = 1
+let put_char = 2
+let put_float = 3
+
+let to_string = function
+  | 0 -> "exit"
+  | 1 -> "put_int"
+  | 2 -> "put_char"
+  | 3 -> "put_float"
+  | n -> invalid_arg (Printf.sprintf "Trapcode.to_string: %d" n)
+
+let is_valid n = n >= 0 && n <= 3

@@ -1,0 +1,19 @@
+(** System-service numbers for the [trap] instruction.
+
+    The paper's runtime came from BSD library sources; ours provides the
+    minimal services the benchmark suite needs.  Arguments are passed in r4
+    (or f0 for [put_float]); traps execute in one cycle and generate no
+    memory traffic of their own. *)
+
+val exit : int  (** Terminate; r4 holds the exit status. *)
+
+val put_int : int  (** Print r4 as a signed decimal to program output. *)
+
+val put_char : int  (** Print the low byte of r4. *)
+
+val put_float : int  (** Print f0 with 6 decimals. *)
+
+val to_string : int -> string
+(** Human-readable name; @raise Invalid_argument on unknown codes. *)
+
+val is_valid : int -> bool

@@ -1,0 +1,1 @@
+lib/harness/compile.ml: List Repro_codegen Repro_ir Repro_link Repro_minic Repro_sim Repro_workloads

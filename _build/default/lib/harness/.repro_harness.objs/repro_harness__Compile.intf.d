@@ -1,0 +1,1 @@
+lib/harness/compile.mli: Repro_core Repro_ir Repro_link Repro_sim

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer Compile Hashtbl List Option Printf Repro_core Repro_ir Repro_link Repro_sim Repro_util Repro_workloads Runs String

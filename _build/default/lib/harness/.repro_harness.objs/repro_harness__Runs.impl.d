@@ -1,0 +1,1 @@
+lib/harness/runs.ml: Compile Hashtbl List Repro_core Repro_link Repro_sim Repro_workloads

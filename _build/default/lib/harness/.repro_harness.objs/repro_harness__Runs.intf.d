@@ -1,0 +1,1 @@
+lib/harness/runs.mli: Repro_core Repro_link Repro_sim

@@ -1,0 +1,806 @@
+module Target = Repro_core.Target
+module Insn = Repro_core.Insn
+module Link = Repro_link.Link
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Suite = Repro_workloads.Suite
+module Table = Repro_util.Table
+module Stats = Repro_util.Stats
+module Opt = Repro_ir.Opt
+
+type t = { id : string; title : string; render : unit -> string }
+
+let suite_names = List.map (fun b -> b.Suite.name) Suite.all
+let cache_names = List.map (fun b -> b.Suite.name) Suite.cache_benchmarks
+let d16 = Target.d16
+let dlxe = Target.dlxe
+let fl = float_of_int
+
+let density_ratio bench target =
+  Stats.ratio (Runs.stats bench target).Runs.size_bytes
+    (Runs.stats bench d16).Runs.size_bytes
+
+let pathlen_ratio bench target =
+  Stats.ratio (Runs.stats bench target).Runs.ic (Runs.stats bench d16).Runs.ic
+
+let average_density target =
+  Stats.mean (List.map (fun b -> density_ratio b target) suite_names)
+
+let average_pathlen target =
+  Stats.mean (List.map (fun b -> pathlen_ratio b target) suite_names)
+
+let wait_states = [ 0; 1; 2; 3 ]
+let miss_penalties = [ 4; 8; 12; 16 ]
+
+let nocache_cycles bench target ~bus_bytes ~wait_states =
+  let s = Runs.stats bench target in
+  let ireq = if bus_bytes = 4 then s.Runs.ireq32 else s.Runs.ireq64 in
+  let dreq = if bus_bytes = 4 then s.Runs.dreq32 else s.Runs.dreq64 in
+  s.Runs.ic + s.Runs.interlocks + (wait_states * (ireq + dreq))
+
+let cycle_ratio bench ~bus_bytes ~wait_states =
+  Stats.ratio
+    (nocache_cycles bench dlxe ~bus_bytes ~wait_states)
+    (nocache_cycles bench d16 ~bus_bytes ~wait_states)
+
+let cached_cycles bench target ~size ~penalty =
+  let s = Runs.stats bench target in
+  let c = Runs.cached bench target ~size ~block:32 ~sub:4 in
+  s.Runs.ic + s.Runs.interlocks
+  + penalty
+    * (c.Memsys.icache.Memsys.misses
+      + c.Memsys.dcache_read.Memsys.misses
+      + c.Memsys.dcache_write.Memsys.misses)
+
+(* ---- Section 3: instruction set performance ---- *)
+
+let fig4 () =
+  let entries =
+    List.map (fun b -> (b, density_ratio b dlxe)) suite_names
+  in
+  "D16 relative density (static code size DLXe/D16; paper Figure 4)\n\n"
+  ^ Table.bar_chart ~max_value:2.0 entries
+  ^ Printf.sprintf "\nAverage: %.2f  (paper: ~1.5)\n"
+      (Stats.mean (List.map snd entries))
+
+let fig5 () =
+  let entries =
+    List.map (fun b -> (b, pathlen_ratio b dlxe)) suite_names
+  in
+  "DLXe path length reduction (DLXe/D16 path lengths, D16 = 1.0; Figure 5)\n\n"
+  ^ Table.bar_chart ~max_value:1.2 entries
+  ^ Printf.sprintf "\nAverage DLXe/D16: %.2f  (paper: ~0.87)\n"
+      (Stats.mean (List.map snd entries))
+
+let regs_table ~measure ~label () =
+  let header = [ "program"; "DLXe-16reg"; "DLXe-32reg" ] in
+  let rows =
+    List.map
+      (fun b ->
+        [ b; Table.fmt2 (measure b Target.dlxe_16_3); Table.fmt2 (measure b dlxe) ])
+      suite_names
+  in
+  let avg t = Stats.mean (List.map (fun b -> measure b t) suite_names) in
+  Printf.sprintf "%s, relative to D16 = 1.00\n\n%s\nAverages: 16reg %.2f, 32reg %.2f\n"
+    label
+    (Table.render header rows)
+    (avg Target.dlxe_16_3) (avg dlxe)
+
+let fig6 () =
+  regs_table ~measure:density_ratio
+    ~label:"Density effects of 16 vs 32 registers (Figure 6)" ()
+
+let fig7 () =
+  regs_table ~measure:pathlen_ratio
+    ~label:"Path length effects of 16 vs 32 registers (Figure 7)" ()
+
+let data_traffic bench target =
+  let s = Runs.stats bench target in
+  s.Runs.load_words + s.Runs.store_words
+
+let tab3 () =
+  let rows =
+    List.map
+      (fun b ->
+        let base = data_traffic b dlxe in
+        let pct t = Stats.percent_increase ~base (data_traffic b t) in
+        [ b; Table.fmt2 (pct d16); Table.fmt2 (pct Target.dlxe_16_3) ])
+      suite_names
+  in
+  let avg t =
+    Stats.mean
+      (List.map
+         (fun b ->
+           Stats.percent_increase ~base:(data_traffic b dlxe) (data_traffic b t))
+         suite_names)
+  in
+  Printf.sprintf
+    "Data traffic increase for the smaller register file (%% over DLXe/32; Table 3)\n\n%s\nAverage: D16 %.1f%%, DLXe-16 %.1f%%  (paper: 10.1%%, 9.0%%)\n"
+    (Table.render [ "program"; "D16"; "DLXe-16" ] rows)
+    (avg d16) (avg Target.dlxe_16_3)
+
+let addr_table ~measure ~label () =
+  let header = [ "program"; "2-address"; "3-address" ] in
+  let rows =
+    List.map
+      (fun b ->
+        [
+          b;
+          Table.fmt2 (measure b Target.dlxe_32_2);
+          Table.fmt2 (measure b dlxe);
+        ])
+      suite_names
+  in
+  let avg t = Stats.mean (List.map (fun b -> measure b t) suite_names) in
+  Printf.sprintf "%s (DLXe/32, relative to D16 = 1.00)\n\n%s\nAverages: 2-addr %.2f, 3-addr %.2f\n"
+    label
+    (Table.render header rows)
+    (avg Target.dlxe_32_2) (avg dlxe)
+
+let fig8 () =
+  addr_table ~measure:density_ratio
+    ~label:"Code density effects of two-address instructions (Figure 8)" ()
+
+let fig9 () =
+  addr_table ~measure:pathlen_ratio
+    ~label:"Path length effects of two-address instructions (Figure 9)" ()
+
+let fig10 () =
+  let entries =
+    List.map
+      (fun b ->
+        ( b,
+          Stats.ratio (Runs.stats b d16).Runs.ic
+            (Runs.stats b Target.dlxe_16_2).Runs.ic ))
+      suite_names
+  in
+  "Speedup from DLXe immediates and offsets (DLXe/16/2 vs D16 = 1.00; Figure 10)\n\n"
+  ^ Table.bar_chart ~max_value:1.3 entries
+  ^ Printf.sprintf "\nAverage: %.2f  (paper: ~1.10)\n"
+      (Stats.mean (List.map snd entries))
+
+(* Table 4: dynamic frequencies of DLXe/16/2 instructions that exceed D16's
+   immediate capabilities. *)
+let immediate_frequencies_memo = ref None
+
+let immediate_frequencies () =
+  match !immediate_frequencies_memo with
+  | Some v -> v
+  | None ->
+  let target = Target.dlxe_16_2 in
+  let total = ref 0 in
+  let cmpi = ref 0 in
+  let alui = ref 0 in
+  let disp = ref 0 in
+  List.iter
+    (fun bench ->
+      let img = Runs.image bench target in
+      let r = Runs.run_with_trace bench target in
+      let trace = Option.get r.Machine.trace in
+      let counts = Array.make (Array.length img.Link.insns) 0 in
+      Array.iter
+        (fun addr ->
+          match Hashtbl.find_opt img.Link.index_of_addr addr with
+          | Some i -> counts.(i) <- counts.(i) + 1
+          | None -> ())
+        trace.Machine.iaddr;
+      Array.iteri
+        (fun i n ->
+          if n > 0 then begin
+            total := !total + n;
+            match img.Link.insns.(i) with
+            | Insn.Cmpi _ -> cmpi := !cmpi + n
+            | Insn.Alui (op, _, _, imm) ->
+              if not (Target.alui_fits d16 op imm) then alui := !alui + n
+            | Insn.Mvi (_, imm) ->
+              if not (Target.mvi_fits d16 imm) then alui := !alui + n
+            | Insn.Mvhi _ -> alui := !alui + n
+            | Insn.Load (w, _, _, off) ->
+              if not (Target.mem_offset_fits d16 ~word:(w = Insn.Lw) off) then
+                disp := !disp + n
+            | Insn.Store (w, _, _, off) ->
+              if not (Target.mem_offset_fits d16 ~word:(w = Insn.Sw) off) then
+                disp := !disp + n
+            | Insn.Fload (_, _, _, off) | Insn.Fstore (_, _, _, off) ->
+              if not (Target.mem_offset_fits d16 ~word:true off) then
+                disp := !disp + n
+            | _ -> ()
+          end)
+        counts)
+    suite_names;
+  let t = fl !total in
+  let v = (fl !cmpi /. t, fl !alui /. t, fl !disp /. t) in
+  immediate_frequencies_memo := Some v;
+  v
+
+let tab4 () =
+  let c, a, d = immediate_frequencies () in
+  Printf.sprintf
+    "Average immediate-field instruction frequencies in DLXe/16/2 traces (Table 4)\n\n%s"
+    (Table.render
+       [ "class"; "share"; "paper" ]
+       [
+         [ "Compare immediate"; Printf.sprintf "%.1f%%" (100. *. c); "2.1%" ];
+         [ "ALU immediate beyond D16"; Printf.sprintf "%.1f%%" (100. *. a); "2.8%" ];
+         [ "Memory displacement beyond D16"; Printf.sprintf "%.1f%%" (100. *. d); "4.6%" ];
+         [
+           "Total";
+           Printf.sprintf "%.1f%%" (100. *. (c +. a +. d));
+           "9.5%";
+         ];
+       ])
+
+let variant_targets =
+  [ Target.dlxe_16_2; Target.dlxe_16_3; Target.dlxe_32_2; dlxe ]
+
+let summary_table ~measure ~label () =
+  let header =
+    "program" :: "D16" :: List.map (fun t -> t.Target.name) variant_targets
+  in
+  let rows =
+    List.map
+      (fun b ->
+        b :: "1.00"
+        :: List.map (fun t -> Table.fmt2 (measure b t)) variant_targets)
+      suite_names
+  in
+  let avgs =
+    "Average" :: "1.00"
+    :: List.map
+         (fun t ->
+           Table.fmt2 (Stats.mean (List.map (fun b -> measure b t) suite_names)))
+         variant_targets
+  in
+  Printf.sprintf "%s\n\n%s" label (Table.render header (rows @ [ avgs ]))
+
+let fig11 () =
+  summary_table ~measure:density_ratio
+    ~label:"Code density summary, ratios DLXe/D16 (Figure 11)" ()
+
+let fig12 () =
+  summary_table ~measure:pathlen_ratio
+    ~label:"Path length summary, ratios DLXe/D16 (Figure 12)" ()
+
+let tab5 () =
+  let avg m t = Stats.mean (List.map (fun b -> m b t) suite_names) in
+  Printf.sprintf
+    "Summary of density and path length effects (Table 5)\n\n%s\n%s"
+    (Table.render
+       [ "Code size (D16=1.00)"; "Two-Address"; "Three-Address" ]
+       [
+         [
+           "16 registers";
+           Table.fmt2 (avg density_ratio Target.dlxe_16_2);
+           Table.fmt2 (avg density_ratio Target.dlxe_16_3);
+         ];
+         [
+           "32 registers";
+           Table.fmt2 (avg density_ratio Target.dlxe_32_2);
+           Table.fmt2 (avg density_ratio dlxe);
+         ];
+       ])
+    (Table.render
+       [ "Path length (D16=1.00)"; "Two-Address"; "Three-Address" ]
+       [
+         [
+           "16 registers";
+           Table.fmt2 (avg pathlen_ratio Target.dlxe_16_2);
+           Table.fmt2 (avg pathlen_ratio Target.dlxe_16_3);
+         ];
+         [
+           "32 registers";
+           Table.fmt2 (avg pathlen_ratio Target.dlxe_32_2);
+           Table.fmt2 (avg pathlen_ratio dlxe);
+         ];
+       ])
+
+let fig13 () =
+  let rows =
+    List.map
+      (fun b ->
+        let traffic =
+          Stats.ratio (Runs.stats b dlxe).Runs.ireq32
+            (Runs.stats b d16).Runs.ireq32
+        in
+        [ b; Table.fmt2 traffic; Table.fmt2 (density_ratio b dlxe) ])
+      suite_names
+  in
+  "Instruction traffic vs code size, DLXe/D16 (uniformity check; Figure 13)\n\n"
+  ^ Table.render [ "program"; "traffic ratio"; "static size ratio" ] rows
+
+(* ---- Section 4: memory performance ---- *)
+
+let fig14 () =
+  let series bus =
+    let dlxe_cpi l =
+      Stats.mean
+        (List.map
+           (fun b ->
+             Memsys.cpi
+               ~cycles:(nocache_cycles b dlxe ~bus_bytes:bus ~wait_states:l)
+               ~ic:(Runs.stats b dlxe).Runs.ic)
+           suite_names)
+    in
+    let d16_cpi l =
+      Stats.mean
+        (List.map
+           (fun b ->
+             Memsys.cpi
+               ~cycles:(nocache_cycles b d16 ~bus_bytes:bus ~wait_states:l)
+               ~ic:(Runs.stats b d16).Runs.ic)
+           suite_names)
+    in
+    let d16_norm l =
+      Stats.mean
+        (List.map
+           (fun b ->
+             Memsys.normalized_cpi
+               ~cycles:(nocache_cycles b d16 ~bus_bytes:bus ~wait_states:l)
+               ~reference_ic:(Runs.stats b dlxe).Runs.ic)
+           suite_names)
+    in
+    Table.series_chart ~x_label:"wait states"
+      ~xs:(List.map string_of_int wait_states)
+      [
+        (Printf.sprintf "DLXe k=%d" (bus / 4), List.map dlxe_cpi wait_states);
+        (Printf.sprintf "D16 k=%d" (bus / 2), List.map d16_cpi wait_states);
+        ("D16 normalized", List.map d16_norm wait_states);
+      ]
+  in
+  "Normalized CPI, no cache (Figure 14)\n\n32-bit fetch:\n" ^ series 4
+  ^ "\n64-bit fetch:\n" ^ series 8
+
+let fig15 () =
+  let series bus =
+    let f t l =
+      Stats.mean
+        (List.map
+           (fun b ->
+             let s = Runs.stats b t in
+             let ireq = if bus = 4 then s.Runs.ireq32 else s.Runs.ireq64 in
+             fl ireq /. fl (nocache_cycles b t ~bus_bytes:bus ~wait_states:l))
+           suite_names)
+    in
+    Table.series_chart ~x_label:"wait states"
+      ~xs:(List.map string_of_int wait_states)
+      [
+        ("DLXe", List.map (f dlxe) wait_states);
+        ("D16", List.map (f d16) wait_states);
+      ]
+  in
+  "Instruction fetch saturation, requests/cycle, no cache (Figure 15)\n\n32-bit fetch:\n"
+  ^ series 4 ^ "\n64-bit fetch:\n" ^ series 8
+
+let fig16 () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Instruction cache miss rates vs cache size (32B blocks, 4B sub-blocks; Figure 16)\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
+      let rows =
+        List.map
+          (fun size ->
+            let rate t =
+              let c = Runs.cached b t ~size ~block:32 ~sub:4 in
+              Memsys.miss_rate c.Memsys.icache
+            in
+            [
+              Printf.sprintf "%dK" (size / 1024);
+              Table.fmt3 (rate d16);
+              Table.fmt3 (rate dlxe);
+            ])
+          Runs.standard_cache_sizes
+      in
+      Buffer.add_string buf (Table.render [ "size"; "D16"; "DLXe" ] rows))
+    cache_names;
+  Buffer.contents buf
+
+let cpi_vs_penalty ~size () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "CPI vs miss penalty, %dK instruction and data caches (Figure %s)\n"
+       (size / 1024)
+       (if size = 4096 then "17" else "18"));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
+      let cpi t p =
+        Memsys.cpi
+          ~cycles:(cached_cycles b t ~size ~penalty:p)
+          ~ic:(Runs.stats b t).Runs.ic
+      in
+      let norm p =
+        Memsys.normalized_cpi
+          ~cycles:(cached_cycles b d16 ~size ~penalty:p)
+          ~reference_ic:(Runs.stats b dlxe).Runs.ic
+      in
+      Buffer.add_string buf
+        (Table.series_chart ~x_label:"penalty"
+           ~xs:(List.map string_of_int miss_penalties)
+           [
+             ("DLXe", List.map (cpi dlxe) miss_penalties);
+             ("D16", List.map (cpi d16) miss_penalties);
+             ("D16 normalized", List.map norm miss_penalties);
+           ]))
+    cache_names;
+  Buffer.contents buf
+
+let fig17 () = cpi_vs_penalty ~size:4096 ()
+let fig18 () = cpi_vs_penalty ~size:16384 ()
+
+let fig19 () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    "Instruction traffic (words/cycle) with instruction cache, miss penalty 4 (Figure 19)\n";
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
+      let rows =
+        List.map
+          (fun size ->
+            let wpc t =
+              let c = Runs.cached b t ~size ~block:32 ~sub:4 in
+              let cyc = cached_cycles b t ~size ~penalty:4 in
+              fl c.Memsys.icache.Memsys.words_transferred /. fl cyc
+            in
+            [
+              Printf.sprintf "%dK" (size / 1024);
+              Table.fmt3 (wpc d16);
+              Table.fmt3 (wpc dlxe);
+            ])
+          Runs.standard_cache_sizes
+      in
+      Buffer.add_string buf (Table.render [ "size"; "D16"; "DLXe" ] rows))
+    cache_names;
+  Buffer.contents buf
+
+(* ---- Appendix tables ---- *)
+
+let tab6 () =
+  let header =
+    "program" :: "D16"
+    :: List.map (fun t -> t.Target.name) variant_targets
+  in
+  let rows =
+    List.map
+      (fun b ->
+        string_of_int (Runs.stats b d16).Runs.size_bytes
+        :: List.map
+             (fun t -> string_of_int (Runs.stats b t).Runs.size_bytes)
+             variant_targets
+        |> fun cells -> b :: cells)
+      suite_names
+  in
+  "Code size in bytes (Table 6)\n\n" ^ Table.render header rows
+  ^ Printf.sprintf "\nRelative density averages: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun t ->
+              Printf.sprintf "%s %.2f" t.Target.name (average_density t))
+            variant_targets))
+
+let tab7 () =
+  let header =
+    "program" :: "D16" :: List.map (fun t -> t.Target.name) variant_targets
+  in
+  let rows =
+    List.map
+      (fun b ->
+        b
+        :: string_of_int (Runs.stats b d16).Runs.ic
+        :: List.map
+             (fun t -> string_of_int (Runs.stats b t).Runs.ic)
+             variant_targets)
+      suite_names
+  in
+  "Path lengths (Table 7)\n\n" ^ Table.render header rows
+  ^ Printf.sprintf "\nPath length averages (DLXe/D16): %s\n"
+      (String.concat ", "
+         (List.map
+            (fun t ->
+              Printf.sprintf "%s %.2f" t.Target.name (average_pathlen t))
+            variant_targets))
+
+let tab8 () =
+  let rows =
+    List.map
+      (fun b ->
+        let s16 = Runs.stats b d16 in
+        let s32 = Runs.stats b dlxe in
+        let pct = 100. *. (1. -. (fl s16.Runs.ireq32 /. fl s32.Runs.ireq32)) in
+        [
+          b;
+          string_of_int s16.Runs.ic;
+          string_of_int s32.Runs.ic;
+          string_of_int s16.Runs.ireq32;
+          string_of_int s32.Runs.ireq32;
+          Table.fmt2 pct;
+        ])
+      suite_names
+  in
+  "Path length and instruction traffic in 32-bit words (Table 8)\n\n"
+  ^ Table.render
+      [ "program"; "D16 path"; "DLXe path"; "D16 words"; "DLXe words"; "%" ]
+      rows
+
+let tab9 () =
+  let rows =
+    List.map
+      (fun b ->
+        let m t =
+          let s = Runs.stats b t in
+          s.Runs.loads + s.Runs.stores
+        in
+        let d = m d16 and x = m dlxe in
+        [
+          b;
+          string_of_int d;
+          string_of_int x;
+          Table.fmt2 (Stats.percent_increase ~base:x d);
+        ])
+      suite_names
+  in
+  "Total loads and stores (Table 9; %% is D16 increase over DLXe)\n\n"
+  ^ Table.render [ "program"; "D16"; "DLXe"; "%" ] rows
+
+let tab10 () =
+  let rows =
+    List.map
+      (fun b ->
+        let s16 = Runs.stats b d16 in
+        let s32 = Runs.stats b dlxe in
+        [
+          b;
+          string_of_int s16.Runs.ic;
+          string_of_int s16.Runs.interlocks;
+          Table.fmt3 (fl s16.Runs.interlocks /. fl s16.Runs.ic);
+          string_of_int s32.Runs.ic;
+          string_of_int s32.Runs.interlocks;
+          Table.fmt3 (fl s32.Runs.interlocks /. fl s32.Runs.ic);
+        ])
+      suite_names
+  in
+  "Delayed load and math unit interlocks (Table 10)\n\n"
+  ^ Table.render
+      [
+        "program"; "D16 insns"; "D16 locks"; "rate"; "DLXe insns";
+        "DLXe locks"; "rate";
+      ]
+      rows
+
+let cycles_table ~bus_bytes ~label () =
+  let rows =
+    List.map
+      (fun b ->
+        b
+        :: List.map
+             (fun l -> Table.fmt2 (cycle_ratio b ~bus_bytes ~wait_states:l))
+             wait_states)
+      suite_names
+  in
+  let avgs =
+    "Mean"
+    :: List.map
+         (fun l ->
+           Table.fmt2
+             (Stats.mean
+                (List.map
+                   (fun b -> cycle_ratio b ~bus_bytes ~wait_states:l)
+                   suite_names)))
+         wait_states
+  in
+  Printf.sprintf "%s\n\n%s" label
+    (Table.render
+       [ "program"; "l=0"; "l=1"; "l=2"; "l=3" ]
+       (rows @ [ avgs ]))
+
+let tab11 () =
+  cycles_table ~bus_bytes:4
+    ~label:"DLXe/D16 performance, 32-bit fetch bus, no cache (Table 11)" ()
+
+let tab12 () =
+  cycles_table ~bus_bytes:8
+    ~label:"DLXe/D16 cycles, 64-bit fetch bus, no cache (Table 12)" ()
+
+let tab13 () =
+  let rows =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun t ->
+            let s = Runs.stats b t in
+            [
+              b;
+              t.Target.name;
+              string_of_int s.Runs.ic;
+              Table.fmt3 (fl s.Runs.interlocks /. fl s.Runs.ic);
+              string_of_int s.Runs.ireq32;
+              string_of_int s.Runs.loads;
+              string_of_int s.Runs.stores;
+            ])
+          [ d16; dlxe ])
+      cache_names
+  in
+  "Traffic and interlocks for the cache benchmarks (Table 13)\n\n"
+  ^ Table.render
+      [ "program"; "ISA"; "insns"; "lock rate"; "ifetches"; "reads"; "writes" ]
+      rows
+
+let miss_grid bench =
+  let rows =
+    List.concat_map
+      (fun size ->
+        List.map
+          (fun block ->
+            let sub = min 8 block in
+            let c16 = Runs.cached bench d16 ~size ~block ~sub in
+            let c32 = Runs.cached bench dlxe ~size ~block ~sub in
+            [
+              Printf.sprintf "%dk" (size / 1024);
+              string_of_int block;
+              Table.fmt3 (Memsys.miss_rate c16.Memsys.icache);
+              Table.fmt3 (Memsys.miss_rate c32.Memsys.icache);
+              Table.fmt3 (Memsys.miss_rate c16.Memsys.dcache_read);
+              Table.fmt3 (Memsys.miss_rate c32.Memsys.dcache_read);
+              Table.fmt3 (Memsys.miss_rate c16.Memsys.dcache_write);
+              Table.fmt3 (Memsys.miss_rate c32.Memsys.dcache_write);
+            ])
+          Runs.standard_blocks)
+      Runs.standard_cache_sizes
+  in
+  Table.render
+    [
+      "size"; "block"; "I D16"; "I DLXe"; "R D16"; "R DLXe"; "W D16"; "W DLXe";
+    ]
+    rows
+
+let tab14 () = "Cache miss rates for assem (Table 14)\n\n" ^ miss_grid "assem"
+let tab15 () = "Cache miss rates for ipl (Table 15)\n\n" ^ miss_grid "ipl"
+let tab16 () = "Cache miss rates for latex (Table 16)\n\n" ^ miss_grid "latex"
+
+
+(* ---- Extensions beyond the paper's published artifacts ---- *)
+
+(* The Section 3.3.3 extension: D16 with an 8-bit compare-equal immediate
+   (and a correspondingly narrowed 8-bit mvi).  The paper predicts "up to
+   2 percent" path-length improvement. *)
+let xfig1 () =
+  let rows =
+    List.map
+      (fun b ->
+        let s16 = Runs.stats b d16 in
+        let sx = Runs.stats b Target.d16x in
+        [
+          b;
+          string_of_int s16.Runs.ic;
+          string_of_int sx.Runs.ic;
+          Printf.sprintf "%+.2f%%"
+            (100. *. (1. -. (fl sx.Runs.ic /. fl s16.Runs.ic)));
+          string_of_int s16.Runs.size_bytes;
+          string_of_int sx.Runs.size_bytes;
+        ])
+      suite_names
+  in
+  let avg =
+    Stats.mean
+      (List.map
+         (fun b ->
+           100.
+           *. (1.
+              -. fl (Runs.stats b Target.d16x).Runs.ic
+                 /. fl (Runs.stats b d16).Runs.ic))
+         suite_names)
+  in
+  Printf.sprintf
+    "EXTENSION: D16x = D16 + 8-bit compare-equal immediate (paper Section 3.3.3)\n\n%s\nAverage speedup: %+.2f%%  (paper's prediction: up to 2%%)\n"
+    (Table.render
+       [ "program"; "D16 path"; "D16x path"; "speedup"; "D16 B"; "D16x B" ]
+       rows)
+    avg
+
+(* Ablation study over the compiler's design choices (DESIGN.md): what each
+   optimization is worth, per encoding, on representative programs. *)
+let ablation_programs = [ "queens"; "grep"; "towers"; "whetstone" ]
+
+let ablations : (string * Compile.ablation) list =
+  let base = Compile.no_ablation in
+  [
+    ("full", base);
+    ("no-licm", { base with opt_flags = { Opt.all_flags with do_licm = false } });
+    ("no-cse", { base with opt_flags = { Opt.all_flags with cse = false } });
+    ("no-strength", { base with opt_flags = { Opt.all_flags with strength = false } });
+    ("no-fold", { base with opt_flags = { Opt.all_flags with fold = false } });
+    ("no-slot-fill", { base with fill_delay_slots = false });
+    ("no-opt", { Compile.opt_flags = Opt.no_flags; fill_delay_slots = false; schedule_loads = false });
+  ]
+
+let xtab1_memo = ref None
+
+let xtab1 () =
+  match !xtab1_memo with
+  | Some s -> s
+  | None ->
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    "EXTENSION: compiler ablation (path-length ratio vs the full compiler)\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string buf (Printf.sprintf "\n%s:\n" t.Target.name);
+      let baseline =
+        List.map
+          (fun b ->
+            let _, r =
+              Compile.compile_and_run ~trace:false t
+                (Suite.find b).Suite.source
+            in
+            (b, r.Machine.ic))
+          ablation_programs
+      in
+      let rows =
+        List.map
+          (fun (name, ab) ->
+            name
+            :: List.map
+                 (fun (b, base_ic) ->
+                   let _, r =
+                     Compile.compile_and_run ~ablation:ab ~trace:false t
+                       (Suite.find b).Suite.source
+                   in
+                   Table.fmt2 (fl r.Machine.ic /. fl base_ic))
+                 baseline)
+          ablations
+      in
+      Buffer.add_string buf
+        (Table.render ("ablation" :: ablation_programs) rows))
+    [ d16; dlxe ];
+  let s = Buffer.contents buf in
+  xtab1_memo := Some s;
+  s
+
+let all =
+  [
+    { id = "fig4"; title = "D16 relative density"; render = fig4 };
+    { id = "fig5"; title = "DLXe path length reduction"; render = fig5 };
+    { id = "fig6"; title = "Density effects of 16 vs 32 registers"; render = fig6 };
+    { id = "fig7"; title = "Path length effects, 16 vs 32 registers"; render = fig7 };
+    { id = "tab3"; title = "Data traffic increase, smaller register file"; render = tab3 };
+    { id = "fig8"; title = "Code density effects, two-address"; render = fig8 };
+    { id = "fig9"; title = "Path length effects, two-address"; render = fig9 };
+    { id = "fig10"; title = "Effect of large immediates on path lengths"; render = fig10 };
+    { id = "tab4"; title = "Immediate-field instruction frequencies"; render = tab4 };
+    { id = "fig11"; title = "Code density summary"; render = fig11 };
+    { id = "fig12"; title = "Path length summary"; render = fig12 };
+    { id = "tab5"; title = "Summary of density and path length effects"; render = tab5 };
+    { id = "fig13"; title = "Instruction traffic vs density"; render = fig13 };
+    { id = "fig14"; title = "Normalized CPI, no cache"; render = fig14 };
+    { id = "fig15"; title = "Instruction fetch saturation"; render = fig15 };
+    { id = "fig16"; title = "Instruction cache miss rates"; render = fig16 };
+    { id = "fig17"; title = "Performance with 4K caches"; render = fig17 };
+    { id = "fig18"; title = "Performance with 16K caches"; render = fig18 };
+    { id = "fig19"; title = "Instruction traffic with cache"; render = fig19 };
+    { id = "tab6"; title = "Code size summary"; render = tab6 };
+    { id = "tab7"; title = "Path length summary"; render = tab7 };
+    { id = "tab8"; title = "Path length and instruction traffic"; render = tab8 };
+    { id = "tab9"; title = "Total loads and stores"; render = tab9 };
+    { id = "tab10"; title = "Interlocks"; render = tab10 };
+    { id = "tab11"; title = "DLXe/D16 cycles, 32-bit bus"; render = tab11 };
+    { id = "tab12"; title = "DLXe/D16 cycles, 64-bit bus"; render = tab12 };
+    { id = "tab13"; title = "Traffic and interlocks, cache benchmarks"; render = tab13 };
+    { id = "tab14"; title = "Cache miss rates for assem"; render = tab14 };
+    { id = "tab15"; title = "Cache miss rates for ipl"; render = tab15 };
+    { id = "tab16"; title = "Cache miss rates for latex"; render = tab16 };
+    { id = "xfig1"; title = "EXT: D16x compare-equal-immediate extension"; render = xfig1 };
+    { id = "xtab1"; title = "EXT: compiler ablation study"; render = xtab1 };
+  ]
+
+let by_id id = List.find (fun e -> e.id = id) all
+
+let render_all () =
+  String.concat "\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "================ %s: %s ================\n%s" e.id
+           e.title (e.render ()))
+       all)

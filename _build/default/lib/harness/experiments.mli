@@ -1,0 +1,42 @@
+(** One driver per table and figure of the paper's evaluation.
+
+    Each experiment regenerates the paper artifact from scratch runs
+    (memoized through {!Runs}) and renders it as text: tables as aligned
+    columns, bar figures as labelled ASCII bars, line figures as series
+    tables.  DESIGN.md maps every id to the paper artifact. *)
+
+type t = {
+  id : string;  (** "fig4" ... "tab16". *)
+  title : string;
+  render : unit -> string;
+}
+
+val all : t list
+(** In paper order. *)
+
+val by_id : string -> t
+(** @raise Not_found for unknown ids. *)
+
+val render_all : unit -> string
+
+(* Structured accessors used by tests and the summary tables. *)
+
+val density_ratio : string -> Repro_core.Target.t -> float
+(** size(target)/size(D16) for one benchmark. *)
+
+val pathlen_ratio : string -> Repro_core.Target.t -> float
+(** ic(target)/ic(D16). *)
+
+val suite_names : string list
+
+val average_density : Repro_core.Target.t -> float
+val average_pathlen : Repro_core.Target.t -> float
+
+val immediate_frequencies : unit -> float * float * float
+(** Table 4 on DLXe/16/2 traces: fractions of the dynamic instruction count
+    that are compare-immediates, ALU immediates beyond D16's ranges, and
+    memory displacements beyond D16's reach. *)
+
+val cycle_ratio :
+  string -> bus_bytes:int -> wait_states:int -> float
+(** Table 11/12 entry: DLXe cycles / D16 cycles for one benchmark. *)

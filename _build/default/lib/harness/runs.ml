@@ -1,0 +1,129 @@
+module Target = Repro_core.Target
+module Link = Repro_link.Link
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Suite = Repro_workloads.Suite
+
+type stats = {
+  bench : string;
+  target : Target.t;
+  size_bytes : int;
+  text_bytes : int;
+  ic : int;
+  loads : int;
+  stores : int;
+  load_words : int;
+  store_words : int;
+  interlocks : int;
+  ireq32 : int;
+  ireq64 : int;
+  dreq32 : int;
+  dreq64 : int;
+  output : string;
+  exit_code : int;
+}
+
+let standard_cache_sizes = [ 1024; 2048; 4096; 8192; 16384 ]
+let standard_blocks = [ 8; 16; 32; 64 ]
+
+let image_tbl : (string * string, Link.image) Hashtbl.t = Hashtbl.create 32
+let stats_tbl : (string * string, stats) Hashtbl.t = Hashtbl.create 32
+
+let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
+  Hashtbl.create 256
+
+let clear_memo () =
+  Hashtbl.reset image_tbl;
+  Hashtbl.reset stats_tbl;
+  Hashtbl.reset cache_tbl
+
+let image bench (target : Target.t) =
+  let key = (bench, target.Target.name) in
+  match Hashtbl.find_opt image_tbl key with
+  | Some img -> img
+  | None ->
+    let b = Suite.find bench in
+    let img = Compile.compile target b.Suite.source in
+    Hashtbl.replace image_tbl key img;
+    img
+
+let run_with_trace bench target = Machine.run ~trace:true (image bench target)
+
+let stats bench (target : Target.t) =
+  let key = (bench, target.Target.name) in
+  match Hashtbl.find_opt stats_tbl key with
+  | Some s -> s
+  | None ->
+    let img = image bench target in
+    let r = run_with_trace bench target in
+    let nc32 = Memsys.replay_nocache ~bus_bytes:4 r in
+    let nc64 = Memsys.replay_nocache ~bus_bytes:8 r in
+    let s =
+      {
+        bench;
+        target;
+        size_bytes = Link.size_bytes img;
+        text_bytes = img.Link.text_bytes;
+        ic = r.Machine.ic;
+        loads = r.Machine.loads;
+        stores = r.Machine.stores;
+        load_words = r.Machine.load_words;
+        store_words = r.Machine.store_words;
+        interlocks = r.Machine.interlocks;
+        ireq32 = nc32.Memsys.irequests;
+        ireq64 = nc64.Memsys.irequests;
+        dreq32 = nc32.Memsys.drequests;
+        dreq64 = nc64.Memsys.drequests;
+        output = r.Machine.output;
+        exit_code = r.Machine.exit_code;
+      }
+    in
+    Hashtbl.replace stats_tbl key s;
+    s
+
+(* The standard grid replayed when any cache number is first requested:
+   the appendix geometries (block x size with 8-byte sub-blocks) plus the
+   figure geometry (32-byte blocks, 4-byte sub-blocks). *)
+let standard_grid =
+  List.concat_map
+    (fun size ->
+      ((size, 32, 4)
+      :: List.map (fun block -> (size, block, min 8 block)) standard_blocks))
+    standard_cache_sizes
+
+let fill_grid bench (target : Target.t) =
+  let r = run_with_trace bench target in
+  let insn_bytes = Target.insn_bytes target in
+  List.iter
+    (fun (size, block, sub) ->
+      let key = (bench, target.Target.name, size, block, sub) in
+      if not (Hashtbl.mem cache_tbl key) then begin
+        let cfg =
+          { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+        in
+        let c = Memsys.replay_cached ~insn_bytes ~icache:cfg ~dcache:cfg r in
+        Hashtbl.replace cache_tbl key c
+      end)
+    standard_grid
+
+let cached bench (target : Target.t) ~size ~block ~sub =
+  let key = (bench, target.Target.name, size, block, sub) in
+  match Hashtbl.find_opt cache_tbl key with
+  | Some c -> c
+  | None ->
+    fill_grid bench target;
+    (match Hashtbl.find_opt cache_tbl key with
+    | Some c -> c
+    | None ->
+      (* Off-grid geometry: one dedicated replay. *)
+      let r = run_with_trace bench target in
+      let cfg =
+        { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+      in
+      let c =
+        Memsys.replay_cached
+          ~insn_bytes:(Target.insn_bytes target)
+          ~icache:cfg ~dcache:cfg r
+      in
+      Hashtbl.replace cache_tbl key c;
+      c)

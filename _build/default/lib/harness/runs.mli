@@ -1,0 +1,53 @@
+(** Memoized per-(benchmark, target) measurements.
+
+    Compiling and simulating a benchmark is deterministic, so every
+    experiment shares one set of raw numbers.  Traces are large; they are
+    replayed once per (benchmark, target) to derive fetch-buffer request
+    counts and the standard grid of cache statistics, then discarded. *)
+
+type stats = {
+  bench : string;
+  target : Repro_core.Target.t;
+  size_bytes : int;  (** Stripped-binary measure: text + initialized data. *)
+  text_bytes : int;
+  ic : int;
+  loads : int;
+  stores : int;
+  load_words : int;
+  store_words : int;
+  interlocks : int;
+  ireq32 : int;  (** Instruction fetch requests, 32-bit bus, no cache. *)
+  ireq64 : int;
+  dreq32 : int;
+  dreq64 : int;
+  output : string;
+  exit_code : int;
+}
+
+val stats : string -> Repro_core.Target.t -> stats
+(** Compile, run, replay the two fetch-buffer widths; memoized. *)
+
+val cached :
+  string ->
+  Repro_core.Target.t ->
+  size:int ->
+  block:int ->
+  sub:int ->
+  Repro_sim.Memsys.cached
+(** Cache statistics for split I/D caches of the given geometry (both caches
+    identical, as in the paper's figures).  Memoized; the first request for
+    a (benchmark, target) runs the trace once and replays the whole standard
+    grid. *)
+
+val standard_cache_sizes : int list
+(** 1K, 2K, 4K, 8K, 16K. *)
+
+val standard_blocks : int list
+(** 8, 16, 32, 64 (with 8-byte sub-blocks, paper appendix A.3). *)
+
+val run_with_trace : string -> Repro_core.Target.t -> Repro_sim.Machine.result
+(** A fresh traced run (not memoized — the trace is big). *)
+
+val image : string -> Repro_core.Target.t -> Repro_link.Link.image
+
+val clear_memo : unit -> unit

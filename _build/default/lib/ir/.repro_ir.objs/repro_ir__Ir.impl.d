@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Buffer Hashtbl List Option Printf Repro_core String

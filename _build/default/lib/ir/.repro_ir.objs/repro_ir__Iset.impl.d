@@ -1,0 +1,1 @@
+lib/ir/iset.ml: Int Set

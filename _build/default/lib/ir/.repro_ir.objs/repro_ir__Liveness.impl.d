@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Hashtbl Ir Iset List

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Bytes Char Hashtbl Int64 Ir List Option Printf Repro_core Repro_minic String

@@ -1,0 +1,1 @@
+lib/ir/lower.mli: Bytes Ir Repro_minic

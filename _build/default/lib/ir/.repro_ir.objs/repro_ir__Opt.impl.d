@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Cfg Fun Hashtbl Ir Iset List Liveness Option Repro_core Repro_util

@@ -1,0 +1,1 @@
+lib/ir/regalloc.ml: Fun Hashtbl Ir Iset List Liveness Option Printf Repro_core

@@ -1,0 +1,1 @@
+lib/ir/regalloc.mli: Hashtbl Ir Repro_core

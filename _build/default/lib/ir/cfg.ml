@@ -1,0 +1,174 @@
+let predecessors (f : Ir.func) =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace preds b.lbl []) f.blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (b.lbl :: cur))
+        (Ir.successors b.term))
+    f.blocks;
+  preds
+
+let entry_label (f : Ir.func) =
+  match f.blocks with
+  | b :: _ -> b.lbl
+  | [] -> invalid_arg "Cfg: function with no blocks"
+
+let retarget_term map (t : Ir.term) : Ir.term =
+  let r l = match Hashtbl.find_opt map l with Some l' -> l' | None -> l in
+  match t with
+  | Jmp l -> Jmp (r l)
+  | Bif (c, l1, l2) -> Bif (c, r l1, r l2)
+  | Ret _ as t -> t
+
+let remove_unreachable f =
+  let bm = Ir.block_map f in
+  let seen = Hashtbl.create 16 in
+  let rec dfs l =
+    if not (Hashtbl.mem seen l) then begin
+      Hashtbl.replace seen l ();
+      match Hashtbl.find_opt bm l with
+      | Some b -> List.iter dfs (Ir.successors b.Ir.term)
+      | None -> invalid_arg (Printf.sprintf "Cfg: missing block L%d" l)
+    end
+  in
+  dfs (entry_label f);
+  f.blocks <- List.filter (fun (b : Ir.block) -> Hashtbl.mem seen b.lbl) f.blocks
+
+let thread_jumps f =
+  let bm = Ir.block_map f in
+  (* Final destination of a jump chain through empty blocks. *)
+  let redirect = Hashtbl.create 8 in
+  let rec final l visiting =
+    if Iset.mem l visiting then l
+    else
+      match Hashtbl.find_opt bm l with
+      | Some { Ir.ins = []; term = Jmp l'; _ } when l' <> l ->
+        final l' (Iset.add l visiting)
+      | _ -> l
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      let dest = final b.lbl Iset.empty in
+      if dest <> b.lbl then Hashtbl.replace redirect b.lbl dest)
+    f.blocks;
+  List.iter
+    (fun (b : Ir.block) ->
+      b.term <-
+        (match retarget_term redirect b.term with
+        | Bif (_, l1, l2) when l1 = l2 -> Jmp l1
+        | t -> t))
+    f.blocks
+
+let merge_straight_line f =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let preds = predecessors f in
+    let bm = Ir.block_map f in
+    let merged = Hashtbl.create 8 in
+    List.iter
+      (fun (b : Ir.block) ->
+        if not (Hashtbl.mem merged b.lbl) then
+          match b.term with
+          | Jmp l when l <> b.lbl && not (Hashtbl.mem merged l) -> (
+            match Hashtbl.find_opt preds l with
+            | Some [ _ ] ->
+              let succ = Hashtbl.find bm l in
+              if succ.Ir.lbl <> entry_label f then begin
+                b.ins <- b.ins @ succ.Ir.ins;
+                b.term <- succ.Ir.term;
+                Hashtbl.replace merged l ();
+                changed := true
+              end
+            | _ -> ())
+          | _ -> ())
+      f.blocks;
+    if Hashtbl.length merged > 0 then
+      f.blocks <-
+        List.filter (fun (b : Ir.block) -> not (Hashtbl.mem merged b.lbl)) f.blocks
+  done
+
+let clean f =
+  thread_jumps f;
+  remove_unreachable f;
+  merge_straight_line f;
+  remove_unreachable f
+
+let dominators (f : Ir.func) =
+  let labels = List.map (fun (b : Ir.block) -> b.lbl) f.blocks in
+  let all = Iset.of_list labels in
+  let entry = entry_label f in
+  let preds = predecessors f in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace dom l (if l = entry then Iset.singleton entry else all))
+    labels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let ps = try Hashtbl.find preds l with Not_found -> [] in
+          let inter =
+            List.fold_left
+              (fun acc p ->
+                let dp = Hashtbl.find dom p in
+                match acc with
+                | None -> Some dp
+                | Some s -> Some (Iset.inter s dp))
+              None ps
+          in
+          let nd =
+            match inter with
+            | None -> Iset.singleton l
+            | Some s -> Iset.add l s
+          in
+          if not (Iset.equal nd (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l nd;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  dom
+
+type loop = { header : Ir.label; body : Iset.t }
+
+let natural_loops f =
+  let dom = dominators f in
+  let preds = predecessors f in
+  let loops = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun h ->
+          if Iset.mem h (Hashtbl.find dom b.lbl) then begin
+            (* Back edge b.lbl -> h: body = h plus nodes reaching b.lbl
+               without passing through h. *)
+            let body = ref (Iset.of_list [ h; b.lbl ]) in
+            let rec walk n =
+              if n <> h then
+                List.iter
+                  (fun p ->
+                    if not (Iset.mem p !body) then begin
+                      body := Iset.add p !body;
+                      walk p
+                    end)
+                  (try Hashtbl.find preds n with Not_found -> [])
+            in
+            walk b.lbl;
+            let cur =
+              match Hashtbl.find_opt loops h with
+              | Some s -> s
+              | None -> Iset.empty
+            in
+            Hashtbl.replace loops h (Iset.union cur !body)
+          end)
+        (Ir.successors b.term))
+    f.blocks;
+  Hashtbl.fold (fun header body acc -> { header; body } :: acc) loops []

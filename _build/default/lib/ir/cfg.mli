@@ -1,0 +1,20 @@
+(** Control-flow-graph utilities: predecessors, cleanup, dominators, and
+    natural-loop detection (used by loop-invariant code motion). *)
+
+val predecessors : Ir.func -> (Ir.label, Ir.label list) Hashtbl.t
+
+val clean : Ir.func -> unit
+(** Remove unreachable blocks, thread jumps through empty blocks, collapse
+    [Bif] with equal targets, and merge single-predecessor straight-line
+    successors into their predecessor. *)
+
+type loop = {
+  header : Ir.label;
+  body : Iset.t;  (** Block labels, including the header. *)
+}
+
+val natural_loops : Ir.func -> loop list
+(** Natural loops from back edges (target dominates source).  Loops sharing
+    a header are merged. *)
+
+val dominators : Ir.func -> (Ir.label, Iset.t) Hashtbl.t

@@ -1,0 +1,288 @@
+type temp = int
+type ftemp = int
+type label = int
+
+type addr =
+  | Abase of temp * int
+  | Aslot of int * int
+  | Aglobal of string * int
+
+type operand = Otemp of temp | Oimm of int
+
+type binop =
+  | Add | Sub | And | Or | Xor | Shl | Shr | Shra | Mul | Div | Mod
+
+type arg = Aint of temp | Afloat of ftemp
+type ret = Rnone | Rint of temp | Rfloat of ftemp
+
+type ins =
+  | Li of temp * int
+  | Mov of temp * temp
+  | Bin of binop * temp * temp * operand
+  | Not of temp * temp
+  | Neg of temp * temp
+  | Setcmp of Repro_core.Insn.cond * temp * temp * operand
+  | Load of Repro_core.Insn.load_width * temp * addr
+  | Store of Repro_core.Insn.store_width * temp * addr
+  | Lea of temp * addr
+  | Fli of ftemp * float
+  | Fmov of ftemp * ftemp
+  | Fbin of Repro_core.Insn.fbin * ftemp * ftemp * ftemp
+  | Fneg of ftemp * ftemp
+  | Fsetcmp of Repro_core.Insn.cond * temp * ftemp * ftemp
+  | Fload of ftemp * addr
+  | Fstore of ftemp * addr
+  | Itof of ftemp * temp
+  | Ftoi of temp * ftemp
+  | Call of ret * string * arg list
+  | Trap of int * arg option
+
+type term = Jmp of label | Bif of temp * label * label | Ret of arg option
+
+type block = { lbl : label; mutable ins : ins list; mutable term : term }
+
+type slot = { slot_id : int; size : int; align : int }
+
+type func = {
+  name : string;
+  arg_temps : arg list;
+  ret_float : bool option;
+  mutable blocks : block list;
+  mutable slots : slot list;
+  mutable next_temp : int;
+  mutable next_ftemp : int;
+  mutable next_label : int;
+}
+
+let fresh_temp f =
+  let t = f.next_temp in
+  f.next_temp <- t + 1;
+  t
+
+let fresh_ftemp f =
+  let t = f.next_ftemp in
+  f.next_ftemp <- t + 1;
+  t
+
+let fresh_label f =
+  let l = f.next_label in
+  f.next_label <- l + 1;
+  l
+
+let fresh_slot f ~size ~align =
+  let slot = { slot_id = List.length f.slots; size; align } in
+  f.slots <- f.slots @ [ slot ];
+  slot
+
+let block_map f =
+  let h = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace h b.lbl b) f.blocks;
+  h
+
+let successors = function
+  | Jmp l -> [ l ]
+  | Bif (_, l1, l2) -> [ l1; l2 ]
+  | Ret _ -> []
+
+let addr_temp = function
+  | Abase (t, _) -> [ t ]
+  | Aslot _ | Aglobal _ -> []
+
+let defs = function
+  | Li (t, _)
+  | Mov (t, _)
+  | Bin (_, t, _, _)
+  | Not (t, _)
+  | Neg (t, _)
+  | Setcmp (_, t, _, _)
+  | Load (_, t, _)
+  | Lea (t, _)
+  | Fsetcmp (_, t, _, _)
+  | Ftoi (t, _) -> Some t
+  | Call (Rint t, _, _) -> Some t
+  | Call ((Rnone | Rfloat _), _, _) -> None
+  | Store _ | Fli _ | Fmov _ | Fbin _ | Fneg _ | Fload _ | Fstore _ | Itof _
+  | Trap _ -> None
+
+let operand_uses = function Otemp t -> [ t ] | Oimm _ -> []
+
+let uses = function
+  | Li _ | Fli _ | Fmov _ | Fbin _ | Fneg _ -> []
+  | Mov (_, s) | Not (_, s) | Neg (_, s) | Itof (_, s) -> [ s ]
+  | Bin (_, _, a, b) | Setcmp (_, _, a, b) -> a :: operand_uses b
+  | Load (_, _, a) | Fload (_, a) | Lea (_, a) -> addr_temp a
+  | Store (_, s, a) -> s :: addr_temp a
+  | Fstore (_, a) -> addr_temp a
+  | Fsetcmp _ | Ftoi _ -> []
+  | Call (_, _, args) ->
+    List.filter_map (function Aint t -> Some t | Afloat _ -> None) args
+  | Trap (_, Some (Aint t)) -> [ t ]
+  | Trap (_, (None | Some (Afloat _))) -> []
+
+let fdefs = function
+  | Fli (t, _) | Fmov (t, _) | Fbin (_, t, _, _) | Fneg (t, _) | Fload (t, _)
+  | Itof (t, _) -> Some t
+  | Call (Rfloat t, _, _) -> Some t
+  | Call ((Rnone | Rint _), _, _) -> None
+  | Li _ | Mov _ | Bin _ | Not _ | Neg _ | Setcmp _ | Load _ | Store _
+  | Lea _ | Fsetcmp _ | Fstore _ | Ftoi _ | Trap _ -> None
+
+let fuses = function
+  | Fmov (_, s) | Fneg (_, s) | Ftoi (_, s) -> [ s ]
+  | Fbin (_, _, a, b) | Fsetcmp (_, _, a, b) -> [ a; b ]
+  | Fstore (s, _) -> [ s ]
+  | Call (_, _, args) ->
+    List.filter_map (function Afloat t -> Some t | Aint _ -> None) args
+  | Trap (_, Some (Afloat t)) -> [ t ]
+  | Trap (_, (None | Some (Aint _))) -> []
+  | Li _ | Mov _ | Bin _ | Not _ | Neg _ | Setcmp _ | Load _ | Store _
+  | Lea _ | Fli _ | Fload _ | Itof _ -> []
+
+let is_pure = function
+  | Li _ | Mov _ | Not _ | Neg _ | Setcmp _ | Lea _ | Fli _ | Fmov _
+  | Fbin _ | Fneg _ | Fsetcmp _ | Itof _ | Ftoi _ -> true
+  | Bin (op, _, _, b) ->
+    (* Division by a zero constant must stay put; variable divisors are
+       treated as non-hoistable but still dead-code-removable. *)
+    (match (op, b) with
+    | (Div | Mod), Oimm 0 -> false
+    | _ -> true)
+  | Load _ | Store _ | Fload _ | Fstore _ | Call _ | Trap _ -> false
+
+let is_pure_or_load i =
+  is_pure i || match i with Load _ | Fload _ -> true | _ -> false
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Shra -> "shra"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+
+let addr_to_string = function
+  | Abase (t, o) -> Printf.sprintf "[t%d%+d]" t o
+  | Aslot (s, o) -> Printf.sprintf "[slot%d%+d]" s o
+  | Aglobal (g, o) -> Printf.sprintf "[%s%+d]" g o
+
+let operand_to_string = function
+  | Otemp t -> Printf.sprintf "t%d" t
+  | Oimm i -> string_of_int i
+
+let arg_to_string = function
+  | Aint t -> Printf.sprintf "t%d" t
+  | Afloat t -> Printf.sprintf "f%d" t
+
+let ins_to_string i =
+  let open Printf in
+  match i with
+  | Li (t, v) -> sprintf "t%d := %d" t v
+  | Mov (t, s) -> sprintf "t%d := t%d" t s
+  | Bin (op, d, a, b) ->
+    sprintf "t%d := %s t%d, %s" d (binop_to_string op) a (operand_to_string b)
+  | Not (d, s) -> sprintf "t%d := ~t%d" d s
+  | Neg (d, s) -> sprintf "t%d := -t%d" d s
+  | Setcmp (c, d, a, b) ->
+    sprintf "t%d := t%d %s %s" d a (Repro_core.Insn.cond_to_string c)
+      (operand_to_string b)
+  | Load (_, d, a) -> sprintf "t%d := load %s" d (addr_to_string a)
+  | Store (_, s, a) -> sprintf "store t%d, %s" s (addr_to_string a)
+  | Lea (d, a) -> sprintf "t%d := lea %s" d (addr_to_string a)
+  | Fli (d, v) -> sprintf "f%d := %g" d v
+  | Fmov (d, s) -> sprintf "f%d := f%d" d s
+  | Fbin (op, d, a, b) ->
+    sprintf "f%d := %s f%d, f%d" d
+      (match op with Fadd -> "fadd" | Fsub -> "fsub" | Fmul -> "fmul" | Fdiv -> "fdiv")
+      a b
+  | Fneg (d, s) -> sprintf "f%d := -f%d" d s
+  | Fsetcmp (c, d, a, b) ->
+    sprintf "t%d := f%d %s f%d" d a (Repro_core.Insn.cond_to_string c) b
+  | Fload (d, a) -> sprintf "f%d := fload %s" d (addr_to_string a)
+  | Fstore (s, a) -> sprintf "fstore f%d, %s" s (addr_to_string a)
+  | Itof (d, s) -> sprintf "f%d := itof t%d" d s
+  | Ftoi (d, s) -> sprintf "t%d := ftoi f%d" d s
+  | Call (r, f, args) ->
+    let dest =
+      match r with
+      | Rnone -> ""
+      | Rint t -> sprintf "t%d := " t
+      | Rfloat t -> sprintf "f%d := " t
+    in
+    sprintf "%scall %s(%s)" dest f
+      (String.concat ", " (List.map arg_to_string args))
+  | Trap (n, a) ->
+    sprintf "trap %d%s" n
+      (match a with None -> "" | Some a -> ", " ^ arg_to_string a)
+
+let term_to_string = function
+  | Jmp l -> Printf.sprintf "jmp L%d" l
+  | Bif (t, l1, l2) -> Printf.sprintf "bif t%d ? L%d : L%d" t l1 l2
+  | Ret None -> "ret"
+  | Ret (Some a) -> Printf.sprintf "ret %s" (arg_to_string a)
+
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "func %s(%s):\n" f.name
+       (String.concat ", " (List.map arg_to_string f.arg_temps)));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (Printf.sprintf "L%d:\n" b.lbl);
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ ins_to_string i ^ "\n"))
+        b.ins;
+      Buffer.add_string buf ("  " ^ term_to_string b.term ^ "\n"))
+    f.blocks;
+  Buffer.contents buf
+
+let map_addr g = function
+  | Abase (t, o) -> Abase (g t, o)
+  | (Aslot _ | Aglobal _) as a -> a
+
+let map_operand g = function Otemp t -> Otemp (g t) | Oimm _ as o -> o
+
+let map_ins_temps g h i =
+  match i with
+  | Li (t, v) -> Li (g t, v)
+  | Mov (t, s) -> Mov (g t, g s)
+  | Bin (op, d, a, b) -> Bin (op, g d, g a, map_operand g b)
+  | Not (d, s) -> Not (g d, g s)
+  | Neg (d, s) -> Neg (g d, g s)
+  | Setcmp (c, d, a, b) -> Setcmp (c, g d, g a, map_operand g b)
+  | Load (w, d, a) -> Load (w, g d, map_addr g a)
+  | Store (w, s, a) -> Store (w, g s, map_addr g a)
+  | Lea (d, a) -> Lea (g d, map_addr g a)
+  | Fli (d, v) -> Fli (h d, v)
+  | Fmov (d, s) -> Fmov (h d, h s)
+  | Fbin (op, d, a, b) -> Fbin (op, h d, h a, h b)
+  | Fneg (d, s) -> Fneg (h d, h s)
+  | Fsetcmp (c, d, a, b) -> Fsetcmp (c, g d, h a, h b)
+  | Fload (d, a) -> Fload (h d, map_addr g a)
+  | Fstore (s, a) -> Fstore (h s, map_addr g a)
+  | Itof (d, s) -> Itof (h d, g s)
+  | Ftoi (d, s) -> Ftoi (g d, h s)
+  | Call (r, f, args) ->
+    let r =
+      match r with
+      | Rnone -> Rnone
+      | Rint t -> Rint (g t)
+      | Rfloat t -> Rfloat (h t)
+    in
+    let args =
+      List.map (function Aint t -> Aint (g t) | Afloat t -> Afloat (h t)) args
+    in
+    Call (r, f, args)
+  | Trap (n, a) ->
+    let a =
+      Option.map
+        (function Aint t -> Aint (g t) | Afloat t -> Afloat (h t))
+        a
+    in
+    Trap (n, a)
+
+let iter_all_ins f k = List.iter (fun b -> List.iter k b.ins) f.blocks

@@ -1,0 +1,96 @@
+(** Three-address intermediate representation.
+
+    Functions are control-flow graphs of basic blocks over two classes of
+    virtual registers: integer temps and float temps.  Named scalar
+    variables are temps (multiply defined); expression results are fresh
+    single-definition temps, which is what the loop-invariant code motion
+    pass relies on.  Arrays and address-taken locals live in frame slots. *)
+
+type temp = int
+type ftemp = int
+type label = int
+
+type addr =
+  | Abase of temp * int  (** [mem\[t + off\]]. *)
+  | Aslot of int * int  (** Frame slot id + byte offset. *)
+  | Aglobal of string * int  (** Data symbol + offset. *)
+
+type operand = Otemp of temp | Oimm of int
+
+type binop =
+  | Add | Sub | And | Or | Xor | Shl | Shr | Shra | Mul | Div | Mod
+
+type arg = Aint of temp | Afloat of ftemp
+type ret = Rnone | Rint of temp | Rfloat of ftemp
+
+type ins =
+  | Li of temp * int
+  | Mov of temp * temp
+  | Bin of binop * temp * temp * operand
+  | Not of temp * temp
+  | Neg of temp * temp
+  | Setcmp of Repro_core.Insn.cond * temp * temp * operand
+      (** t := (a cond b) ? 1 : 0. *)
+  | Load of Repro_core.Insn.load_width * temp * addr
+  | Store of Repro_core.Insn.store_width * temp * addr
+  | Lea of temp * addr  (** Address materialization. *)
+  | Fli of ftemp * float
+  | Fmov of ftemp * ftemp
+  | Fbin of Repro_core.Insn.fbin * ftemp * ftemp * ftemp
+  | Fneg of ftemp * ftemp
+  | Fsetcmp of Repro_core.Insn.cond * temp * ftemp * ftemp
+  | Fload of ftemp * addr  (** Doubles only. *)
+  | Fstore of ftemp * addr
+  | Itof of ftemp * temp
+  | Ftoi of temp * ftemp
+  | Call of ret * string * arg list
+  | Trap of int * arg option
+
+type term = Jmp of label | Bif of temp * label * label | Ret of arg option
+
+type block = { lbl : label; mutable ins : ins list; mutable term : term }
+
+type slot = { slot_id : int; size : int; align : int }
+
+type func = {
+  name : string;
+  arg_temps : arg list;  (** Parameters in order, as the temps they bind. *)
+  ret_float : bool option;
+      (** [None] for void, [Some false] int, [Some true] double. *)
+  mutable blocks : block list;  (** Entry block first. *)
+  mutable slots : slot list;
+  mutable next_temp : int;
+  mutable next_ftemp : int;
+  mutable next_label : int;
+}
+
+val fresh_temp : func -> temp
+val fresh_ftemp : func -> ftemp
+val fresh_label : func -> label
+val fresh_slot : func -> size:int -> align:int -> slot
+
+val block_map : func -> (label, block) Hashtbl.t
+val successors : term -> label list
+
+val defs : ins -> temp option
+(** Integer temp defined, if any. *)
+
+val uses : ins -> temp list
+val fdefs : ins -> ftemp option
+val fuses : ins -> ftemp list
+
+val is_pure : ins -> bool
+(** No side effects and no memory read: candidate for CSE/DCE/LICM. *)
+
+val is_pure_or_load : ins -> bool
+(** Pure, or a read from memory (safe to remove if dead, not to reorder
+    across stores). *)
+
+val ins_to_string : ins -> string
+val term_to_string : term -> string
+val func_to_string : func -> string
+
+val map_ins_temps : (temp -> temp) -> (ftemp -> ftemp) -> ins -> ins
+(** Rewrite all temp occurrences (both uses and defs). *)
+
+val iter_all_ins : func -> (ins -> unit) -> unit

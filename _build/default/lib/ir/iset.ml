@@ -1,0 +1,2 @@
+(* Integer sets used by the dataflow analyses. *)
+include Set.Make (Int)

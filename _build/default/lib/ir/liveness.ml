@@ -1,0 +1,92 @@
+type t = {
+  live_in : (Ir.label, Iset.t) Hashtbl.t;
+  live_out : (Ir.label, Iset.t) Hashtbl.t;
+}
+
+type cls = {
+  def : Ir.ins -> Ir.temp option;
+  use : Ir.ins -> Ir.temp list;
+  term_use : Ir.term -> Ir.temp list;
+}
+
+let int_class =
+  {
+    def = Ir.defs;
+    use = Ir.uses;
+    term_use =
+      (function
+      | Ir.Bif (t, _, _) -> [ t ]
+      | Ir.Ret (Some (Ir.Aint t)) -> [ t ]
+      | Ir.Ret (Some (Ir.Afloat _)) | Ir.Ret None | Ir.Jmp _ -> []);
+  }
+
+let float_class =
+  {
+    def = Ir.fdefs;
+    use = Ir.fuses;
+    term_use =
+      (function
+      | Ir.Ret (Some (Ir.Afloat t)) -> [ t ]
+      | Ir.Ret (Some (Ir.Aint _)) | Ir.Ret None | Ir.Jmp _ | Ir.Bif _ -> []);
+  }
+
+(* use/def summary of a whole block. *)
+let block_summary (b : Ir.block) cls =
+  let use = ref Iset.empty in
+  let def = ref Iset.empty in
+  List.iter
+    (fun i ->
+      (* Process in reverse at the end; build forward instead: a use counts
+         only if not already defined above. *)
+      List.iter
+        (fun u -> if not (Iset.mem u !def) then use := Iset.add u !use)
+        (cls.use i);
+      match cls.def i with Some d -> def := Iset.add d !def | None -> ())
+    b.ins;
+  (* Terminator uses happen after all instructions. *)
+  List.iter
+    (fun u -> if not (Iset.mem u !def) then use := Iset.add u !use)
+    (cls.term_use b.term);
+  (!use, !def)
+
+let compute (f : Ir.func) cls =
+  let live_in = Hashtbl.create 16 in
+  let live_out = Hashtbl.create 16 in
+  let summaries = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace summaries b.lbl (block_summary b cls);
+      Hashtbl.replace live_in b.lbl Iset.empty;
+      Hashtbl.replace live_out b.lbl Iset.empty)
+    f.blocks;
+  let changed = ref true in
+  let rev_blocks = List.rev f.blocks in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (b : Ir.block) ->
+        let out =
+          List.fold_left
+            (fun acc s -> Iset.union acc (Hashtbl.find live_in s))
+            Iset.empty
+            (Ir.successors b.term)
+        in
+        let use, def = Hashtbl.find summaries b.lbl in
+        let inn = Iset.union use (Iset.diff out def) in
+        if not (Iset.equal inn (Hashtbl.find live_in b.lbl)) then begin
+          Hashtbl.replace live_in b.lbl inn;
+          changed := true
+        end;
+        Hashtbl.replace live_out b.lbl out)
+      rev_blocks
+  done;
+  { live_in; live_out }
+
+let backward_scan (b : Ir.block) cls ~live_out visit =
+  let live = ref (Iset.union live_out (Iset.of_list (cls.term_use b.term))) in
+  List.iter
+    (fun i ->
+      visit i ~live:!live;
+      (match cls.def i with Some d -> live := Iset.remove d !live | None -> ());
+      List.iter (fun u -> live := Iset.add u !live) (cls.use i))
+    (List.rev b.ins)

@@ -1,0 +1,24 @@
+(** Backward liveness dataflow over one register class (integer or float
+    virtual registers). *)
+
+type t = {
+  live_in : (Ir.label, Iset.t) Hashtbl.t;
+  live_out : (Ir.label, Iset.t) Hashtbl.t;
+}
+
+type cls = {
+  def : Ir.ins -> Ir.temp option;
+  use : Ir.ins -> Ir.temp list;
+  term_use : Ir.term -> Ir.temp list;
+}
+
+val int_class : cls
+val float_class : cls
+
+val compute : Ir.func -> cls -> t
+
+val backward_scan :
+  Ir.block -> cls -> live_out:Iset.t -> (Ir.ins -> live:Iset.t -> unit) -> unit
+(** Visit the block's instructions from last to first; [live] is the set live
+    immediately {e after} each instruction.  Used by the interference builder
+    and dead-code elimination. *)

@@ -1,0 +1,987 @@
+module Ast = Repro_minic.Ast
+module Insn = Repro_core.Insn
+open Ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type data_item = { dsym : string; dbytes : Bytes.t; dalign : int }
+type unit_ir = { funcs : Ir.func list; data : data_item list }
+
+let rec sizeof = function
+  | Tvoid -> fail "sizeof void"
+  | Tint -> 4
+  | Tchar -> 1
+  | Tdouble -> 8
+  | Tptr _ -> 4
+  | Tarr (t, n) -> n * sizeof t
+
+let alignof = function
+  | Tvoid -> 1
+  | Tint | Tptr _ -> 4
+  | Tchar -> 1
+  | Tdouble -> 8
+  | Tarr _ as t ->
+    let rec elem = function Tarr (t, _) -> elem t | t -> t in
+    (match elem t with Tchar -> 1 | Tdouble -> 8 | _ -> 4)
+
+(* Storage of a name. *)
+type storage =
+  | Stemp of Ir.temp * ty  (* scalar int/char/pointer local *)
+  | Sftemp of Ir.ftemp  (* double local *)
+  | Sslot of int * ty  (* frame slot: arrays, address-taken scalars *)
+  | Sglobal of string * ty
+
+type sig_ = { sret : ty; sparams : ty list }
+
+type env = {
+  globals : (string, ty) Hashtbl.t;
+  sigs : (string, sig_) Hashtbl.t;
+  mutable scopes : (string, storage) Hashtbl.t list;
+  mutable strings : (string * string) list;  (* literal -> symbol *)
+  mutable next_string : int;
+}
+
+let lookup env name =
+  let rec scan = function
+    | [] -> (
+      match Hashtbl.find_opt env.globals name with
+      | Some ty -> Sglobal (name, ty)
+      | None -> fail "unknown identifier '%s'" name)
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some s -> s
+      | None -> scan rest)
+  in
+  scan env.scopes
+
+let intern_string env s =
+  match List.assoc_opt s env.strings with
+  | Some sym -> sym
+  | None ->
+    let sym = Printf.sprintf "_str_%d" env.next_string in
+    env.next_string <- env.next_string + 1;
+    env.strings <- (s, sym) :: env.strings;
+    sym
+
+(* Block builder ---------------------------------------------------------- *)
+
+type builder = {
+  f : Ir.func;
+  mutable cur_lbl : Ir.label;
+  mutable cur_ins : Ir.ins list;  (* reversed *)
+  mutable done_blocks : Ir.block list;  (* reversed *)
+  mutable terminated : bool;
+}
+
+let emit b i = if not b.terminated then b.cur_ins <- i :: b.cur_ins
+
+let finish b term =
+  if not b.terminated then begin
+    b.done_blocks <-
+      { Ir.lbl = b.cur_lbl; ins = List.rev b.cur_ins; term } :: b.done_blocks;
+    b.terminated <- true
+  end
+
+let start b lbl =
+  if not b.terminated then finish b (Ir.Jmp lbl);
+  b.cur_lbl <- lbl;
+  b.cur_ins <- [];
+  b.terminated <- false
+
+(* Values ------------------------------------------------------------------ *)
+
+type value = Vint of Ir.temp * ty | Vfloat of Ir.ftemp
+
+let is_float_ty = function Tdouble -> true | _ -> false
+
+let value_ty = function Vint (_, ty) -> ty | Vfloat _ -> Tdouble
+
+(* Lvalue destinations. *)
+type lvalue =
+  | Ltemp of Ir.temp * ty
+  | Lftemp of Ir.ftemp
+  | Lmem of Ir.addr * ty  (* scalar of type ty in memory *)
+
+let load_width_of_ty = function
+  | Tchar -> Insn.Lb
+  | Tint | Tptr _ -> Insn.Lw
+  | t -> fail "cannot load %s as integer" (ty_to_string t)
+
+let store_width_of_ty = function
+  | Tchar -> Insn.Sb
+  | Tint | Tptr _ -> Insn.Sw
+  | t -> fail "cannot store %s as integer" (ty_to_string t)
+
+let decay = function Tarr (t, _) -> Tptr t | t -> t
+
+(* Lowering context for one function. *)
+type ctx = {
+  env : env;
+  b : builder;
+  ret_ty : ty;
+  addr_taken : string list;
+  mutable break_lbl : Ir.label list;
+  mutable continue_lbl : Ir.label list;
+}
+
+let ftmp ctx = Ir.fresh_ftemp ctx.b.f
+let itmp ctx = Ir.fresh_temp ctx.b.f
+
+let as_float ctx v =
+  match v with
+  | Vfloat t -> t
+  | Vint (t, _) ->
+    let d = ftmp ctx in
+    emit ctx.b (Ir.Itof (d, t));
+    d
+
+let as_int ctx v =
+  match v with
+  | Vint (t, _) -> t
+  | Vfloat ft ->
+    let d = itmp ctx in
+    emit ctx.b (Ir.Ftoi (d, ft));
+    d
+
+let const_int ctx v =
+  let t = itmp ctx in
+  emit ctx.b (Ir.Li (t, v));
+  t
+
+let ir_binop_of : Ast.binop -> Ir.binop = function
+  | Add -> Ir.Add
+  | Sub -> Ir.Sub
+  | Mul -> Ir.Mul
+  | Div -> Ir.Div
+  | Mod -> Ir.Mod
+  | Band -> Ir.And
+  | Bor -> Ir.Or
+  | Bxor -> Ir.Xor
+  | Shl -> Ir.Shl
+  | Shr -> Ir.Shra (* C >> on signed int: arithmetic *)
+  | Lt | Le | Gt | Ge | Eq | Ne | Land | Lor -> fail "not an arithmetic op"
+
+let cond_of : Ast.binop -> Insn.cond = function
+  | Lt -> Insn.Lt
+  | Le -> Insn.Le
+  | Gt -> Insn.Gt
+  | Ge -> Insn.Ge
+  | Eq -> Insn.Eq
+  | Ne -> Insn.Ne
+  | _ -> fail "not a comparison"
+
+let is_cmp = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+(* Static constant evaluation (for global initializers and Oimm folding). *)
+let rec const_eval = function
+  | Intlit n -> Some n
+  | Charlit c -> Some (Char.code c)
+  | Un (Neg, e) -> Option.map (fun v -> -v) (const_eval e)
+  | Un (Bnot, e) -> Option.map lnot (const_eval e)
+  | Bin (op, a, b) -> (
+    match (const_eval a, const_eval b) with
+    | Some x, Some y -> (
+      match op with
+      | Add -> Some (x + y)
+      | Sub -> Some (x - y)
+      | Mul -> Some (x * y)
+      | Div -> if y = 0 then None else Some (x / y)
+      | Mod -> if y = 0 then None else Some (x mod y)
+      | Band -> Some (x land y)
+      | Bor -> Some (x lor y)
+      | Bxor -> Some (x lxor y)
+      | Shl -> Some (x lsl (y land 31))
+      | Shr -> Some (x asr (y land 31))
+      | _ -> None)
+    | _ -> None)
+  | Cast (Tint, e) -> const_eval e
+  | _ -> None
+
+let rec const_feval = function
+  | Floatlit f -> Some f
+  | Intlit n -> Some (float_of_int n)
+  | Charlit c -> Some (float_of_int (Char.code c))
+  | Un (Neg, e) -> Option.map (fun v -> -.v) (const_feval e)
+  | Cast (Tdouble, e) -> const_feval e
+  | _ -> None
+
+(* Expression lowering ----------------------------------------------------- *)
+
+let rec lower_expr ctx (e : expr) : value =
+  match e with
+  | Intlit n -> Vint (const_int ctx n, Tint)
+  | Charlit c -> Vint (const_int ctx (Char.code c), Tchar)
+  | Floatlit f ->
+    let d = ftmp ctx in
+    emit ctx.b (Ir.Fli (d, f));
+    Vfloat d
+  | Strlit s ->
+    let sym = intern_string ctx.env s in
+    let t = itmp ctx in
+    emit ctx.b (Ir.Lea (t, Ir.Aglobal (sym, 0)));
+    Vint (t, Tptr Tchar)
+  | Var _ | Index _ | Deref _ -> lower_rvalue_of_lvalue ctx e
+  | Addrof e -> (
+    match lower_lvalue ctx e with
+    | Lmem (addr, ty) ->
+      let t = itmp ctx in
+      emit ctx.b (Ir.Lea (t, addr));
+      Vint (t, Tptr ty)
+    | Ltemp _ | Lftemp _ -> fail "cannot take address of register variable")
+  | Cast (ty, e) -> lower_cast ctx ty e
+  | Un (Neg, e) -> (
+    match lower_expr ctx e with
+    | Vfloat s ->
+      let d = ftmp ctx in
+      emit ctx.b (Ir.Fneg (d, s));
+      Vfloat d
+    | Vint (s, _) ->
+      let d = itmp ctx in
+      emit ctx.b (Ir.Neg (d, s));
+      Vint (d, Tint))
+  | Un (Bnot, e) ->
+    let s = as_int ctx (lower_expr ctx e) in
+    let d = itmp ctx in
+    emit ctx.b (Ir.Not (d, s));
+    Vint (d, Tint)
+  | Un (Lnot, e) ->
+    let s = as_int ctx (lower_expr ctx e) in
+    let d = itmp ctx in
+    emit ctx.b (Ir.Setcmp (Insn.Eq, d, s, Ir.Oimm 0));
+    Vint (d, Tint)
+  | Bin ((Land | Lor), _, _) | Bin ((Lt | Le | Gt | Ge | Eq | Ne), _, _) ->
+    (* Boolean-valued: materialize through control flow for &&/||, directly
+       for comparisons. *)
+    lower_bool_value ctx e
+  | Bin (op, a, b) -> lower_arith ctx op a b
+  | Assign (lhs, rhs) ->
+    let lv = lower_lvalue ctx lhs in
+    let v = lower_expr ctx rhs in
+    store_lvalue ctx lv v
+  | Opassign (op, lhs, rhs) ->
+    let lv = lower_lvalue ctx lhs in
+    let cur = read_lvalue ctx lv in
+    let v = apply_arith ctx op cur (lower_expr ctx rhs) in
+    store_lvalue ctx lv v
+  | Incdec (is_incr, is_pre, lhs) ->
+    let lv = lower_lvalue ctx lhs in
+    let cur = read_lvalue ctx lv in
+    let delta =
+      match value_ty cur with
+      | Tptr t -> sizeof t
+      | _ -> 1
+    in
+    let op : Ast.binop = if is_incr then Add else Sub in
+    let updated = apply_arith ctx op cur (Vint (const_int ctx delta, Tint)) in
+    let stored = store_lvalue ctx lv updated in
+    if is_pre then stored
+    else begin
+      (* Post-increment: the value is the original.  [cur] already holds it
+         in a temp that the store did not overwrite (stores write fresh
+         temps or memory). *)
+      cur
+    end
+  | Cond (c, a, b) ->
+    let l1 = Ir.fresh_label ctx.b.f in
+    let l2 = Ir.fresh_label ctx.b.f in
+    let lend = Ir.fresh_label ctx.b.f in
+    (* Result class: float if either arm is float-typed. *)
+    lower_cond ctx c ~tl:l1 ~fl:l2;
+    start ctx.b l1;
+    let va = lower_expr ctx a in
+    (match va with
+    | Vfloat _ ->
+      let dst = ftmp ctx in
+      let fa = as_float ctx va in
+      emit ctx.b (Ir.Fmov (dst, fa));
+      finish ctx.b (Ir.Jmp lend);
+      start ctx.b l2;
+      let vb = lower_expr ctx b in
+      let fb = as_float ctx vb in
+      emit ctx.b (Ir.Fmov (dst, fb));
+      finish ctx.b (Ir.Jmp lend);
+      start ctx.b lend;
+      Vfloat dst
+    | Vint (ta, ty) ->
+      let dst = itmp ctx in
+      emit ctx.b (Ir.Mov (dst, ta));
+      finish ctx.b (Ir.Jmp lend);
+      start ctx.b l2;
+      let vb = lower_expr ctx b in
+      let tb = as_int ctx vb in
+      emit ctx.b (Ir.Mov (dst, tb));
+      finish ctx.b (Ir.Jmp lend);
+      start ctx.b lend;
+      Vint (dst, ty))
+  | Call (name, args) -> lower_call ctx name args
+
+and lower_cast ctx ty e =
+  match ty with
+  | Tdouble -> Vfloat (as_float ctx (lower_expr ctx e))
+  | Tint -> Vint (as_int ctx (lower_expr ctx e), Tint)
+  | Tchar ->
+    let t = as_int ctx (lower_expr ctx e) in
+    let d1 = itmp ctx in
+    let d2 = itmp ctx in
+    emit ctx.b (Ir.Bin (Ir.Shl, d1, t, Ir.Oimm 24));
+    emit ctx.b (Ir.Bin (Ir.Shra, d2, d1, Ir.Oimm 24));
+    Vint (d2, Tchar)
+  | Tptr t ->
+    let v = lower_expr ctx e in
+    Vint (as_int ctx v, Tptr t)
+  | Tvoid | Tarr _ -> fail "invalid cast to %s" (ty_to_string ty)
+
+(* Arithmetic with promotion and pointer scaling. *)
+and lower_arith ctx op a b =
+  let va = lower_expr ctx a in
+  let vb = lower_expr ctx b in
+  apply_arith ctx op va vb
+
+and apply_arith ctx op va vb =
+  match (va, vb, op) with
+  | Vfloat _, _, (Add | Sub | Mul | Div) | _, Vfloat _, (Add | Sub | Mul | Div)
+    ->
+    let fa = as_float ctx va in
+    let fb = as_float ctx vb in
+    let d = ftmp ctx in
+    let fop : Insn.fbin =
+      match op with
+      | Add -> Fadd
+      | Sub -> Fsub
+      | Mul -> Fmul
+      | Div -> Fdiv
+      | _ -> assert false
+    in
+    emit ctx.b (Ir.Fbin (fop, d, fa, fb));
+    Vfloat d
+  | Vfloat _, _, _ | _, Vfloat _, _ ->
+    fail "invalid floating-point operation"
+  | Vint (ta, tya), Vint (tb, tyb), _ -> (
+    let scale t elem_ty =
+      let size = sizeof elem_ty in
+      if size = 1 then t
+      else begin
+        let d = itmp ctx in
+        emit ctx.b
+          (Ir.Bin (Ir.Mul, d, t, Ir.Oimm size));
+        d
+      end
+    in
+    match (decay tya, decay tyb, op) with
+    | Tptr ety, (Tint | Tchar), (Add | Sub) ->
+      let tb = scale tb ety in
+      let d = itmp ctx in
+      emit ctx.b (Ir.Bin (ir_binop_of op, d, ta, Ir.Otemp tb));
+      Vint (d, Tptr ety)
+    | (Tint | Tchar), Tptr ety, Add ->
+      let ta = scale ta ety in
+      let d = itmp ctx in
+      emit ctx.b (Ir.Bin (Ir.Add, d, tb, Ir.Otemp ta));
+      Vint (d, Tptr ety)
+    | Tptr ety, Tptr _, Sub ->
+      let d = itmp ctx in
+      emit ctx.b (Ir.Bin (Ir.Sub, d, ta, Ir.Otemp tb));
+      let size = sizeof ety in
+      if size = 1 then Vint (d, Tint)
+      else begin
+        let q = itmp ctx in
+        emit ctx.b (Ir.Bin (Ir.Div, q, d, Ir.Oimm size));
+        Vint (q, Tint)
+      end
+    | _, _, _ ->
+      let d = itmp ctx in
+      emit ctx.b (Ir.Bin (ir_binop_of op, d, ta, Ir.Otemp tb));
+      Vint (d, Tint))
+
+(* Boolean-valued expression materialized as 0/1. *)
+and lower_bool_value ctx e =
+  match e with
+  | Bin (op, a, b) when is_cmp op -> (
+    let va = lower_expr ctx a in
+    let vb = lower_expr ctx b in
+    match (va, vb) with
+    | Vfloat _, _ | _, Vfloat _ ->
+      let fa = as_float ctx va in
+      let fb = as_float ctx vb in
+      let d = itmp ctx in
+      emit ctx.b (Ir.Fsetcmp (cond_of op, d, fa, fb));
+      Vint (d, Tint)
+    | Vint (ta, _), Vint (tb, _) ->
+      let d = itmp ctx in
+      emit ctx.b (Ir.Setcmp (cond_of op, d, ta, Ir.Otemp tb));
+      Vint (d, Tint))
+  | Bin ((Land | Lor), _, _) ->
+    let tl = Ir.fresh_label ctx.b.f in
+    let fl = Ir.fresh_label ctx.b.f in
+    let lend = Ir.fresh_label ctx.b.f in
+    let d = itmp ctx in
+    lower_cond ctx e ~tl ~fl;
+    start ctx.b tl;
+    emit ctx.b (Ir.Li (d, 1));
+    finish ctx.b (Ir.Jmp lend);
+    start ctx.b fl;
+    emit ctx.b (Ir.Li (d, 0));
+    finish ctx.b (Ir.Jmp lend);
+    start ctx.b lend;
+    Vint (d, Tint)
+  | _ -> assert false
+
+(* Condition lowering: branch to [tl] when true, [fl] when false. *)
+and lower_cond ctx e ~tl ~fl =
+  match e with
+  | Bin (Land, a, b) ->
+    let mid = Ir.fresh_label ctx.b.f in
+    lower_cond ctx a ~tl:mid ~fl;
+    start ctx.b mid;
+    lower_cond ctx b ~tl ~fl
+  | Bin (Lor, a, b) ->
+    let mid = Ir.fresh_label ctx.b.f in
+    lower_cond ctx a ~tl ~fl:mid;
+    start ctx.b mid;
+    lower_cond ctx b ~tl ~fl
+  | Un (Lnot, a) -> lower_cond ctx a ~tl:fl ~fl:tl
+  | Bin (op, _, _) when is_cmp op ->
+    let v = lower_bool_value ctx e in
+    finish ctx.b (Ir.Bif (as_int ctx v, tl, fl))
+  | _ -> (
+    match lower_expr ctx e with
+    | Vint (t, _) -> finish ctx.b (Ir.Bif (t, tl, fl))
+    | Vfloat f ->
+      (* if (x) on a double: compare against 0.0. *)
+      let z = ftmp ctx in
+      emit ctx.b (Ir.Fli (z, 0.));
+      let d = itmp ctx in
+      emit ctx.b (Ir.Fsetcmp (Insn.Ne, d, f, z));
+      finish ctx.b (Ir.Bif (d, tl, fl)))
+
+(* Lvalues ----------------------------------------------------------------- *)
+
+and lower_lvalue ctx (e : expr) : lvalue =
+  match e with
+  | Var name -> (
+    match lookup ctx.env name with
+    | Stemp (t, ty) -> Ltemp (t, ty)
+    | Sftemp ft -> Lftemp ft
+    | Sslot (id, ty) -> Lmem (Ir.Aslot (id, 0), ty)
+    | Sglobal (sym, ty) -> Lmem (Ir.Aglobal (sym, 0), ty))
+  | Deref e -> (
+    let v = lower_expr ctx e in
+    match value_ty v with
+    | Tptr ty | Tarr (ty, _) -> Lmem (Ir.Abase (as_int ctx v, 0), ty)
+    | t -> fail "cannot dereference %s" (ty_to_string t))
+  | Index (a, i) -> (
+    let base = lower_lvalue_addr ctx a in
+    let elem_ty =
+      match lower_lvalue_elem_ty ctx a with
+      | Tarr (t, _) | Tptr t -> t
+      | t -> fail "cannot index %s" (ty_to_string t)
+    in
+    let size = sizeof elem_ty in
+    match const_eval i with
+    | Some k -> (
+      match base with
+      | Ir.Abase (t, off) -> Lmem (Ir.Abase (t, off + (k * size)), elem_ty)
+      | Ir.Aslot (s, off) -> Lmem (Ir.Aslot (s, off + (k * size)), elem_ty)
+      | Ir.Aglobal (g, off) -> Lmem (Ir.Aglobal (g, off + (k * size)), elem_ty)
+      )
+    | None ->
+      let iv = as_int ctx (lower_expr ctx i) in
+      let scaled =
+        if size = 1 then iv
+        else begin
+          let d = itmp ctx in
+          emit ctx.b (Ir.Bin (Ir.Mul, d, iv, Ir.Oimm size));
+          d
+        end
+      in
+      let addr_t = itmp ctx in
+      (match base with
+      | Ir.Abase (t, off) ->
+        emit ctx.b (Ir.Bin (Ir.Add, addr_t, t, Ir.Otemp scaled));
+        Lmem (Ir.Abase (addr_t, off), elem_ty)
+      | Ir.Aslot _ | Ir.Aglobal _ ->
+        let baset = itmp ctx in
+        emit ctx.b (Ir.Lea (baset, base));
+        emit ctx.b (Ir.Bin (Ir.Add, addr_t, baset, Ir.Otemp scaled));
+        Lmem (Ir.Abase (addr_t, 0), elem_ty)))
+  | _ -> fail "expression is not an lvalue"
+
+(* The address denoted by an array-ish expression (for indexing). *)
+and lower_lvalue_addr ctx (e : expr) : Ir.addr =
+  match e with
+  | Var name -> (
+    match lookup ctx.env name with
+    | Sslot (id, _) -> Ir.Aslot (id, 0)
+    | Sglobal (sym, Tarr _) -> Ir.Aglobal (sym, 0)
+    | Sglobal (sym, Tptr _) ->
+      (* Pointer global: load its value. *)
+      let t = itmp ctx in
+      emit ctx.b (Ir.Load (Insn.Lw, t, Ir.Aglobal (sym, 0)));
+      Ir.Abase (t, 0)
+    | Stemp (t, (Tptr _ | Tarr _)) -> Ir.Abase (t, 0)
+    | Stemp (_, ty) | Sglobal (_, ty) ->
+      fail "cannot index %s of type %s" name (ty_to_string ty)
+    | Sftemp _ -> fail "cannot index a double")
+  | _ -> (
+    (* General expression: a pointer value, or a sub-array lvalue. *)
+    match e with
+    | Index _ | Deref _ -> (
+      let inner_ty = lower_lvalue_elem_ty ctx e in
+      match inner_ty with
+      | Tarr _ -> (
+        match lower_lvalue ctx e with
+        | Lmem (addr, _) -> addr
+        | Ltemp _ | Lftemp _ -> fail "array value in register")
+      | _ -> (
+        let v = lower_expr ctx e in
+        Ir.Abase (as_int ctx v, 0)))
+    | _ ->
+      let v = lower_expr ctx e in
+      Ir.Abase (as_int ctx v, 0))
+
+(* Type of an expression used in array-indexing position. *)
+and lower_lvalue_elem_ty ctx (e : expr) : ty =
+  match e with
+  | Var name -> (
+    match lookup ctx.env name with
+    | Stemp (_, ty) -> ty
+    | Sftemp _ -> Tdouble
+    | Sslot (_, ty) -> ty
+    | Sglobal (_, ty) -> ty)
+  | Index (a, _) -> (
+    match lower_lvalue_elem_ty ctx a with
+    | Tarr (t, _) | Tptr t -> t
+    | t -> fail "cannot index %s" (ty_to_string t))
+  | Deref e -> (
+    match lower_lvalue_elem_ty ctx e with
+    | Tptr t | Tarr (t, _) -> t
+    | t -> fail "cannot dereference %s" (ty_to_string t))
+  | Strlit _ -> Tptr Tchar
+  | Call (name, _) -> (
+    match Hashtbl.find_opt ctx.env.sigs name with
+    | Some s -> s.sret
+    | None -> fail "unknown function '%s'" name)
+  | Addrof e -> Tptr (lower_lvalue_elem_ty ctx e)
+  | Cast (ty, _) -> ty
+  | Bin (_, a, b) -> (
+    (* Pointer arithmetic keeps the pointer type. *)
+    match lower_lvalue_elem_ty_opt ctx a with
+    | Some (Tptr _ as t) | Some (Tarr _ as t) -> t
+    | _ -> (
+      match lower_lvalue_elem_ty_opt ctx b with
+      | Some (Tptr _ as t) | Some (Tarr _ as t) -> t
+      | _ -> Tint))
+  | _ -> Tint
+
+and lower_lvalue_elem_ty_opt ctx e =
+  try Some (lower_lvalue_elem_ty ctx e) with Error _ -> None
+
+and read_lvalue ctx (lv : lvalue) : value =
+  match lv with
+  | Ltemp (t, ty) ->
+    (* Copy so later writes to the variable do not change this value. *)
+    let d = itmp ctx in
+    emit ctx.b (Ir.Mov (d, t));
+    Vint (d, ty)
+  | Lftemp ft ->
+    let d = ftmp ctx in
+    emit ctx.b (Ir.Fmov (d, ft));
+    Vfloat d
+  | Lmem (addr, ty) ->
+    if is_float_ty ty then begin
+      let d = ftmp ctx in
+      emit ctx.b (Ir.Fload (d, addr));
+      Vfloat d
+    end
+    else if (match ty with Tarr _ -> true | _ -> false) then begin
+      (* Arrays decay to their address. *)
+      let d = itmp ctx in
+      emit ctx.b (Ir.Lea (d, addr));
+      Vint (d, decay ty)
+    end
+    else begin
+      let d = itmp ctx in
+      emit ctx.b (Ir.Load (load_width_of_ty ty, d, addr));
+      Vint (d, ty)
+    end
+
+and store_lvalue ctx (lv : lvalue) (v : value) : value =
+  match lv with
+  | Ltemp (t, ty) ->
+    if is_float_ty ty then fail "type confusion in assignment";
+    let src = as_int ctx v in
+    emit ctx.b (Ir.Mov (t, src));
+    Vint (src, ty)
+  | Lftemp ft ->
+    let src = as_float ctx v in
+    emit ctx.b (Ir.Fmov (ft, src));
+    Vfloat src
+  | Lmem (addr, ty) ->
+    if is_float_ty ty then begin
+      let src = as_float ctx v in
+      emit ctx.b (Ir.Fstore (src, addr));
+      Vfloat src
+    end
+    else begin
+      let src = as_int ctx v in
+      emit ctx.b (Ir.Store (store_width_of_ty ty, src, addr));
+      Vint (src, ty)
+    end
+
+and lower_rvalue_of_lvalue ctx e = read_lvalue ctx (lower_lvalue ctx e)
+
+(* Calls ------------------------------------------------------------------- *)
+
+and lower_call ctx name args =
+  match (name, args) with
+  | "exit", [ a ] ->
+    let t = as_int ctx (lower_expr ctx a) in
+    emit ctx.b (Ir.Trap (Repro_core.Trapcode.exit, Some (Ir.Aint t)));
+    Vint (const_int ctx 0, Tint)
+  | "print_int", [ a ] ->
+    let t = as_int ctx (lower_expr ctx a) in
+    emit ctx.b (Ir.Trap (Repro_core.Trapcode.put_int, Some (Ir.Aint t)));
+    Vint (const_int ctx 0, Tint)
+  | "print_char", [ a ] ->
+    let t = as_int ctx (lower_expr ctx a) in
+    emit ctx.b (Ir.Trap (Repro_core.Trapcode.put_char, Some (Ir.Aint t)));
+    Vint (const_int ctx 0, Tint)
+  | "print_double", [ a ] ->
+    let t = as_float ctx (lower_expr ctx a) in
+    emit ctx.b (Ir.Trap (Repro_core.Trapcode.put_float, Some (Ir.Afloat t)));
+    Vint (const_int ctx 0, Tint)
+  | _ -> (
+    match Hashtbl.find_opt ctx.env.sigs name with
+    | None -> fail "unknown function '%s'" name
+    | Some s ->
+      if List.length s.sparams <> List.length args then
+        fail "arity mismatch calling '%s'" name;
+      let lowered =
+        List.map2
+          (fun pty a ->
+            let v = lower_expr ctx a in
+            if is_float_ty pty then Ir.Afloat (as_float ctx v)
+            else Ir.Aint (as_int ctx v))
+          s.sparams args
+      in
+      let ret =
+        match s.sret with
+        | Tvoid -> Ir.Rnone
+        | Tdouble -> Ir.Rfloat (ftmp ctx)
+        | _ -> Ir.Rint (itmp ctx)
+      in
+      emit ctx.b (Ir.Call (ret, name, lowered));
+      (match ret with
+      | Ir.Rnone -> Vint (const_int ctx 0, Tint)
+      | Ir.Rint t -> Vint (t, s.sret)
+      | Ir.Rfloat f -> Vfloat f))
+
+(* Statements -------------------------------------------------------------- *)
+
+(* Scan for address-taken locals so they get slots. *)
+let rec addr_taken_stmt acc = function
+  | Sexpr e | Sreturn (Some e) -> addr_taken_expr acc e
+  | Sdecl (_, _, Some e) -> addr_taken_expr acc e
+  | Sdecl (_, _, None) | Sreturn None | Sbreak | Scontinue -> acc
+  | Sif (c, a, b) ->
+    let acc = addr_taken_expr acc c in
+    let acc = List.fold_left addr_taken_stmt acc a in
+    List.fold_left addr_taken_stmt acc b
+  | Swhile (c, body) ->
+    let acc = addr_taken_expr acc c in
+    List.fold_left addr_taken_stmt acc body
+  | Sfor (c, step, body) ->
+    let acc = addr_taken_expr acc c in
+    let acc = match step with Some e -> addr_taken_expr acc e | None -> acc in
+    List.fold_left addr_taken_stmt acc body
+  | Sdowhile (body, c) ->
+    let acc = List.fold_left addr_taken_stmt acc body in
+    addr_taken_expr acc c
+  | Sblock body -> List.fold_left addr_taken_stmt acc body
+
+and addr_taken_expr acc = function
+  | Addrof (Var x) -> x :: acc
+  | Addrof e -> addr_taken_expr acc e
+  | Intlit _ | Charlit _ | Floatlit _ | Strlit _ | Var _ -> acc
+  | Bin (_, a, b) | Assign (a, b) | Opassign (_, a, b) | Index (a, b) ->
+    addr_taken_expr (addr_taken_expr acc a) b
+  | Un (_, e) | Incdec (_, _, e) | Deref e | Cast (_, e) ->
+    addr_taken_expr acc e
+  | Cond (a, b, c) ->
+    addr_taken_expr (addr_taken_expr (addr_taken_expr acc a) b) c
+  | Call (_, args) -> List.fold_left addr_taken_expr acc args
+
+let rec lower_stmt ctx (s : stmt) =
+  match s with
+  | Sexpr e -> ignore (lower_expr ctx e)
+  | Sdecl (ty, name, init) ->
+    let scope = List.hd ctx.env.scopes in
+    let storage = declare_local ctx ty name in
+    Hashtbl.replace scope name storage;
+    (match init with
+    | None -> ()
+    | Some e ->
+      let lv =
+        match storage with
+        | Stemp (t, ty) -> Ltemp (t, ty)
+        | Sftemp ft -> Lftemp ft
+        | Sslot (id, ty) -> Lmem (Ir.Aslot (id, 0), ty)
+        | Sglobal _ -> assert false
+      in
+      ignore (store_lvalue ctx lv (lower_expr ctx e)))
+  | Sif (c, then_, else_) ->
+    let lt = Ir.fresh_label ctx.b.f in
+    let lf = Ir.fresh_label ctx.b.f in
+    let lend = Ir.fresh_label ctx.b.f in
+    lower_cond ctx c ~tl:lt ~fl:lf;
+    start ctx.b lt;
+    in_scope ctx (fun () -> List.iter (lower_stmt ctx) then_);
+    finish ctx.b (Ir.Jmp lend);
+    start ctx.b lf;
+    in_scope ctx (fun () -> List.iter (lower_stmt ctx) else_);
+    finish ctx.b (Ir.Jmp lend);
+    start ctx.b lend
+  | Swhile (c, body) ->
+    let lhead = Ir.fresh_label ctx.b.f in
+    let lbody = Ir.fresh_label ctx.b.f in
+    let lexit = Ir.fresh_label ctx.b.f in
+    finish ctx.b (Ir.Jmp lhead);
+    start ctx.b lhead;
+    lower_cond ctx c ~tl:lbody ~fl:lexit;
+    start ctx.b lbody;
+    ctx.break_lbl <- lexit :: ctx.break_lbl;
+    ctx.continue_lbl <- lhead :: ctx.continue_lbl;
+    in_scope ctx (fun () -> List.iter (lower_stmt ctx) body);
+    ctx.break_lbl <- List.tl ctx.break_lbl;
+    ctx.continue_lbl <- List.tl ctx.continue_lbl;
+    finish ctx.b (Ir.Jmp lhead);
+    start ctx.b lexit
+  | Sfor (c, step, body) ->
+    let lhead = Ir.fresh_label ctx.b.f in
+    let lbody = Ir.fresh_label ctx.b.f in
+    let lstep = Ir.fresh_label ctx.b.f in
+    let lexit = Ir.fresh_label ctx.b.f in
+    finish ctx.b (Ir.Jmp lhead);
+    start ctx.b lhead;
+    lower_cond ctx c ~tl:lbody ~fl:lexit;
+    start ctx.b lbody;
+    ctx.break_lbl <- lexit :: ctx.break_lbl;
+    ctx.continue_lbl <- lstep :: ctx.continue_lbl;
+    in_scope ctx (fun () -> List.iter (lower_stmt ctx) body);
+    ctx.break_lbl <- List.tl ctx.break_lbl;
+    ctx.continue_lbl <- List.tl ctx.continue_lbl;
+    finish ctx.b (Ir.Jmp lstep);
+    start ctx.b lstep;
+    (match step with Some e -> ignore (lower_expr ctx e) | None -> ());
+    finish ctx.b (Ir.Jmp lhead);
+    start ctx.b lexit
+  | Sdowhile (body, c) ->
+    let lbody = Ir.fresh_label ctx.b.f in
+    let lcond = Ir.fresh_label ctx.b.f in
+    let lexit = Ir.fresh_label ctx.b.f in
+    finish ctx.b (Ir.Jmp lbody);
+    start ctx.b lbody;
+    ctx.break_lbl <- lexit :: ctx.break_lbl;
+    ctx.continue_lbl <- lcond :: ctx.continue_lbl;
+    in_scope ctx (fun () -> List.iter (lower_stmt ctx) body);
+    ctx.break_lbl <- List.tl ctx.break_lbl;
+    ctx.continue_lbl <- List.tl ctx.continue_lbl;
+    finish ctx.b (Ir.Jmp lcond);
+    start ctx.b lcond;
+    lower_cond ctx c ~tl:lbody ~fl:lexit;
+    start ctx.b lexit
+  | Sreturn None -> finish ctx.b (Ir.Ret None)
+  | Sreturn (Some e) ->
+    let v = lower_expr ctx e in
+    let a =
+      if is_float_ty ctx.ret_ty then Ir.Afloat (as_float ctx v)
+      else Ir.Aint (as_int ctx v)
+    in
+    finish ctx.b (Ir.Ret (Some a))
+  | Sbreak -> (
+    match ctx.break_lbl with
+    | l :: _ -> finish ctx.b (Ir.Jmp l)
+    | [] -> fail "break outside loop")
+  | Scontinue -> (
+    match ctx.continue_lbl with
+    | l :: _ -> finish ctx.b (Ir.Jmp l)
+    | [] -> fail "continue outside loop")
+  | Sblock body -> in_scope ctx (fun () -> List.iter (lower_stmt ctx) body)
+
+and in_scope ctx body =
+  ctx.env.scopes <- Hashtbl.create 8 :: ctx.env.scopes;
+  body ();
+  ctx.env.scopes <- List.tl ctx.env.scopes
+
+and declare_local ctx ty name =
+  match ty with
+  | Tarr _ ->
+    let slot = Ir.fresh_slot ctx.b.f ~size:(sizeof ty) ~align:(alignof ty) in
+    Sslot (slot.Ir.slot_id, ty)
+  | Tdouble ->
+    if is_addr_taken ctx name then begin
+      let slot = Ir.fresh_slot ctx.b.f ~size:8 ~align:8 in
+      Sslot (slot.Ir.slot_id, ty)
+    end
+    else Sftemp (ftmp ctx)
+  | Tint | Tchar | Tptr _ ->
+    if is_addr_taken ctx name then begin
+      let slot = Ir.fresh_slot ctx.b.f ~size:(sizeof ty) ~align:(alignof ty) in
+      Sslot (slot.Ir.slot_id, ty)
+    end
+    else Stemp (itmp ctx, ty)
+  | Tvoid -> fail "void variable '%s'" name
+
+and is_addr_taken ctx name = List.mem name ctx.addr_taken
+
+(* Globals ----------------------------------------------------------------- *)
+
+let put_i32 b off v =
+  let v = v land 0xFFFFFFFF in
+  Bytes.set_uint8 b off (v land 0xFF);
+  Bytes.set_uint8 b (off + 1) ((v lsr 8) land 0xFF);
+  Bytes.set_uint8 b (off + 2) ((v lsr 16) land 0xFF);
+  Bytes.set_uint8 b (off + 3) ((v lsr 24) land 0xFF)
+
+let put_f64 b off v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Bytes.set_uint8 b (off + i)
+      (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF)
+  done
+
+let global_data ty name init : data_item =
+  let size = sizeof ty in
+  let b = Bytes.make size '\000' in
+  let scalar_bytes off ty e =
+    match ty with
+    | Tdouble -> (
+      match const_feval e with
+      | Some f -> put_f64 b off f
+      | None -> fail "global '%s': initializer must be constant" name)
+    | Tchar -> (
+      match const_eval e with
+      | Some v -> Bytes.set_uint8 b off (v land 0xFF)
+      | None -> fail "global '%s': initializer must be constant" name)
+    | _ -> (
+      match const_eval e with
+      | Some v -> put_i32 b off v
+      | None -> fail "global '%s': initializer must be constant" name)
+  in
+  (match (ty, init) with
+  | _, None -> ()
+  | Tarr (Tchar, n), Some (Istring s) ->
+    if String.length s + 1 > n then fail "string too long for '%s'" name;
+    Bytes.blit_string s 0 b 0 (String.length s)
+  | Tarr (ety, n), Some (Iarray es) ->
+    if List.length es > n then fail "too many initializers for '%s'" name;
+    List.iteri (fun i e -> scalar_bytes (i * sizeof ety) ety e) es
+  | _, Some (Iscalar e) -> scalar_bytes 0 ty e
+  | _, Some _ -> fail "bad initializer for '%s'" name);
+  { dsym = name; dbytes = b; dalign = alignof ty }
+
+(* Functions --------------------------------------------------------------- *)
+
+let lower_func env (fd : Ast.func) : Ir.func =
+  let f : Ir.func =
+    {
+      name = fd.fname;
+      arg_temps = [];
+      ret_float = (match fd.fret with
+                  | Tvoid -> None
+                  | Tdouble -> Some true
+                  | _ -> Some false);
+      blocks = [];
+      slots = [];
+      next_temp = 0;
+      next_ftemp = 0;
+      next_label = 0;
+    }
+  in
+  let entry = Ir.fresh_label f in
+  let b =
+    { f; cur_lbl = entry; cur_ins = []; done_blocks = []; terminated = false }
+  in
+  let addr_taken = List.fold_left addr_taken_stmt [] fd.fbody in
+  let ctx =
+    { env; b; ret_ty = fd.fret; break_lbl = []; continue_lbl = []; addr_taken }
+  in
+  env.scopes <- [ Hashtbl.create 8 ];
+  (* Bind parameters. *)
+  let args =
+    List.map
+      (fun (pty, pname) ->
+        let storage = declare_local ctx pty pname in
+        Hashtbl.replace (List.hd env.scopes) pname storage;
+        match storage with
+        | Stemp (t, _) -> Ir.Aint t
+        | Sftemp ft -> Ir.Afloat ft
+        | Sslot (id, ty) ->
+          (* Address-taken parameter: bind via a temp, store to the slot. *)
+          let t = itmp ctx in
+          if is_float_ty ty then fail "address-taken double parameter";
+          emit ctx.b (Ir.Store (store_width_of_ty ty, t, Ir.Aslot (id, 0)));
+          Ir.Aint t
+        | Sglobal _ -> assert false)
+      fd.fparams
+  in
+  List.iter (lower_stmt ctx) fd.fbody;
+  (* Implicit return. *)
+  if not b.terminated then begin
+    match fd.fret with
+    | Tvoid -> finish b (Ir.Ret None)
+    | Tdouble ->
+      let z = ftmp ctx in
+      emit b (Ir.Fli (z, 0.));
+      finish b (Ir.Ret (Some (Ir.Afloat z)))
+    | _ ->
+      let z = itmp ctx in
+      emit b (Ir.Li (z, 0));
+      finish b (Ir.Ret (Some (Ir.Aint z)))
+  end;
+  env.scopes <- [];
+  { f with arg_temps = args; blocks = List.rev b.done_blocks }
+
+let lower_program (prog : Ast.program) : unit_ir =
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      sigs = Hashtbl.create 16;
+      scopes = [];
+      strings = [];
+      next_string = 0;
+    }
+  in
+  (* First pass: collect signatures and globals. *)
+  List.iter
+    (function
+      | Gfunc fd ->
+        if Hashtbl.mem env.sigs fd.fname then
+          fail "duplicate function '%s'" fd.fname;
+        Hashtbl.replace env.sigs fd.fname
+          { sret = fd.fret; sparams = List.map fst fd.fparams }
+      | Gvar (ty, name, _) ->
+        if Hashtbl.mem env.globals name then fail "duplicate global '%s'" name;
+        Hashtbl.replace env.globals name ty)
+    prog;
+  if not (Hashtbl.mem env.sigs "main") then fail "no main function";
+  let funcs = ref [] in
+  let data = ref [] in
+  List.iter
+    (function
+      | Gfunc fd -> funcs := lower_func env fd :: !funcs
+      | Gvar (ty, name, init) -> data := global_data ty name init :: !data)
+    prog;
+  let string_data =
+    List.map
+      (fun (s, sym) ->
+        let b = Bytes.make (String.length s + 1) '\000' in
+        Bytes.blit_string s 0 b 0 (String.length s);
+        { dsym = sym; dbytes = b; dalign = 1 })
+      env.strings
+  in
+  { funcs = List.rev !funcs; data = List.rev !data @ string_data }

@@ -1,0 +1,26 @@
+(** Lowering from the mini-C AST to IR, with inline type checking.
+
+    Scalar locals that are never address-taken become virtual registers;
+    arrays and address-taken locals become frame slots.  [char] values are
+    kept sign-extended in integer temps.  Mixed int/double arithmetic
+    promotes to double; assignments and calls insert conversions.  Pointer
+    arithmetic scales by element size.
+
+    Built-in services (lowered to traps): [exit(n)], [print_int(n)],
+    [print_char(c)], [print_double(x)]. *)
+
+exception Error of string
+
+type data_item = {
+  dsym : string;
+  dbytes : Bytes.t;
+  dalign : int;
+}
+
+type unit_ir = { funcs : Ir.func list; data : data_item list }
+
+val lower_program : Repro_minic.Ast.program -> unit_ir
+(** @raise Error on type errors, unknown identifiers, arity mismatches,
+    or a missing [main]. *)
+
+val sizeof : Repro_minic.Ast.ty -> int

@@ -1,0 +1,711 @@
+module Insn = Repro_core.Insn
+module Bitops = Repro_util.Bitops
+
+(* Local constant folding and constant/copy propagation ------------------- *)
+
+type binding = Const of int | Copy of Ir.temp
+type fbinding = Fconst of float | Fcopy of Ir.ftemp
+
+let norm v = Bitops.of_u32 v
+
+let fold_bin (op : Ir.binop) a b =
+  match op with
+  | Add -> Some (Bitops.add32 a b)
+  | Sub -> Some (Bitops.sub32 a b)
+  | And -> Some (norm (a land b))
+  | Or -> Some (norm (a lor b))
+  | Xor -> Some (norm (a lxor b))
+  | Shl -> Some (Bitops.shl32 a b)
+  | Shr -> Some (Bitops.shr32 a b)
+  | Shra -> Some (Bitops.sra32 a b)
+  | Mul -> Some (norm (a * b))
+  | Div -> if b = 0 then None else Some (norm (a / b))
+  | Mod -> if b = 0 then None else Some (norm (a mod b))
+
+let eval_cond (c : Insn.cond) a b =
+  let open Bitops in
+  match c with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Ltu -> ltu32 a b
+  | Leu -> (not (ltu32 b a))
+  | Gtu -> ltu32 b a
+  | Geu -> not (ltu32 a b)
+
+let local_simplify (f : Ir.func) =
+  let changed = ref false in
+  let mark i i' = if i <> i' then changed := true; i' in
+  List.iter
+    (fun (b : Ir.block) ->
+      let env : (Ir.temp, binding) Hashtbl.t = Hashtbl.create 16 in
+      let fenv : (Ir.ftemp, fbinding) Hashtbl.t = Hashtbl.create 8 in
+      let root t =
+        match Hashtbl.find_opt env t with Some (Copy s) -> s | _ -> t
+      in
+      let froot t =
+        match Hashtbl.find_opt fenv t with Some (Fcopy s) -> s | _ -> t
+      in
+      let const t =
+        match Hashtbl.find_opt env t with Some (Const k) -> Some k | _ -> None
+      in
+      let fconst t =
+        match Hashtbl.find_opt fenv t with
+        | Some (Fconst k) -> Some k
+        | _ -> None
+      in
+      let kill_int d =
+        Hashtbl.remove env d;
+        let stale =
+          Hashtbl.fold
+            (fun k v acc -> match v with Copy s when s = d -> k :: acc | _ -> acc)
+            env []
+        in
+        List.iter (Hashtbl.remove env) stale
+      in
+      let kill_float d =
+        Hashtbl.remove fenv d;
+        let stale =
+          Hashtbl.fold
+            (fun k v acc ->
+              match v with Fcopy s when s = d -> k :: acc | _ -> acc)
+            fenv []
+        in
+        List.iter (Hashtbl.remove fenv) stale
+      in
+      let subst_operand = function
+        | Ir.Otemp t -> (
+          match const t with Some k -> Ir.Oimm k | None -> Ir.Otemp (root t))
+        | Ir.Oimm _ as o -> o
+      in
+      let subst_addr = function
+        | Ir.Abase (t, o) -> Ir.Abase (root t, o)
+        | a -> a
+      in
+      let rewrite (i : Ir.ins) : Ir.ins =
+        match i with
+        | Li _ -> i
+        | Mov (d, s) -> (
+          let s = root s in
+          match const s with Some k -> mark i (Li (d, k)) | None -> mark i (Mov (d, s)))
+        | Bin (op, d, a, b) -> (
+          let a = root a in
+          let b = subst_operand b in
+          match (const a, b) with
+          | Some ka, Oimm kb -> (
+            match fold_bin op ka kb with
+            | Some v -> mark i (Li (d, v))
+            | None -> mark i (Bin (op, d, a, b)))
+          | _ -> (
+            (* Algebraic identities. *)
+            match (op, b) with
+            | (Add | Sub | Or | Xor | Shl | Shr | Shra), Oimm 0 ->
+              mark i (Mov (d, a))
+            | And, Oimm 0 -> mark i (Li (d, 0))
+            | Mul, Oimm 0 -> mark i (Li (d, 0))
+            | (Mul | Div), Oimm 1 -> mark i (Mov (d, a))
+            | Mod, Oimm 1 -> mark i (Li (d, 0))
+            | Sub, Otemp b' when b' = a -> mark i (Li (d, 0))
+            | Xor, Otemp b' when b' = a -> mark i (Li (d, 0))
+            | And, Otemp b' when b' = a -> mark i (Mov (d, a))
+            | Or, Otemp b' when b' = a -> mark i (Mov (d, a))
+            | (Add | Mul), Otemp _ -> (
+              (* Canonicalize constants to the right via commutativity. *)
+              match (const a, b) with
+              | Some ka, Otemp b' -> mark i (Bin (op, d, b', Oimm ka))
+              | _ -> mark i (Bin (op, d, a, b)))
+            | _ -> mark i (Bin (op, d, a, b))))
+        | Not (d, s) -> (
+          let s = root s in
+          match const s with
+          | Some k -> mark i (Li (d, norm (lnot k)))
+          | None -> mark i (Not (d, s)))
+        | Neg (d, s) -> (
+          let s = root s in
+          match const s with
+          | Some k -> mark i (Li (d, norm (-k)))
+          | None -> mark i (Neg (d, s)))
+        | Setcmp (c, d, a, b) -> (
+          let a = root a in
+          let b = subst_operand b in
+          match (const a, b) with
+          | Some ka, Oimm kb ->
+            mark i (Li (d, if eval_cond c ka kb then 1 else 0))
+          | _ -> mark i (Setcmp (c, d, a, b)))
+        | Load (w, d, a) -> Load (w, d, subst_addr a)
+        | Store (w, s, a) -> Store (w, root s, subst_addr a)
+        | Lea (d, a) -> Lea (d, subst_addr a)
+        | Fli _ -> i
+        | Fmov (d, s) -> (
+          let s = froot s in
+          match fconst s with
+          | Some k -> mark i (Fli (d, k))
+          | None -> mark i (Fmov (d, s)))
+        | Fbin (op, d, a, b) -> (
+          let a = froot a in
+          let b = froot b in
+          match (fconst a, fconst b) with
+          | Some ka, Some kb ->
+            let v =
+              match op with
+              | Fadd -> ka +. kb
+              | Fsub -> ka -. kb
+              | Fmul -> ka *. kb
+              | Fdiv -> ka /. kb
+            in
+            mark i (Fli (d, v))
+          | _ -> mark i (Fbin (op, d, a, b)))
+        | Fneg (d, s) -> (
+          let s = froot s in
+          match fconst s with
+          | Some k -> mark i (Fli (d, -.k))
+          | None -> mark i (Fneg (d, s)))
+        | Fsetcmp (c, d, a, b) -> Fsetcmp (c, d, froot a, froot b)
+        | Fload (d, a) -> Fload (d, subst_addr a)
+        | Fstore (s, a) -> Fstore (froot s, subst_addr a)
+        | Itof (d, s) -> (
+          let s = root s in
+          match const s with
+          | Some k -> mark i (Fli (d, float_of_int k))
+          | None -> mark i (Itof (d, s)))
+        | Ftoi (d, s) -> Ftoi (d, froot s)
+        | Call (r, name, args) ->
+          Call
+            ( r,
+              name,
+              List.map
+                (function
+                  | Ir.Aint t -> Ir.Aint (root t)
+                  | Ir.Afloat t -> Ir.Afloat (froot t))
+                args )
+        | Trap (n, a) ->
+          Trap
+            ( n,
+              Option.map
+                (function
+                  | Ir.Aint t -> Ir.Aint (root t)
+                  | Ir.Afloat t -> Ir.Afloat (froot t))
+                a )
+      in
+      let record (i : Ir.ins) =
+        (match Ir.defs i with Some d -> kill_int d | None -> ());
+        (match Ir.fdefs i with Some d -> kill_float d | None -> ());
+        match i with
+        | Li (d, k) -> Hashtbl.replace env d (Const k)
+        | Mov (d, s) when d <> s -> Hashtbl.replace env d (Copy s)
+        | Fli (d, k) -> Hashtbl.replace fenv d (Fconst k)
+        | Fmov (d, s) when d <> s -> Hashtbl.replace fenv d (Fcopy s)
+        | _ -> ()
+      in
+      b.ins <-
+        List.map
+          (fun i ->
+            let i' = rewrite i in
+            record i';
+            i')
+          b.ins;
+      b.term <-
+        (match b.term with
+        | Bif (t, l1, l2) -> (
+          let t = root t in
+          match const t with
+          | Some 0 ->
+            changed := true;
+            Jmp l2
+          | Some _ ->
+            changed := true;
+            Jmp l1
+          | None -> Bif (t, l1, l2))
+        | Ret (Some (Aint t)) -> Ret (Some (Aint (root t)))
+        | Ret (Some (Afloat t)) -> Ret (Some (Afloat (froot t)))
+        | t -> t))
+    f.blocks;
+  !changed
+
+(* Local CSE ---------------------------------------------------------------- *)
+
+type expr_key =
+  | Kbin of Ir.binop * Ir.temp * Ir.operand
+  | Ksetcmp of Insn.cond * Ir.temp * Ir.operand
+  | Knot of Ir.temp
+  | Kneg of Ir.temp
+  | Klea of Ir.addr
+  | Kload of Repro_core.Insn.load_width * Ir.addr
+  | Kfbin of Insn.fbin * Ir.ftemp * Ir.ftemp
+  | Kfneg of Ir.ftemp
+  | Kitof of Ir.temp
+  | Kftoi of Ir.ftemp
+  | Kfload of Ir.addr
+
+type cse_val = Vint of Ir.temp | Vfloat of Ir.ftemp
+
+let key_of (i : Ir.ins) : expr_key option =
+  match i with
+  | Bin (op, _, a, b) -> (
+    match (op, b) with
+    | (Add | And | Or | Xor | Mul), Otemp b' when b' < a ->
+      Some (Kbin (op, b', Otemp a))
+    | _ -> Some (Kbin (op, a, b)))
+  | Setcmp (c, _, a, b) -> Some (Ksetcmp (c, a, b))
+  | Not (_, s) -> Some (Knot s)
+  | Neg (_, s) -> Some (Kneg s)
+  | Lea (_, a) -> Some (Klea a)
+  | Load (w, _, a) -> Some (Kload (w, a))
+  | Fbin (op, _, a, b) -> Some (Kfbin (op, a, b))
+  | Fneg (_, s) -> Some (Kfneg s)
+  | Itof (_, s) -> Some (Kitof s)
+  | Ftoi (_, s) -> Some (Kftoi s)
+  | Fload (_, a) -> Some (Kfload a)
+  | Li _ | Mov _ | Store _ | Fli _ | Fmov _ | Fsetcmp _ | Fstore _ | Call _
+  | Trap _ -> None
+
+let key_sources = function
+  | Kbin (_, a, Otemp b) -> ([ a; b ], [])
+  | Kbin (_, a, Oimm _) -> ([ a ], [])
+  | Ksetcmp (_, a, Otemp b) -> ([ a; b ], [])
+  | Ksetcmp (_, a, Oimm _) -> ([ a ], [])
+  | Knot s | Kneg s | Kitof s -> ([ s ], [])
+  | Klea (Abase (t, _)) | Kload (_, Abase (t, _)) | Kfload (Abase (t, _)) ->
+    ([ t ], [])
+  | Klea _ | Kload _ | Kfload _ -> ([], [])
+  | Kfbin (_, a, b) -> ([], [ a; b ])
+  | Kfneg s | Kftoi s -> ([], [ s ])
+
+let is_load_key = function
+  | Kload _ | Kfload _ -> true
+  | Kbin _ | Ksetcmp _ | Knot _ | Kneg _ | Klea _ | Kfbin _ | Kfneg _
+  | Kitof _ | Kftoi _ -> false
+
+let local_cse (f : Ir.func) =
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      let table : (expr_key, cse_val) Hashtbl.t = Hashtbl.create 16 in
+      let kill_loads () =
+        let stale =
+          Hashtbl.fold
+            (fun k _ acc -> if is_load_key k then k :: acc else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      let kill_temp ~is_float d =
+        let stale =
+          Hashtbl.fold
+            (fun k v acc ->
+              let ints, floats = key_sources k in
+              let src_hit =
+                if is_float then List.mem d floats else List.mem d ints
+              in
+              let val_hit =
+                match v with
+                | Vint t -> (not is_float) && t = d
+                | Vfloat t -> is_float && t = d
+              in
+              if src_hit || val_hit then k :: acc else acc)
+            table []
+        in
+        List.iter (Hashtbl.remove table) stale
+      in
+      b.ins <-
+        List.map
+          (fun (i : Ir.ins) ->
+            let replaced =
+              match key_of i with
+              | Some k -> (
+                match (Hashtbl.find_opt table k, Ir.defs i, Ir.fdefs i) with
+                | Some (Vint prev), Some d, _ when prev <> d ->
+                  changed := true;
+                  Some (Ir.Mov (d, prev))
+                | Some (Vfloat prev), _, Some d when prev <> d ->
+                  changed := true;
+                  Some (Ir.Fmov (d, prev))
+                | _ -> None)
+              | None -> None
+            in
+            let i' = Option.value replaced ~default:i in
+            (* Invalidate and record. *)
+            (match i' with
+            | Store _ | Call _ | Trap _ -> kill_loads ()
+            | _ -> ());
+            (match Ir.defs i' with
+            | Some d -> kill_temp ~is_float:false d
+            | None -> ());
+            (match Ir.fdefs i' with
+            | Some d -> kill_temp ~is_float:true d
+            | None -> ());
+            (if replaced = None then
+               match (key_of i', Ir.defs i', Ir.fdefs i') with
+               | Some k, Some d, _ -> Hashtbl.replace table k (Vint d)
+               | Some k, None, Some d -> Hashtbl.replace table k (Vfloat d)
+               | _ -> ());
+            i')
+          b.ins)
+    f.blocks;
+  !changed
+
+(* Dead code ---------------------------------------------------------------- *)
+
+let dead_code (f : Ir.func) =
+  let changed = ref false in
+  let ilive = Liveness.compute f Liveness.int_class in
+  let flive = Liveness.compute f Liveness.float_class in
+  List.iter
+    (fun (b : Ir.block) ->
+      let live_i =
+        ref
+          (Iset.union
+             (Hashtbl.find ilive.live_out b.lbl)
+             (Iset.of_list (Liveness.int_class.term_use b.term)))
+      in
+      let live_f =
+        ref
+          (Iset.union
+             (Hashtbl.find flive.live_out b.lbl)
+             (Iset.of_list (Liveness.float_class.term_use b.term)))
+      in
+      let keep = ref [] in
+      List.iter
+        (fun (i : Ir.ins) ->
+          let dead =
+            Ir.is_pure_or_load i
+            && (match (Ir.defs i, Ir.fdefs i) with
+               | Some d, _ -> not (Iset.mem d !live_i)
+               | None, Some d -> not (Iset.mem d !live_f)
+               | None, None -> false)
+          in
+          let trivial =
+            match i with
+            | Mov (d, s) -> d = s
+            | Fmov (d, s) -> d = s
+            | _ -> false
+          in
+          if dead || trivial then changed := true
+          else begin
+            keep := i :: !keep;
+            (match Ir.defs i with
+            | Some d -> live_i := Iset.remove d !live_i
+            | None -> ());
+            (match Ir.fdefs i with
+            | Some d -> live_f := Iset.remove d !live_f
+            | None -> ());
+            List.iter (fun u -> live_i := Iset.add u !live_i) (Ir.uses i);
+            List.iter (fun u -> live_f := Iset.add u !live_f) (Ir.fuses i)
+          end)
+        (List.rev b.ins);
+      b.ins <- !keep)
+    f.blocks;
+  !changed
+
+(* Loop-invariant code motion ------------------------------------------------ *)
+
+let def_counts (f : Ir.func) =
+  let ints = Hashtbl.create 64 in
+  let floats = Hashtbl.create 64 in
+  let bump h k =
+    Hashtbl.replace h k (1 + Option.value (Hashtbl.find_opt h k) ~default:0)
+  in
+  Ir.iter_all_ins f (fun i ->
+      (match Ir.defs i with Some d -> bump ints d | None -> ());
+      match Ir.fdefs i with Some d -> bump floats d | None -> ());
+  List.iter
+    (function Ir.Aint t -> bump ints t | Ir.Afloat t -> bump floats t)
+    f.arg_temps;
+  (ints, floats)
+
+let licm (f : Ir.func) =
+  let changed = ref false in
+  let loops = Cfg.natural_loops f in
+  let idefs, fdefs = def_counts f in
+  List.iter
+    (fun { Cfg.header; body } ->
+      let bm = Ir.block_map f in
+      let body_blocks =
+        List.filter (fun (b : Ir.block) -> Iset.mem b.lbl body) f.blocks
+      in
+      (* Temps defined inside the loop. *)
+      let defined_in = Hashtbl.create 32 in
+      let fdefined_in = Hashtbl.create 32 in
+      List.iter
+        (fun (b : Ir.block) ->
+          List.iter
+            (fun i ->
+              (match Ir.defs i with
+              | Some d -> Hashtbl.replace defined_in d ()
+              | None -> ());
+              match Ir.fdefs i with
+              | Some d -> Hashtbl.replace fdefined_in d ()
+              | None -> ())
+            b.ins)
+        body_blocks;
+      let hoisted = ref [] in
+      let hoisted_i = Hashtbl.create 16 in
+      let hoisted_f = Hashtbl.create 16 in
+      let invariant_temp t =
+        (not (Hashtbl.mem defined_in t)) || Hashtbl.mem hoisted_i t
+      in
+      let invariant_ftemp t =
+        (not (Hashtbl.mem fdefined_in t)) || Hashtbl.mem hoisted_f t
+      in
+      let pass () =
+        let progress = ref false in
+        List.iter
+          (fun (b : Ir.block) ->
+            let keep = ref [] in
+            List.iter
+              (fun (i : Ir.ins) ->
+                let single_def =
+                  match (Ir.defs i, Ir.fdefs i) with
+                  | Some d, _ -> Hashtbl.find_opt idefs d = Some 1
+                  | None, Some d -> Hashtbl.find_opt fdefs d = Some 1
+                  | None, None -> false
+                in
+                let movable =
+                  Ir.is_pure i && single_def
+                  && List.for_all invariant_temp (Ir.uses i)
+                  && List.for_all invariant_ftemp (Ir.fuses i)
+                  && not
+                       (match (Ir.defs i, Ir.fdefs i) with
+                       | Some d, _ -> Hashtbl.mem hoisted_i d
+                       | None, Some d -> Hashtbl.mem hoisted_f d
+                       | None, None -> true)
+                in
+                if movable then begin
+                  hoisted := i :: !hoisted;
+                  (match Ir.defs i with
+                  | Some d -> Hashtbl.replace hoisted_i d ()
+                  | None -> ());
+                  (match Ir.fdefs i with
+                  | Some d -> Hashtbl.replace hoisted_f d ()
+                  | None -> ());
+                  progress := true
+                end
+                else keep := i :: !keep)
+              b.ins;
+            b.ins <- List.rev !keep)
+          body_blocks;
+        !progress
+      in
+      let rec fix () = if pass () then fix () in
+      fix ();
+      match !hoisted with
+      | [] -> ()
+      | moved ->
+        changed := true;
+        (* Create a preheader and retarget non-back-edge predecessors. *)
+        let ph = Ir.fresh_label f in
+        let preds = Cfg.predecessors f in
+        let outside_preds =
+          List.filter
+            (fun p -> not (Iset.mem p body))
+            (try Hashtbl.find preds header with Not_found -> [])
+        in
+        List.iter
+          (fun p ->
+            let pb = Hashtbl.find bm p in
+            let retarget l = if l = header then ph else l in
+            pb.Ir.term <-
+              (match pb.Ir.term with
+              | Jmp l -> Jmp (retarget l)
+              | Bif (c, l1, l2) -> Bif (c, retarget l1, retarget l2)
+              | Ret _ as t -> t))
+          outside_preds;
+        let ph_block = { Ir.lbl = ph; ins = List.rev moved; term = Jmp header } in
+        (* Keep the entry block first. *)
+        f.blocks <- (match f.blocks with
+          | entry :: rest -> entry :: ph_block :: rest
+          | [] -> [ ph_block ]))
+    loops;
+  !changed
+
+(* Strength reduction -------------------------------------------------------- *)
+
+let strength_reduce (f : Ir.func) =
+  let changed = ref false in
+  let expand_mul d a k =
+    let pos = abs k in
+    let finishing body =
+      if k < 0 then begin
+        let t = Ir.fresh_temp f in
+        let body = List.map (Ir.map_ins_temps (fun x -> if x = d then t else x) Fun.id) body in
+        body @ [ Ir.Neg (d, t) ]
+      end
+      else body
+    in
+    if k = 0 then Some [ Ir.Li (d, 0) ]
+    else if k = 1 then Some [ Ir.Mov (d, a) ]
+    else if k = -1 then Some [ Ir.Neg (d, a) ]
+    else if Bitops.is_pow2 pos then
+      Some (finishing [ Ir.Bin (Ir.Shl, d, a, Ir.Oimm (Bitops.log2 pos)) ])
+    else begin
+      (* Count set bits; decompose into at most three shifted terms, or a
+         2^i - 2^j difference. *)
+      let bits = List.filter (fun i -> pos land (1 lsl i) <> 0) (List.init 31 Fun.id) in
+      match bits with
+      | [ j; i ] ->
+        let t1 = Ir.fresh_temp f in
+        let t2 = Ir.fresh_temp f in
+        Some
+          (finishing
+             [
+               Ir.Bin (Ir.Shl, t1, a, Ir.Oimm i);
+               Ir.Bin (Ir.Shl, t2, a, Ir.Oimm j);
+               Ir.Bin (Ir.Add, d, t1, Ir.Otemp t2);
+             ])
+      | [ j; m; i ] ->
+        let t1 = Ir.fresh_temp f in
+        let t2 = Ir.fresh_temp f in
+        let t3 = Ir.fresh_temp f in
+        let t4 = Ir.fresh_temp f in
+        Some
+          (finishing
+             [
+               Ir.Bin (Ir.Shl, t1, a, Ir.Oimm i);
+               Ir.Bin (Ir.Shl, t2, a, Ir.Oimm m);
+               Ir.Bin (Ir.Add, t3, t1, Ir.Otemp t2);
+               Ir.Bin (Ir.Shl, t4, a, Ir.Oimm j);
+               Ir.Bin (Ir.Add, d, t3, Ir.Otemp t4);
+             ])
+      | _ ->
+        if Bitops.is_pow2 (pos + 1) then begin
+          (* k = 2^i - 1. *)
+          let t1 = Ir.fresh_temp f in
+          Some
+            (finishing
+               [
+                 Ir.Bin (Ir.Shl, t1, a, Ir.Oimm (Bitops.log2 (pos + 1)));
+                 Ir.Bin (Ir.Sub, d, t1, Ir.Otemp a);
+               ])
+        end
+        else None
+    end
+  in
+  let expand_div d a k =
+    if k = 1 then Some [ Ir.Mov (d, a) ]
+    else if k = -1 then Some [ Ir.Neg (d, a) ]
+    else if k > 1 && Bitops.is_pow2 k then begin
+      let s = Bitops.log2 k in
+      let t1 = Ir.fresh_temp f in
+      let t2 = Ir.fresh_temp f in
+      let t3 = Ir.fresh_temp f in
+      (* Signed division rounds toward zero: bias negative dividends by
+         k - 1 before the arithmetic shift. *)
+      Some
+        [
+          Ir.Bin (Ir.Shra, t1, a, Ir.Oimm 31);
+          Ir.Bin (Ir.Shr, t2, t1, Ir.Oimm (32 - s));
+          Ir.Bin (Ir.Add, t3, a, Ir.Otemp t2);
+          Ir.Bin (Ir.Shra, d, t3, Ir.Oimm s);
+        ]
+    end
+    else None
+  in
+  let expand_mod d a k =
+    if k = 1 || k = -1 then Some [ Ir.Li (d, 0) ]
+    else if k > 1 && Bitops.is_pow2 k then begin
+      let s = Bitops.log2 k in
+      let q = Ir.fresh_temp f in
+      match expand_div q a k with
+      | Some div_ins ->
+        let t = Ir.fresh_temp f in
+        Some
+          (div_ins
+          @ [ Ir.Bin (Ir.Shl, t, q, Ir.Oimm s); Ir.Bin (Ir.Sub, d, a, Ir.Otemp t) ])
+      | None -> None
+    end
+    else None
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.ins <-
+        List.concat_map
+          (fun (i : Ir.ins) ->
+            let expansion =
+              match i with
+              | Bin (Mul, d, a, Oimm k) -> expand_mul d a k
+              | Bin (Div, d, a, Oimm k) -> expand_div d a k
+              | Bin (Mod, d, a, Oimm k) -> expand_mod d a k
+              | _ -> None
+            in
+            match expansion with
+            | Some ins ->
+              changed := true;
+              ins
+            | None -> [ i ])
+          b.ins)
+    f.blocks;
+  !changed
+
+(* Lower remaining multiplies and divides to library calls ------------------- *)
+
+let lower_muldiv (f : Ir.func) =
+  List.iter
+    (fun (b : Ir.block) ->
+      b.ins <-
+        List.concat_map
+          (fun (i : Ir.ins) ->
+            match i with
+            | Bin (((Mul | Div | Mod) as op), d, a, rhs) ->
+              let name =
+                match op with
+                | Mul -> "__mulsi3"
+                | Div -> "__divsi3"
+                | Mod -> "__modsi3"
+                | _ -> assert false
+              in
+              let brhs, pre =
+                match rhs with
+                | Otemp t -> (t, [])
+                | Oimm k ->
+                  let t = Ir.fresh_temp f in
+                  (t, [ Ir.Li (t, k) ])
+              in
+              pre @ [ Ir.Call (Rint d, name, [ Aint a; Aint brhs ]) ]
+            | _ -> [ i ])
+          b.ins)
+    f.blocks
+
+type flags = {
+  fold : bool;  (* constant folding / copy propagation *)
+  cse : bool;
+  dce : bool;
+  do_licm : bool;
+  strength : bool;
+}
+
+let all_flags = { fold = true; cse = true; dce = true; do_licm = true; strength = true }
+let no_flags = { fold = false; cse = false; dce = false; do_licm = false; strength = false }
+
+let optimize_with (fl : flags) (f : Ir.func) =
+  Cfg.clean f;
+  let simplify () = if fl.fold then ignore (local_simplify f) in
+  let cse () = if fl.cse then ignore (local_cse f) in
+  let dce () = if fl.dce then ignore (dead_code f) in
+  let rec iterate n =
+    if n > 0 then begin
+      let c1 = fl.fold && local_simplify f in
+      let c2 = fl.cse && local_cse f in
+      let c3 = fl.dce && dead_code f in
+      if c1 || c2 || c3 then iterate (n - 1)
+    end
+  in
+  iterate 4;
+  if fl.do_licm && licm f then begin
+    simplify ();
+    cse ();
+    dce ()
+  end;
+  if fl.strength && strength_reduce f then begin
+    simplify ();
+    cse ();
+    dce ()
+  end;
+  Cfg.clean f;
+  lower_muldiv f;
+  Cfg.clean f
+
+let optimize ?(level = 2) (f : Ir.func) =
+  optimize_with (if level > 0 then all_flags else no_flags) f

@@ -1,0 +1,43 @@
+(** The optimizer: the passes GCC 2.1's -O exercises that matter for the
+    paper's measurements.
+
+    - local constant folding, constant/copy propagation, algebraic
+      simplification;
+    - local common-subexpression elimination (including redundant loads,
+      killed conservatively at stores and calls);
+    - global dead-code elimination (liveness based);
+    - loop-invariant code motion over natural loops (single-definition pure
+      instructions whose operands are loop-invariant);
+    - multiply/divide strength reduction (shift-add decomposition, power-of-
+      two division with sign correction);
+    - lowering of remaining multiplies/divides to the runtime-library calls
+      [__mulsi3], [__divsi3], [__modsi3]. *)
+
+val local_simplify : Ir.func -> bool
+(** Returns true if anything changed. *)
+
+val local_cse : Ir.func -> bool
+val dead_code : Ir.func -> bool
+val licm : Ir.func -> bool
+val strength_reduce : Ir.func -> bool
+val lower_muldiv : Ir.func -> unit
+
+type flags = {
+  fold : bool;
+  cse : bool;
+  dce : bool;
+  do_licm : bool;
+  strength : bool;
+}
+
+val all_flags : flags
+val no_flags : flags
+
+val optimize_with : flags -> Ir.func -> unit
+(** Run the pipeline with individual passes enabled or disabled (for the
+    ablation study); [lower_muldiv] and CFG cleanup always run. *)
+
+val optimize : ?level:int -> Ir.func -> unit
+(** [level 0]: only [lower_muldiv] and CFG cleanup (everything needed for
+    correctness).  [level 1+] (default 2): the full pipeline
+    ([optimize_with all_flags]). *)

@@ -1,0 +1,376 @@
+module Target = Repro_core.Target
+
+exception Spill_failure of string
+
+type t = {
+  int_assign : (Ir.temp, int) Hashtbl.t;
+  float_assign : (Ir.ftemp, int) Hashtbl.t;
+  spill_slot_int : (Ir.temp, int) Hashtbl.t;
+  spill_slot_float : (Ir.ftemp, int) Hashtbl.t;
+  used_callee_gpr : int list;
+  used_callee_fpr : int list;
+}
+
+(* One coloring problem: a register class over a function. *)
+type problem = {
+  cls : Liveness.cls;
+  arg_temps : Ir.temp list;  (* parameters of this class, in order *)
+  colors : int list;  (* allocatable physical registers, caller-saved first *)
+  callee_saved : Iset.t;
+  trap_clobber : int;  (* register written by trap argument setup (r4 / f0) *)
+  spill_bytes : int;
+  is_float : bool;
+}
+
+let all_temps (f : Ir.func) (p : problem) =
+  let s = ref (Iset.of_list p.arg_temps) in
+  Ir.iter_all_ins f (fun i ->
+      (match p.cls.def i with Some d -> s := Iset.add d !s | None -> ());
+      List.iter (fun u -> s := Iset.add u !s) (p.cls.use i));
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter (fun u -> s := Iset.add u !s) (p.cls.term_use b.term))
+    f.blocks;
+  !s
+
+(* Interference graph with move-bias edges. *)
+type graph = {
+  adj : (Ir.temp, Iset.t) Hashtbl.t;
+  moves : (Ir.temp, Iset.t) Hashtbl.t;
+  needs_callee : (Ir.temp, unit) Hashtbl.t;
+  avoid_trap_reg : (Ir.temp, unit) Hashtbl.t;
+  occurrences : (Ir.temp, int) Hashtbl.t;
+}
+
+let add_edge g a b =
+  if a <> b then begin
+    let get k = Option.value (Hashtbl.find_opt g.adj k) ~default:Iset.empty in
+    Hashtbl.replace g.adj a (Iset.add b (get a));
+    Hashtbl.replace g.adj b (Iset.add a (get b))
+  end
+
+let add_move g a b =
+  if a <> b then begin
+    let get k = Option.value (Hashtbl.find_opt g.moves k) ~default:Iset.empty in
+    Hashtbl.replace g.moves a (Iset.add b (get a));
+    Hashtbl.replace g.moves b (Iset.add a (get b))
+  end
+
+let move_partner (p : problem) (i : Ir.ins) =
+  match (p.is_float, i) with
+  | false, Ir.Mov (d, s) -> Some (d, s)
+  | true, Ir.Fmov (d, s) -> Some (d, s)
+  | _ -> None
+
+let build_graph (f : Ir.func) (p : problem) =
+  let g =
+    {
+      adj = Hashtbl.create 64;
+      moves = Hashtbl.create 32;
+      needs_callee = Hashtbl.create 32;
+      avoid_trap_reg = Hashtbl.create 8;
+      occurrences = Hashtbl.create 64;
+    }
+  in
+  let bump t =
+    Hashtbl.replace g.occurrences t
+      (1 + Option.value (Hashtbl.find_opt g.occurrences t) ~default:0)
+  in
+  Iset.iter (fun t -> Hashtbl.replace g.adj t Iset.empty) (all_temps f p);
+  let live = Liveness.compute f p.cls in
+  (* Parameters are all defined simultaneously at entry. *)
+  (match f.blocks with
+  | entry :: _ ->
+    let entry_live = Hashtbl.find live.live_in entry.Ir.lbl in
+    let params = Iset.of_list p.arg_temps in
+    Iset.iter
+      (fun a ->
+        Iset.iter (fun b -> add_edge g a b) (Iset.union entry_live params))
+      params
+  | [] -> ());
+  List.iter
+    (fun (b : Ir.block) ->
+      let live_out = Hashtbl.find live.live_out b.Ir.lbl in
+      Liveness.backward_scan b p.cls ~live_out (fun i ~live ->
+          (match p.cls.def i with Some d -> bump d | None -> ());
+          List.iter bump (p.cls.use i);
+          (match p.cls.def i with
+          | Some d ->
+            let excluded =
+              match move_partner p i with Some (_, s) -> Some s | None -> None
+            in
+            Iset.iter
+              (fun l -> if Some l <> excluded then add_edge g d l)
+              (Iset.remove d live)
+          | None -> ());
+          (match move_partner p i with
+          | Some (d, s) -> add_move g d s
+          | None -> ());
+          match i with
+          | Ir.Call _ ->
+            let after = match p.cls.def i with
+              | Some d -> Iset.remove d live
+              | None -> live
+            in
+            Iset.iter (fun t -> Hashtbl.replace g.needs_callee t ()) after
+          | Ir.Trap _ ->
+            (* A trap's argument is staged in r4 (or f0), clobbering it for
+               anything live across. *)
+            Iset.iter (fun t -> Hashtbl.replace g.avoid_trap_reg t ()) live
+          | _ -> ()))
+    f.blocks;
+  g
+
+(* Simplify / select.  [no_spill] holds reload temps from earlier rounds:
+   re-spilling them cannot make progress. *)
+let color_problem (f : Ir.func) (p : problem) ~no_spill =
+  let g = build_graph f p in
+  let k = List.length p.colors in
+  let nodes = Hashtbl.fold (fun t _ acc -> t :: acc) g.adj [] in
+  let removed = Hashtbl.create 64 in
+  let degree t =
+    Iset.cardinal
+      (Iset.filter
+         (fun n -> not (Hashtbl.mem removed n))
+         (Hashtbl.find g.adj t))
+  in
+  let stack = ref [] in
+  let remaining = ref (List.length nodes) in
+  while !remaining > 0 do
+    let candidates =
+      List.filter (fun t -> not (Hashtbl.mem removed t)) nodes
+    in
+    let low = List.find_opt (fun t -> degree t < k) candidates in
+    let chosen =
+      match low with
+      | Some t -> t
+      | None ->
+        (* Potential spill: cheapest occurrences/degree ratio, never a
+           reload temp. *)
+        let cost t =
+          let occ =
+            float_of_int
+              (Option.value (Hashtbl.find_opt g.occurrences t) ~default:0)
+          in
+          let deg = float_of_int (max 1 (degree t)) in
+          occ /. deg
+        in
+        let spillable =
+          List.filter (fun t -> not (Hashtbl.mem no_spill t)) candidates
+        in
+        let pool = if spillable = [] then candidates else spillable in
+        List.fold_left
+          (fun best t ->
+            match best with
+            | None -> Some t
+            | Some b -> if cost t < cost b then Some t else best)
+          None pool
+        |> Option.get
+    in
+    Hashtbl.replace removed chosen ();
+    stack := chosen :: !stack;
+    decr remaining
+  done;
+  (* Select in reverse removal order. *)
+  let assign = Hashtbl.create 64 in
+  let spilled = ref [] in
+  List.iter
+    (fun t ->
+      let neighbor_colors =
+        Iset.fold
+          (fun n acc ->
+            match Hashtbl.find_opt assign n with
+            | Some c -> Iset.add c acc
+            | None -> acc)
+          (Hashtbl.find g.adj t)
+          Iset.empty
+      in
+      let allowed =
+        List.filter
+          (fun c ->
+            (not (Iset.mem c neighbor_colors))
+            && ((not (Hashtbl.mem g.needs_callee t))
+               || Iset.mem c p.callee_saved)
+            && ((not (Hashtbl.mem g.avoid_trap_reg t)) || c <> p.trap_clobber))
+          p.colors
+      in
+      (* Bias toward a move partner's color. *)
+      let preferred =
+        match Hashtbl.find_opt g.moves t with
+        | Some partners ->
+          Iset.fold
+            (fun partner acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                match Hashtbl.find_opt assign partner with
+                | Some c when List.mem c allowed -> Some c
+                | _ -> None))
+            partners None
+        | None -> None
+      in
+      match (preferred, allowed) with
+      | Some c, _ -> Hashtbl.replace assign t c
+      | None, c :: _ -> Hashtbl.replace assign t c
+      | None, [] -> spilled := t :: !spilled)
+    !stack;
+  (assign, !spilled)
+
+(* Spill rewriting: replace every instruction touching a spilled temp with a
+   short-lived fresh temp plus a reload/store. *)
+let rewrite_spills (f : Ir.func) (p : problem) spilled spill_slots ~no_spill =
+  let slot_of = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      let slot = Ir.fresh_slot f ~size:p.spill_bytes ~align:p.spill_bytes in
+      Hashtbl.replace slot_of t slot.Ir.slot_id;
+      Hashtbl.replace spill_slots t slot.Ir.slot_id)
+    spilled;
+  let is_spilled t = Hashtbl.mem slot_of t in
+  List.iter
+    (fun (b : Ir.block) ->
+      let rewrite_one (i : Ir.ins) : Ir.ins list =
+        let used = List.filter is_spilled (p.cls.use i) in
+        let defined =
+          match p.cls.def i with
+          | Some d when is_spilled d -> [ d ]
+          | _ -> []
+        in
+        let touched = List.sort_uniq compare (used @ defined) in
+        if touched = [] then [ i ]
+        else begin
+          let mapping =
+            List.map
+              (fun t ->
+                let fresh =
+                  if p.is_float then Ir.fresh_ftemp f else Ir.fresh_temp f
+                in
+                Hashtbl.replace no_spill fresh ();
+                (t, fresh))
+              touched
+          in
+          let subst t =
+            match List.assoc_opt t mapping with Some t' -> t' | None -> t
+          in
+          let i' =
+            if p.is_float then Ir.map_ins_temps Fun.id subst i
+            else Ir.map_ins_temps subst Fun.id i
+          in
+          let loads =
+            List.filter_map
+              (fun t ->
+                if List.mem t used then
+                  let addr = Ir.Aslot (Hashtbl.find slot_of t, 0) in
+                  Some
+                    (if p.is_float then Ir.Fload (subst t, addr)
+                     else Ir.Load (Repro_core.Insn.Lw, subst t, addr))
+                else None)
+              touched
+          in
+          let stores =
+            List.filter_map
+              (fun t ->
+                if List.mem t defined then
+                  let addr = Ir.Aslot (Hashtbl.find slot_of t, 0) in
+                  Some
+                    (if p.is_float then Ir.Fstore (subst t, addr)
+                     else Ir.Store (Repro_core.Insn.Sw, subst t, addr))
+                else None)
+              touched
+          in
+          loads @ [ i' ] @ stores
+        end
+      in
+      b.ins <- List.concat_map rewrite_one b.ins;
+      (* Spilled temps used by terminators: reload just before. *)
+      let term_used = List.filter is_spilled (p.cls.term_use b.term) in
+      List.iter
+        (fun t ->
+          let t' = if p.is_float then Ir.fresh_ftemp f else Ir.fresh_temp f in
+          Hashtbl.replace no_spill t' ();
+          let addr = Ir.Aslot (Hashtbl.find slot_of t, 0) in
+          b.ins <-
+            b.ins
+            @ [
+                (if p.is_float then Ir.Fload (t', addr)
+                 else Ir.Load (Repro_core.Insn.Lw, t', addr));
+              ];
+          let subst x = if x = t then t' else x in
+          b.term <-
+            (match b.term with
+            | Ir.Bif (c, l1, l2) when not p.is_float -> Ir.Bif (subst c, l1, l2)
+            | Ir.Ret (Some (Ir.Aint r)) when not p.is_float ->
+              Ir.Ret (Some (Ir.Aint (subst r)))
+            | Ir.Ret (Some (Ir.Afloat r)) when p.is_float ->
+              Ir.Ret (Some (Ir.Afloat (subst r)))
+            | term -> term))
+        term_used)
+    f.blocks
+
+(* Spilled parameters stay in [arg_temps] and in [spill_slot_*]; the code
+   generator stores the incoming argument register straight to the slot. *)
+let solve_class (f : Ir.func) (p : problem) spill_slots =
+  let no_spill = Hashtbl.create 32 in
+  let rec loop n =
+    if n = 0 then
+      raise (Spill_failure (Printf.sprintf "%s: allocation did not converge" f.Ir.name));
+    let assign, spilled = color_problem f p ~no_spill in
+    if spilled = [] then assign
+    else begin
+      rewrite_spills f p spilled spill_slots ~no_spill;
+      loop (n - 1)
+    end
+  in
+  loop 48
+
+let allocate target (f : Ir.func) =
+  let int_args =
+    List.filter_map
+      (function Ir.Aint t -> Some t | Ir.Afloat _ -> None)
+      f.arg_temps
+  in
+  let float_args =
+    List.filter_map
+      (function Ir.Afloat t -> Some t | Ir.Aint _ -> None)
+      f.arg_temps
+  in
+  let spill_i = Hashtbl.create 8 in
+  let spill_f = Hashtbl.create 8 in
+  let int_problem =
+    {
+      cls = Liveness.int_class;
+      arg_temps = int_args;
+      colors = Target.allocatable_gpr target;
+      callee_saved = Iset.of_list (Target.callee_saved_gpr target);
+      trap_clobber = Repro_core.Regs.ret_gpr;
+      spill_bytes = 4;
+      is_float = false;
+    }
+  in
+  let float_problem =
+    {
+      cls = Liveness.float_class;
+      arg_temps = float_args;
+      colors = Target.allocatable_fpr target;
+      callee_saved = Iset.of_list (Target.callee_saved_fpr target);
+      trap_clobber = Repro_core.Regs.ret_fpr;
+      spill_bytes = 8;
+      is_float = true;
+    }
+  in
+  let int_assign = solve_class f int_problem spill_i in
+  let float_assign = solve_class f float_problem spill_f in
+  let used_callee assign callee =
+    Hashtbl.fold
+      (fun _ c acc -> if Iset.mem c callee && not (List.mem c acc) then c :: acc else acc)
+      assign []
+    |> List.sort compare
+  in
+  {
+    int_assign;
+    float_assign;
+    spill_slot_int = spill_i;
+    spill_slot_float = spill_f;
+    used_callee_gpr = used_callee int_assign int_problem.callee_saved;
+    used_callee_fpr = used_callee float_assign float_problem.callee_saved;
+  }

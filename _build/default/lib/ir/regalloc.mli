@@ -1,0 +1,25 @@
+(** Graph-coloring register allocation (Chaitin-style, with iterated
+    spilling), run separately for the integer and floating-point classes.
+
+    The paper's compiler uses procedure-level allocation over a flat register
+    file; the file size is the experiment knob (16 vs 32 registers,
+    Section 3.3.1).  Temps live across a call may only receive callee-saved
+    registers; spilled temps get frame slots and the code is rewritten with
+    short-lived reload temps until coloring succeeds. *)
+
+exception Spill_failure of string
+
+type t = {
+  int_assign : (Ir.temp, int) Hashtbl.t;
+  float_assign : (Ir.ftemp, int) Hashtbl.t;
+  spill_slot_int : (Ir.temp, int) Hashtbl.t;
+      (** Slot ids of spilled original temps (informational). *)
+  spill_slot_float : (Ir.ftemp, int) Hashtbl.t;
+  used_callee_gpr : int list;
+  used_callee_fpr : int list;
+}
+
+val allocate : Repro_core.Target.t -> Ir.func -> t
+(** Mutates the function (spill code).  Every temp that remains in the
+    function after return is in the assignment tables.
+    @raise Spill_failure if coloring does not converge. *)

@@ -1,0 +1,1 @@
+lib/link/link.ml: Array Bytes Hashtbl List Printf Repro_codegen Repro_core Repro_ir

@@ -1,0 +1,1 @@
+lib/link/link.mli: Bytes Hashtbl Repro_codegen Repro_core Repro_ir

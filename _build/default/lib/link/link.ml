@@ -1,0 +1,417 @@
+module Insn = Repro_core.Insn
+module Target = Repro_core.Target
+module Regs = Repro_core.Regs
+module Trapcode = Repro_core.Trapcode
+module Asm = Repro_codegen.Asm
+module Lower = Repro_ir.Lower
+
+exception Link_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+type image = {
+  target : Target.t;
+  insns : Insn.t array;
+  addr_of : int array;
+  index_of_addr : (int, int) Hashtbl.t;
+  entry_index : int;
+  text_base : int;
+  text_bytes : int;
+  data_base : int;
+  data_bytes : int;
+  init : (int * Bytes.t) list;
+  symbols : (string, int) Hashtbl.t;
+  mem_size : int;
+  sp_init : int;
+}
+
+let text_base = 0x1000
+
+(* Fixed address space: 16 MiB, stack at the top growing down.  A constant
+   memory size keeps the _start stub's sp constant independent of layout. *)
+let mem_size = 1 lsl 24
+let stack_bytes = 1 lsl 20
+let sp_init = mem_size - 16
+
+(* Pool keys: what a D16 literal-pool word will contain. *)
+type key = Kconst of int | Ksym of string * int | Klabel of Asm.label
+
+(* Mutable relaxation state per item. *)
+type state = { mutable far : bool; mutable wide : bool }
+
+type lfrag = {
+  frag : Asm.fragment;
+  states : state array;
+  mutable pool_keys : key list;  (* insertion-ordered, unique *)
+  mutable base : int;  (* pool start address *)
+  mutable code_base : int;
+  labels : (Asm.label, int) Hashtbl.t;
+  item_addr : int array;
+}
+
+let add_key lf k = if not (List.mem k lf.pool_keys) then lf.pool_keys <- lf.pool_keys @ [ k ]
+
+let key_index lf k =
+  let rec idx n = function
+    | [] -> fail "pool key missing"
+    | k' :: _ when k' = k -> n
+    | _ :: rest -> idx (n + 1) rest
+  in
+  idx 0 lf.pool_keys
+
+let pool_addr lf k = lf.base + (4 * key_index lf k)
+
+(* The shape of an item: how many instructions it expands to.  [resolve] is
+   only consulted during final emission; during sizing the shapes depend on
+   the relaxation state alone. *)
+let item_size target (st : state) (it : Asm.item) =
+  let b = Target.insn_bytes target in
+  let is_d16 = target.Target.isa = Target.D16 in
+  match it with
+  | Asm.Lbl _ -> 0
+  | Asm.Op _ -> b
+  | Asm.Br_lbl _ -> if st.far then 2 * b else b
+  | Asm.Bz_lbl _ | Asm.Bnz_lbl _ -> if st.far then 4 * b else b
+  | Asm.Call_sym _ -> if st.far then 2 * b else b
+  | Asm.La (r, _, _) ->
+    if is_d16 then if r = 0 then b else 2 * b
+    else if st.wide then 2 * b
+    else b
+  | Asm.Lc (r, v) ->
+    if is_d16 then if r = 0 then b else 2 * b
+    else if Target.mvi_fits target v then b
+    else 2 * b
+
+let start_fragment () =
+  {
+    Asm.fn_name = "_start";
+    items =
+      [
+        Asm.Lc (Regs.sp, sp_init);
+        Asm.Call_sym "main";
+        Asm.Op Insn.Nop (* delay slot *);
+        Asm.Op (Insn.Trap Trapcode.exit);
+      ];
+  }
+
+let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
+  let is_d16 = target.Target.isa = Target.D16 in
+  let fragments = start_fragment () :: fragments in
+  let lfrags =
+    List.map
+      (fun (f : Asm.fragment) ->
+        let n = List.length f.items in
+        {
+          frag = f;
+          states = Array.init n (fun _ -> { far = false; wide = false });
+          pool_keys = [];
+          base = 0;
+          code_base = 0;
+          labels = Hashtbl.create 8;
+          item_addr = Array.make n 0;
+        })
+      fragments
+  in
+  (* Static pool needs. *)
+  List.iter
+    (fun lf ->
+      if is_d16 then
+        List.iter
+          (function
+            | Asm.Lc (_, v) -> add_key lf (Kconst v)
+            | Asm.La (_, s, o) -> add_key lf (Ksym (s, o))
+            | _ -> ())
+          lf.frag.items)
+    lfrags;
+  let fn_addr = Hashtbl.create 16 in
+  (* Layout + relaxation fixpoint. *)
+  let assign_addresses () =
+    let cursor = ref text_base in
+    List.iter
+      (fun lf ->
+        if is_d16 then begin
+          lf.base <- (!cursor + 3) / 4 * 4;
+          cursor := lf.base + (4 * List.length lf.pool_keys)
+        end
+        else begin
+          lf.base <- !cursor;
+          cursor := lf.base
+        end;
+        lf.code_base <- !cursor;
+        Hashtbl.replace fn_addr lf.frag.fn_name lf.code_base;
+        List.iteri
+          (fun i it ->
+            lf.item_addr.(i) <- !cursor;
+            (match it with
+            | Asm.Lbl l -> Hashtbl.replace lf.labels l !cursor
+            | _ -> ());
+            cursor := !cursor + item_size target lf.states.(i) it)
+          lf.frag.items)
+      lfrags;
+    !cursor
+  in
+  let reach = Target.branch_range target - Target.insn_bytes target in
+  let relax_pass () =
+    let changed = ref false in
+    List.iter
+      (fun lf ->
+        List.iteri
+          (fun i it ->
+            let st = lf.states.(i) in
+            if not st.far then begin
+              let here = lf.item_addr.(i) in
+              match it with
+              | Asm.Br_lbl l | Asm.Bz_lbl (_, l) | Asm.Bnz_lbl (_, l) ->
+                let dest = Hashtbl.find lf.labels l in
+                let off = dest - here in
+                if off < -Target.branch_range target || off > reach then begin
+                  if not is_d16 then
+                    fail "%s: DLXe branch out of range (%d)" lf.frag.fn_name off;
+                  st.far <- true;
+                  add_key lf (Klabel l);
+                  changed := true
+                end
+              | Asm.Call_sym s -> (
+                match Hashtbl.find_opt fn_addr s with
+                | None -> fail "undefined function '%s'" s
+                | Some dest ->
+                  let range = Target.call_range target in
+                  let off = dest - here in
+                  if off < -range || off > range - Target.insn_bytes target
+                  then begin
+                    if not is_d16 then
+                      fail "%s: DLXe call out of range" lf.frag.fn_name;
+                    st.far <- true;
+                    add_key lf (Ksym (s, 0));
+                    changed := true
+                  end)
+              | Asm.La _ when not is_d16 ->
+                (* Wide when the final address may not fit mvi; decided after
+                   data layout, conservatively by current upper bound. *)
+                ()
+              | _ -> ()
+            end)
+          lf.frag.items)
+      lfrags;
+    !changed
+  in
+  (* DLXe La widening needs data addresses; approximate with the final text
+     cursor (data follows text, so any data symbol address >= text_end).
+     Iterate: first assume narrow; widen whenever the estimated address
+     exceeds the mvi range.  Data addresses only grow as text grows, so this
+     is monotone too. *)
+  let data_symbols = Hashtbl.create 16 in
+  let layout_data base =
+    let cursor = ref base in
+    List.iter
+      (fun (d : Lower.data_item) ->
+        let a = (!cursor + d.dalign - 1) / d.dalign * d.dalign in
+        Hashtbl.replace data_symbols d.dsym a;
+        cursor := a + Bytes.length d.dbytes)
+      data;
+    !cursor
+  in
+  let widen_la_pass text_end =
+    let changed = ref false in
+    if not is_d16 then begin
+      let data_end = layout_data ((text_end + 7) / 8 * 8) in
+      ignore data_end;
+      List.iter
+        (fun lf ->
+          List.iteri
+            (fun i it ->
+              match it with
+              | Asm.La (_, s, o) when not lf.states.(i).wide -> (
+                let addr =
+                  match Hashtbl.find_opt data_symbols s with
+                  | Some a -> a + o
+                  | None -> (
+                    match Hashtbl.find_opt fn_addr s with
+                    | Some a -> a + o
+                    | None -> fail "undefined symbol '%s'" s)
+                in
+                (* 64-byte margin: later sizing wobble must not flip the
+                   decision back. *)
+                if not (Target.mvi_fits target (addr + 64)) then begin
+                  lf.states.(i).wide <- true;
+                  changed := true
+                end)
+              | _ -> ())
+            lf.frag.items)
+        lfrags
+    end;
+    !changed
+  in
+  let rec fixpoint n =
+    if n = 0 then fail "relaxation did not converge";
+    let text_end = assign_addresses () in
+    let c1 = relax_pass () in
+    let c2 = widen_la_pass text_end in
+    if c1 || c2 then fixpoint (n - 1) else text_end
+  in
+  let text_end = fixpoint 64 in
+  let data_base = (text_end + 7) / 8 * 8 in
+  let data_end = layout_data data_base in
+  let symbol_addr s o =
+    match Hashtbl.find_opt data_symbols s with
+    | Some a -> a + o
+    | None -> (
+      match Hashtbl.find_opt fn_addr s with
+      | Some a -> a + o
+      | None -> fail "undefined symbol '%s'" s)
+  in
+  if data_end > mem_size - stack_bytes then
+    fail "data segment too large (%d bytes)" (data_end - data_base);
+
+  (* Emission. *)
+  let insns = ref [] in
+  let addrs = ref [] in
+  let pool_inits = ref [] in
+  let emit_at addr i =
+    insns := i :: !insns;
+    addrs := addr :: !addrs
+  in
+  let check addr i =
+    match Target.legal target i with
+    | Ok () -> emit_at addr i
+    | Error e -> fail "illegal instruction '%s' at 0x%x: %s" (Insn.to_string i) addr e
+  in
+  let key_value lf = function
+    | Kconst v -> v
+    | Ksym (s, o) -> symbol_addr s o
+    | Klabel l -> Hashtbl.find lf.labels l
+  in
+  List.iter
+    (fun lf ->
+      if is_d16 && lf.pool_keys <> [] then begin
+        let b = Bytes.create (4 * List.length lf.pool_keys) in
+        List.iteri
+          (fun i k ->
+            let v = key_value lf k land 0xFFFFFFFF in
+            Bytes.set_uint8 b (4 * i) (v land 0xFF);
+            Bytes.set_uint8 b ((4 * i) + 1) ((v lsr 8) land 0xFF);
+            Bytes.set_uint8 b ((4 * i) + 2) ((v lsr 16) land 0xFF);
+            Bytes.set_uint8 b ((4 * i) + 3) ((v lsr 24) land 0xFF))
+          lf.pool_keys;
+        pool_inits := (lf.base, b) :: !pool_inits
+      end;
+      let ldc_to addr k =
+        let p = pool_addr lf k in
+        let off = p - (addr land lnot 3) in
+        if off >= 0 || off < -Target.ldc_reach target then
+          fail "%s: pool entry out of ldc reach (%d)" lf.frag.fn_name off;
+        Insn.Ldc (0, off)
+      in
+      List.iteri
+        (fun i it ->
+          let addr = lf.item_addr.(i) in
+          let st = lf.states.(i) in
+          let b = Target.insn_bytes target in
+          match it with
+          | Asm.Lbl _ -> ()
+          | Asm.Op ins -> check addr ins
+          | Asm.Br_lbl l ->
+            let dest = Hashtbl.find lf.labels l in
+            if st.far then begin
+              check addr (ldc_to addr (Klabel l));
+              check (addr + b) (Insn.J 0)
+            end
+            else check addr (Insn.Br (dest - addr))
+          | Asm.Bz_lbl (r, l) | Asm.Bnz_lbl (r, l) ->
+            let dest = Hashtbl.find lf.labels l in
+            let is_bz = match it with Asm.Bz_lbl _ -> true | _ -> false in
+            if st.far then begin
+              (* Inverted branch over ldc+j; the original slot (next item)
+                 becomes the jump's slot and the skip target. *)
+              let skip = addr + (4 * b) in
+              let inv : Insn.t =
+                if is_bz then Insn.Bnz (r, skip - addr)
+                else Insn.Bz (r, skip - addr)
+              in
+              check addr inv;
+              check (addr + b) Insn.Nop;
+              check (addr + (2 * b)) (ldc_to (addr + (2 * b)) (Klabel l));
+              check (addr + (3 * b)) (Insn.J 0)
+            end
+            else
+              check addr
+                (if is_bz then Insn.Bz (r, dest - addr)
+                 else Insn.Bnz (r, dest - addr))
+          | Asm.Call_sym s ->
+            let dest = symbol_addr s 0 in
+            if st.far then begin
+              check addr (ldc_to addr (Ksym (s, 0)));
+              check (addr + b) (Insn.Jl 0)
+            end
+            else check addr (Insn.Brl (dest - addr))
+          | Asm.La (r, s, o) ->
+            if is_d16 then begin
+              check addr (ldc_to addr (Ksym (s, o)));
+              if r <> 0 then check (addr + b) (Insn.Mv (r, 0))
+            end
+            else begin
+              let v = symbol_addr s o in
+              if st.wide then begin
+                check addr (Insn.Mvhi (r, (v lsr 16) land 0xFFFF));
+                check (addr + b) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
+              end
+              else check addr (Insn.Mvi (r, v))
+            end
+          | Asm.Lc (r, v) ->
+            if is_d16 then begin
+              check addr (ldc_to addr (Kconst v));
+              if r <> 0 then check (addr + b) (Insn.Mv (r, 0))
+            end
+            else if Target.mvi_fits target v && not st.wide then
+              check addr (Insn.Mvi (r, v))
+            else begin
+              check addr (Insn.Mvhi (r, (v lsr 16) land 0xFFFF));
+              check (addr + b) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
+            end)
+        lf.frag.items)
+    lfrags;
+  let insns = Array.of_list (List.rev !insns) in
+  let addr_of = Array.of_list (List.rev !addrs) in
+  let index_of_addr = Hashtbl.create (Array.length insns) in
+  Array.iteri (fun i a -> Hashtbl.replace index_of_addr a i) addr_of;
+  let data_init =
+    List.map
+      (fun (d : Lower.data_item) -> (Hashtbl.find data_symbols d.dsym, d.dbytes))
+      data
+  in
+  let symbols = Hashtbl.create 32 in
+  Hashtbl.iter (fun s a -> Hashtbl.replace symbols s a) fn_addr;
+  Hashtbl.iter (fun s a -> Hashtbl.replace symbols s a) data_symbols;
+  let entry_index =
+    match Hashtbl.find_opt index_of_addr (Hashtbl.find fn_addr "_start") with
+    | Some i -> i
+    | None -> fail "no entry instruction"
+  in
+  {
+    target;
+    insns;
+    addr_of;
+    index_of_addr;
+    entry_index;
+    text_base;
+    text_bytes = text_end - text_base;
+    data_base;
+    data_bytes = data_end - data_base;
+    init = !pool_inits @ data_init;
+    symbols;
+    mem_size;
+    sp_init;
+  }
+
+(* The paper measures stripped executables: text plus initialized data.
+   Zero-initialized objects live in bss and take no file space. *)
+let size_bytes img =
+  let init_data =
+    List.fold_left
+      (fun acc (addr, b) ->
+        if addr >= img.data_base && Bytes.exists (fun c -> c <> '\000') b then
+          acc + Bytes.length b
+        else acc)
+      0 img.init
+  in
+  img.text_bytes + init_data

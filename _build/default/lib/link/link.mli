@@ -1,0 +1,43 @@
+(** Layout and linking: fragments + data to an executable image.
+
+    Text starts at 0x1000.  On D16, each function is preceded by its literal
+    pool (deduplicated per function); [lc]/[la] items, calls beyond the
+    +/-1024-byte [brl] reach, and branches beyond the conditional reach are
+    relaxed to pool-load + register-jump sequences.  Relaxation iterates to
+    a fixed point (expansion is monotone).  The delay-slot invariant is
+    preserved: expanded sequences give the final jump the original slot, and
+    far conditionals branch around to it.
+
+    The reported binary size is text + data, the paper's stripped-executable
+    measure (footnote 1: identical libraries on both targets). *)
+
+type image = {
+  target : Repro_core.Target.t;
+  insns : Repro_core.Insn.t array;  (** In address order. *)
+  addr_of : int array;  (** Byte address of each instruction. *)
+  index_of_addr : (int, int) Hashtbl.t;
+  entry_index : int;
+  text_base : int;
+  text_bytes : int;  (** Includes literal pools and padding. *)
+  data_base : int;
+  data_bytes : int;
+  init : (int * Bytes.t) list;  (** Initial memory contents (data + pools). *)
+  symbols : (string, int) Hashtbl.t;
+  mem_size : int;
+  sp_init : int;
+}
+
+exception Link_error of string
+
+val link :
+  Repro_core.Target.t ->
+  Repro_codegen.Asm.fragment list ->
+  Repro_ir.Lower.data_item list ->
+  image
+(** Fragments must include [main]; a [_start] stub (set sp, call main, trap
+    exit) is synthesized and placed first.
+    @raise Link_error on undefined symbols, out-of-reach pools, or
+    instructions the target rejects. *)
+
+val size_bytes : image -> int
+(** text + data, the code-density measure. *)

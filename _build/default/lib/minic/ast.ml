@@ -1,0 +1,66 @@
+type ty = Tvoid | Tint | Tchar | Tdouble | Tptr of ty | Tarr of ty * int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Intlit of int
+  | Charlit of char
+  | Floatlit of float
+  | Strlit of string
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr
+  | Opassign of binop * expr * expr
+  | Incdec of bool * bool * expr
+  | Cond of expr * expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addrof of expr
+  | Cast of ty * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of expr * expr option * stmt list
+      (** Condition, step, body; [continue] jumps to the step. *)
+  | Sdowhile of stmt list * expr
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type init = Iscalar of expr | Iarray of expr list | Istring of string
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type global = Gvar of ty * string * init option | Gfunc of func
+
+type program = global list
+
+let rec ty_to_string = function
+  | Tvoid -> "void"
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tdouble -> "double"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tarr (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+
+let is_lvalue = function
+  | Var _ | Index _ | Deref _ -> true
+  | Intlit _ | Charlit _ | Floatlit _ | Strlit _ | Bin _ | Un _ | Assign _
+  | Opassign _ | Incdec _ | Cond _ | Call _ | Addrof _ | Cast _ -> false

@@ -1,0 +1,64 @@
+(** Abstract syntax for mini-C, the benchmark-suite source language.
+
+    Mini-C is the C subset the paper's suite needs: int/char/double scalars,
+    one- and two-dimensional arrays, pointers, strings, functions with
+    recursion, and the full C expression/statement repertoire short of
+    structs, unions, and the preprocessor.  Functions may be used before
+    their definition (signatures are collected in a first pass). *)
+
+type ty = Tvoid | Tint | Tchar | Tdouble | Tptr of ty | Tarr of ty * int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Intlit of int
+  | Charlit of char
+  | Floatlit of float
+  | Strlit of string
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Assign of expr * expr  (** lhs must be Var, Index or Deref. *)
+  | Opassign of binop * expr * expr  (** [x op= e]. *)
+  | Incdec of bool * bool * expr  (** is_incr, is_prefix, lvalue. *)
+  | Cond of expr * expr * expr  (** [c ? a : b]. *)
+  | Call of string * expr list
+  | Index of expr * expr
+  | Deref of expr
+  | Addrof of expr
+  | Cast of ty * expr
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of expr * expr option * stmt list
+      (** Condition, step, body; [continue] jumps to the step. *)
+  | Sdowhile of stmt list * expr
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sblock of stmt list
+
+type init = Iscalar of expr | Iarray of expr list | Istring of string
+
+type func = {
+  fname : string;
+  fret : ty;
+  fparams : (ty * string) list;
+  fbody : stmt list;
+}
+
+type global = Gvar of ty * string * init option | Gfunc of func
+
+type program = global list
+
+val ty_to_string : ty -> string
+val is_lvalue : expr -> bool

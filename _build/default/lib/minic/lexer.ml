@@ -1,0 +1,180 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of string
+
+let keywords =
+  [
+    "int"; "char"; "double"; "void"; "if"; "else"; "while"; "do"; "for";
+    "return"; "break"; "continue";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_digit c || is_alpha c
+
+(* Three-, two-, then one-character punctuators, longest match first. *)
+let puncts3 = [ "<<="; ">>=" ]
+
+let puncts2 =
+  [
+    "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "++"; "--";
+  ]
+
+let puncts1 =
+  [
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "="; "?"; ":";
+    ";"; ","; "("; ")"; "["; "]"; "{"; "}";
+  ]
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let escape_char line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> fail line "bad escape '\\%c'" c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let rec skip () =
+        if !i + 1 >= n then fail !line "unterminated comment"
+        else if src.[!i] = '*' && peek 1 = '/' then i := !i + 2
+        else begin
+          if src.[!i] = '\n' then incr line;
+          incr i;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      if
+        !i < n
+        && (src.[!i] = '.' || src.[!i] = 'e' || src.[!i] = 'E')
+        && not (src.[!i] = '.' && !i + 1 < n && not (is_digit (peek 1)))
+      then begin
+        if src.[!i] = '.' then begin
+          incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do incr i done
+        end;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else if !i < n && (src.[!i] = 'x' || src.[!i] = 'X') && !i = start + 1
+              && src.[start] = '0' then begin
+        incr i;
+        let hstart = !i in
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (Char.lowercase_ascii src.[!i] >= 'a'
+                && Char.lowercase_ascii src.[!i] <= 'f'))
+        do incr i done;
+        if !i = hstart then fail !line "bad hex literal";
+        emit (INT (int_of_string ("0x" ^ String.sub src hstart (!i - hstart))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do incr i done;
+      let s = String.sub src start (!i - start) in
+      emit (if List.mem s keywords then KW s else IDENT s)
+    end
+    else if c = '\'' then begin
+      incr i;
+      let ch =
+        if peek 0 = '\\' then begin
+          incr i;
+          let e = escape_char !line (peek 0) in
+          incr i;
+          e
+        end
+        else begin
+          let ch = peek 0 in
+          incr i;
+          ch
+        end
+      in
+      if peek 0 <> '\'' then fail !line "unterminated char literal";
+      incr i;
+      emit (CHAR ch)
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let rec scan () =
+        if !i >= n then fail !line "unterminated string"
+        else if src.[!i] = '"' then incr i
+        else if src.[!i] = '\\' then begin
+          incr i;
+          Buffer.add_char buf (escape_char !line (peek 0));
+          incr i;
+          scan ()
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          incr i;
+          scan ()
+        end
+      in
+      scan ();
+      emit (STRING (Buffer.contents buf))
+    end
+    else begin
+      let try_punct lst len =
+        if !i + len <= n then
+          let s = String.sub src !i len in
+          if List.mem s lst then (emit (PUNCT s); i := !i + len; true)
+          else false
+        else false
+      in
+      if not (try_punct puncts3 3 || try_punct puncts2 2 || try_punct puncts1 1)
+      then fail !line "unexpected character '%c'" c
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | CHAR c -> Printf.sprintf "'%c'" c
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s | KW s | PUNCT s -> s
+  | EOF -> "<eof>"

@@ -1,0 +1,22 @@
+(** Hand-written lexer for mini-C. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** int, char, double, void, if, else, while, ... *)
+  | PUNCT of string  (** operators and delimiters, longest-match. *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+exception Error of string
+(** Raised on malformed input; the message includes the line number. *)
+
+val tokenize : string -> t list
+(** Lex a whole source text.  Line comments ([//]) and block comments are
+    skipped. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,433 @@
+open Ast
+
+exception Error of string
+
+type state = { mutable toks : Lexer.t list }
+
+let fail (st : state) fmt =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  Printf.ksprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+let peek st = match st.toks with { tok; _ } :: _ -> tok | [] -> Lexer.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_punct st p =
+  match next st with
+  | Lexer.PUNCT q when q = p -> ()
+  | t -> fail st "expected '%s', found '%s'" p (Lexer.token_to_string t)
+
+let accept_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match next st with
+  | Lexer.IDENT s -> s
+  | t -> fail st "expected identifier, found '%s'" (Lexer.token_to_string t)
+
+let is_type_kw = function
+  | Lexer.KW ("int" | "char" | "double" | "void") -> true
+  | _ -> false
+
+let base_type st =
+  match next st with
+  | Lexer.KW "int" -> Tint
+  | Lexer.KW "char" -> Tchar
+  | Lexer.KW "double" -> Tdouble
+  | Lexer.KW "void" -> Tvoid
+  | t -> fail st "expected type, found '%s'" (Lexer.token_to_string t)
+
+let with_stars st ty =
+  let rec loop ty = if accept_punct st "*" then loop (Tptr ty) else ty in
+  loop ty
+
+(* Expressions: precedence climbing. ------------------------------------ *)
+
+let binop_of_punct = function
+  | "*" -> Some Mul
+  | "/" -> Some Div
+  | "%" -> Some Mod
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "<<" -> Some Shl
+  | ">>" -> Some Shr
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "&" -> Some Band
+  | "^" -> Some Bxor
+  | "|" -> Some Bor
+  | "&&" -> Some Land
+  | "||" -> Some Lor
+  | _ -> None
+
+let precedence = function
+  | Mul | Div | Mod -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+let opassign_punct = function
+  | "+=" -> Some Add
+  | "-=" -> Some Sub
+  | "*=" -> Some Mul
+  | "/=" -> Some Div
+  | "%=" -> Some Mod
+  | "&=" -> Some Band
+  | "|=" -> Some Bor
+  | "^=" -> Some Bxor
+  | "<<=" -> Some Shl
+  | ">>=" -> Some Shr
+  | _ -> None
+
+let rec expr st = assignment st
+
+and assignment st =
+  let lhs = conditional st in
+  match peek st with
+  | Lexer.PUNCT "=" ->
+    advance st;
+    if not (is_lvalue lhs) then fail st "assignment to non-lvalue";
+    Assign (lhs, assignment st)
+  | Lexer.PUNCT p -> (
+    match opassign_punct p with
+    | Some op ->
+      advance st;
+      if not (is_lvalue lhs) then fail st "assignment to non-lvalue";
+      Opassign (op, lhs, assignment st)
+    | None -> lhs)
+  | _ -> lhs
+
+and conditional st =
+  let c = binary st 1 in
+  if accept_punct st "?" then begin
+    let a = assignment st in
+    expect_punct st ":";
+    let b = conditional st in
+    Cond (c, a, b)
+  end
+  else c
+
+and binary st min_prec =
+  let lhs = unary st in
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some op when precedence op >= min_prec ->
+        advance st;
+        let rhs = binary st (precedence op + 1) in
+        loop (Bin (op, lhs, rhs))
+      | Some _ | None -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Un (Neg, unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Un (Lnot, unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Un (Bnot, unary st)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    Deref (unary st)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    Addrof (unary st)
+  | Lexer.PUNCT "++" ->
+    advance st;
+    Incdec (true, true, unary st)
+  | Lexer.PUNCT "--" ->
+    advance st;
+    Incdec (false, true, unary st)
+  | Lexer.PUNCT "(" when is_type_kw (List.nth_opt st.toks 1 |> function
+                                     | Some { tok; _ } -> tok
+                                     | None -> Lexer.EOF) ->
+    advance st;
+    let ty = with_stars st (base_type st) in
+    expect_punct st ")";
+    Cast (ty, unary st)
+  | _ -> postfix st
+
+and postfix st =
+  let rec loop e =
+    match peek st with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = expr st in
+      expect_punct st "]";
+      loop (Index (e, idx))
+    | Lexer.PUNCT "++" ->
+      advance st;
+      loop (Incdec (true, false, e))
+    | Lexer.PUNCT "--" ->
+      advance st;
+      loop (Incdec (false, false, e))
+    | _ -> e
+  in
+  loop (primary st)
+
+and primary st =
+  match next st with
+  | Lexer.INT n -> Intlit n
+  | Lexer.FLOAT f -> Floatlit f
+  | Lexer.CHAR c -> Charlit c
+  | Lexer.STRING s -> Strlit s
+  | Lexer.IDENT name ->
+    if accept_punct st "(" then begin
+      let args = ref [] in
+      if not (accept_punct st ")") then begin
+        args := [ expr st ];
+        while accept_punct st "," do
+          args := expr st :: !args
+        done;
+        expect_punct st ")"
+      end;
+      Call (name, List.rev !args)
+    end
+    else Var name
+  | Lexer.PUNCT "(" ->
+    let e = expr st in
+    expect_punct st ")";
+    e
+  | t -> fail st "unexpected token '%s'" (Lexer.token_to_string t)
+
+(* Statements. ----------------------------------------------------------- *)
+
+let array_suffix st ty =
+  let rec loop dims =
+    if accept_punct st "[" then begin
+      let n =
+        match next st with
+        | Lexer.INT n -> n
+        | t -> fail st "array dimension must be an integer literal, found %s"
+                 (Lexer.token_to_string t)
+      in
+      expect_punct st "]";
+      loop (n :: dims)
+    end
+    else dims
+  in
+  let dims = loop [] in
+  List.fold_left (fun t n -> Tarr (t, n)) ty dims
+
+let rec stmt st =
+  match peek st with
+  | Lexer.PUNCT "{" ->
+    advance st;
+    Sblock (block st)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    let then_ = [ stmt st ] in
+    let else_ = if accept_kw st "else" then [ stmt st ] else [] in
+    Sif (c, then_, else_)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    Swhile (c, [ stmt st ])
+  | Lexer.KW "do" ->
+    advance st;
+    let body = [ stmt st ] in
+    if not (accept_kw st "while") then fail st "expected 'while' after do-body";
+    expect_punct st "(";
+    let c = expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Sdowhile (body, c)
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if accept_punct st ";" then None
+      else if is_type_kw (peek st) then begin
+        let s = decl st in
+        Some s
+      end
+      else begin
+        let e = expr st in
+        expect_punct st ";";
+        Some (Sexpr e)
+      end
+    in
+    let cond = if accept_punct st ";" then None
+      else begin
+        let e = expr st in
+        expect_punct st ";";
+        Some e
+      end
+    in
+    let step =
+      if accept_punct st ")" then None
+      else begin
+        let e = expr st in
+        expect_punct st ")";
+        Some e
+      end
+    in
+    let body = stmt st in
+    let cond = match cond with Some c -> c | None -> Intlit 1 in
+    let loop = Sfor (cond, step, [ body ]) in
+    (match init with None -> loop | Some i -> Sblock [ i; loop ])
+  | Lexer.KW "return" ->
+    advance st;
+    if accept_punct st ";" then Sreturn None
+    else begin
+      let e = expr st in
+      expect_punct st ";";
+      Sreturn (Some e)
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    Scontinue
+  | t when is_type_kw t -> decl st
+  | _ ->
+    let e = expr st in
+    expect_punct st ";";
+    Sexpr e
+
+and decl st =
+  let base = base_type st in
+  let ty = with_stars st base in
+  let name = expect_ident st in
+  let ty = array_suffix st ty in
+  let init = if accept_punct st "=" then Some (expr st) else None in
+  expect_punct st ";";
+  Sdecl (ty, name, init)
+
+and block st =
+  let stmts = ref [] in
+  while not (accept_punct st "}") do
+    stmts := stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+
+(* Top level. ------------------------------------------------------------- *)
+
+let global_init st ty =
+  match (ty, peek st) with
+  | Tarr (Tchar, _), Lexer.STRING s ->
+    advance st;
+    (* Adjacent string literals concatenate, as in C. *)
+    let buf = Buffer.create (String.length s) in
+    Buffer.add_string buf s;
+    let rec more () =
+      match peek st with
+      | Lexer.STRING s' ->
+        advance st;
+        Buffer.add_string buf s';
+        more ()
+      | _ -> ()
+    in
+    more ();
+    Some (Istring (Buffer.contents buf))
+  | Tarr _, Lexer.PUNCT "{" ->
+    advance st;
+    let items = ref [] in
+    if not (accept_punct st "}") then begin
+      items := [ expr st ];
+      while accept_punct st "," do
+        items := expr st :: !items
+      done;
+      expect_punct st "}"
+    end;
+    Some (Iarray (List.rev !items))
+  | _ -> Some (Iscalar (expr st))
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let globals = ref [] in
+  while peek st <> Lexer.EOF do
+    let base = base_type st in
+    let ty = with_stars st base in
+    let name = expect_ident st in
+    if accept_punct st "(" then begin
+      let params = ref [] in
+      if not (accept_punct st ")") then begin
+        let param () =
+          let pty = with_stars st (base_type st) in
+          let pname = expect_ident st in
+          (* Array parameters decay to pointers. *)
+          let pty =
+            if accept_punct st "[" then begin
+              (match peek st with
+              | Lexer.INT _ -> advance st
+              | _ -> ());
+              expect_punct st "]";
+              Tptr pty
+            end
+            else pty
+          in
+          (pty, pname)
+        in
+        params := [ param () ];
+        while accept_punct st "," do
+          params := param () :: !params
+        done;
+        expect_punct st ")"
+      end;
+      expect_punct st "{";
+      let body = block st in
+      globals :=
+        Gfunc { fname = name; fret = ty; fparams = List.rev !params; fbody = body }
+        :: !globals
+    end
+    else begin
+      let ty = array_suffix st ty in
+      let init = if accept_punct st "=" then global_init st ty else None in
+      expect_punct st ";";
+      globals := Gvar (ty, name, init) :: !globals
+    end
+  done;
+  List.rev !globals
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = expr st in
+  match peek st with
+  | Lexer.EOF -> e
+  | t -> fail st "trailing token '%s'" (Lexer.token_to_string t)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for mini-C.
+
+    [for] loops are desugared into [while] (with [continue] jumping to the
+    step expression), and declarations like [int a\[10\]\[5\];] build
+    {!Ast.Tarr} types.  Operator precedence follows C. *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** Parse a full translation unit. @raise Error on syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Buffer Bytes Char Float Hashtbl Int32 Int64 List Option Printf Repro_core Repro_link Repro_util

@@ -1,0 +1,378 @@
+module Insn = Repro_core.Insn
+module Target = Repro_core.Target
+module Regs = Repro_core.Regs
+module Trapcode = Repro_core.Trapcode
+module Bitops = Repro_util.Bitops
+module Link = Repro_link.Link
+
+type trace = { iaddr : int array; dinfo : int array }
+
+let decode_daccess packed =
+  if packed = 0 then None
+  else Some (packed land 1 = 1, packed lsr 5, (packed lsr 1) land 0xF)
+
+let encode_daccess ~is_write ~addr ~bytes =
+  (addr lsl 5) lor (bytes lsl 1) lor (if is_write then 1 else 0)
+
+type result = {
+  exit_code : int;
+  output : string;
+  ic : int;
+  loads : int;
+  stores : int;
+  load_words : int;
+  store_words : int;
+  interlocks : int;
+  trace : trace option;
+}
+
+exception Runtime_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+let fp_latency_add = 2
+let fp_latency_mul = 4
+let fp_latency_div = 8
+let fp_latency_cmp = 2
+let load_latency = 1
+
+(* Growable int array. *)
+type ibuf = { mutable a : int array; mutable n : int }
+
+let ibuf_make () = { a = Array.make 65536 0; n = 0 }
+
+let ibuf_push b v =
+  if b.n = Array.length b.a then begin
+    let a' = Array.make (2 * b.n) 0 in
+    Array.blit b.a 0 a' 0 b.n;
+    b.a <- a'
+  end;
+  b.a.(b.n) <- v;
+  b.n <- b.n + 1
+
+let ibuf_contents b = Array.sub b.a 0 b.n
+
+let run ?(trace = true) ?(max_steps = 400_000_000) (img : Link.image) =
+  let t = img.Link.target in
+  let zero_r0 = t.Target.zero_r0 in
+  let insn_bytes = Target.insn_bytes t in
+  let regs = Array.make t.Target.n_gpr 0 in
+  let fregs = Array.make t.Target.n_fpr 0.0 in
+  regs.(Regs.sp) <- img.Link.sp_init;
+  let mem = Bytes.make img.Link.mem_size '\000' in
+  List.iter
+    (fun (addr, b) -> Bytes.blit b 0 mem addr (Bytes.length b))
+    img.Link.init;
+  let insns = img.Link.insns in
+  let addr_of = img.Link.addr_of in
+  let n_insns = Array.length insns in
+  let output = Buffer.create 256 in
+  let ic = ref 0 in
+  let loads = ref 0 in
+  let stores = ref 0 in
+  let load_words = ref 0 in
+  let store_words = ref 0 in
+  let interlocks = ref 0 in
+  let cycle = ref 0 in
+  let ready_g = Array.make t.Target.n_gpr 0 in
+  let ready_f = Array.make t.Target.n_fpr 0 in
+  let ready_status = ref 0 in
+  let status = ref 0 in
+  let tr_iaddr = if trace then Some (ibuf_make ()) else None in
+  let tr_dinfo = if trace then Some (ibuf_make ()) else None in
+  let exit_code = ref None in
+  (* Current data access of the executing instruction, for the trace. *)
+  let cur_d = ref 0 in
+
+  let stall_until r ready =
+    if ready.(r) > !cycle then begin
+      let s = ready.(r) - !cycle in
+      interlocks := !interlocks + s;
+      cycle := !cycle + s
+    end
+  in
+  let useg r =
+    stall_until r ready_g;
+    if zero_r0 && r = 0 then 0 else regs.(r)
+  in
+  let usef r =
+    stall_until r ready_f;
+    fregs.(r)
+  in
+  let setg r v = if not (zero_r0 && r = 0) then regs.(r) <- v in
+  let setg_lat r v lat =
+    setg r v;
+    ready_g.(r) <- !cycle + 1 + lat
+  in
+  let setf_lat r v lat =
+    fregs.(r) <- v;
+    ready_f.(r) <- !cycle + 1 + lat
+  in
+
+  let check_range addr bytes =
+    if addr < 0 || addr + bytes > img.Link.mem_size then
+      err "memory access out of range: 0x%x" addr
+  in
+  let read32 addr =
+    check_range addr 4;
+    if addr land 3 <> 0 then err "unaligned word read at 0x%x" addr;
+    Int32.to_int (Bytes.get_int32_le mem addr)
+  in
+  let write32 addr v =
+    check_range addr 4;
+    if addr land 3 <> 0 then err "unaligned word write at 0x%x" addr;
+    Bytes.set_int32_le mem addr (Int32.of_int v)
+  in
+  let read64f addr =
+    check_range addr 8;
+    if addr land 3 <> 0 then err "unaligned double read at 0x%x" addr;
+    Int64.float_of_bits (Bytes.get_int64_le mem addr)
+  in
+  let write64f addr v =
+    check_range addr 8;
+    if addr land 3 <> 0 then err "unaligned double write at 0x%x" addr;
+    Bytes.set_int64_le mem addr (Int64.bits_of_float v)
+  in
+  let note_read addr bytes =
+    incr loads;
+    load_words := !load_words + ((bytes + 3) / 4);
+    cur_d := encode_daccess ~is_write:false ~addr ~bytes
+  in
+  let note_write addr bytes =
+    incr stores;
+    store_words := !store_words + ((bytes + 3) / 4);
+    cur_d := encode_daccess ~is_write:true ~addr ~bytes
+  in
+
+  let eval_cond (c : Insn.cond) a b =
+    match c with
+    | Lt -> a < b
+    | Le -> a <= b
+    | Gt -> a > b
+    | Ge -> a >= b
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Ltu -> Bitops.ltu32 a b
+    | Leu -> not (Bitops.ltu32 b a)
+    | Gtu -> Bitops.ltu32 b a
+    | Geu -> not (Bitops.ltu32 a b)
+  in
+  let eval_fcond (c : Insn.cond) (a : float) b =
+    match c with
+    | Lt | Ltu -> a < b
+    | Le | Leu -> a <= b
+    | Gt | Gtu -> a > b
+    | Ge | Geu -> a >= b
+    | Eq -> a = b
+    | Ne -> a <> b
+  in
+  let alu (op : Insn.alu) a b =
+    match op with
+    | Add -> Bitops.add32 a b
+    | Sub -> Bitops.sub32 a b
+    | And -> Bitops.of_u32 (a land b)
+    | Or -> Bitops.of_u32 (a lor b)
+    | Xor -> Bitops.of_u32 (a lxor b)
+    | Shl -> Bitops.shl32 a (b land 31)
+    | Shr -> Bitops.shr32 a (b land 31)
+    | Shra -> Bitops.sra32 a (b land 31)
+  in
+
+  let idx = ref img.Link.entry_index in
+  let pending = ref (-1) in
+  let steps = ref 0 in
+  (try
+     while !exit_code = None do
+       if !idx < 0 || !idx >= n_insns then err "pc out of text (index %d)" !idx;
+       incr steps;
+       if !steps > max_steps then err "step limit exceeded (%d)" max_steps;
+       let i = insns.(!idx) in
+       let addr = addr_of.(!idx) in
+       cur_d := 0;
+       let just_branched = ref false in
+       let branch_to target =
+         if !pending >= 0 then err "branch in delay slot at 0x%x" addr;
+         (match Hashtbl.find_opt img.Link.index_of_addr target with
+         | Some ti -> pending := ti
+         | None -> err "branch to non-instruction address 0x%x" target);
+         just_branched := true
+       in
+       (match i with
+       | Insn.Load (w, rd, base, off) ->
+         let a = Bitops.add32 (useg base) off in
+         let v =
+           match w with
+           | Lw ->
+             note_read a 4;
+             read32 a
+           | Lh ->
+             check_range a 2;
+             note_read a 2;
+             Bytes.get_int16_le mem a
+           | Lhu ->
+             check_range a 2;
+             note_read a 2;
+             Bytes.get_uint16_le mem a
+           | Lb ->
+             check_range a 1;
+             note_read a 1;
+             Bytes.get_int8 mem a
+           | Lbu ->
+             check_range a 1;
+             note_read a 1;
+             Bytes.get_uint8 mem a
+         in
+         setg_lat rd v load_latency
+       | Insn.Store (w, rs, base, off) ->
+         let a = Bitops.add32 (useg base) off in
+         let v = useg rs in
+         (match w with
+         | Sw ->
+           note_write a 4;
+           write32 a v
+         | Sh ->
+           check_range a 2;
+           note_write a 2;
+           Bytes.set_uint16_le mem a (v land 0xFFFF)
+         | Sb ->
+           check_range a 1;
+           note_write a 1;
+           Bytes.set_uint8 mem a (v land 0xFF))
+       | Insn.Fload (s, fd, base, off) ->
+         let a = Bitops.add32 (useg base) off in
+         (match s with
+         | Df ->
+           note_read a 8;
+           setf_lat fd (read64f a) load_latency
+         | Sf ->
+           note_read a 4;
+           setf_lat fd (Int32.float_of_bits (Int32.of_int (read32 a))) load_latency)
+       | Insn.Fstore (s, fs, base, off) ->
+         let a = Bitops.add32 (useg base) off in
+         let v = usef fs in
+         (match s with
+         | Df ->
+           note_write a 8;
+           write64f a v
+         | Sf ->
+           note_write a 4;
+           write32 a (Int32.to_int (Int32.bits_of_float v)))
+       | Insn.Ldc (rd, off) ->
+         (* Pool addressing is relative to the word-aligned PC. *)
+         let a = (addr land lnot 3) + off in
+         note_read a 4;
+         setg_lat rd (read32 a) load_latency
+       | Insn.Alu (op, rd, ra, rb) ->
+         let va = useg ra in
+         let vb = useg rb in
+         setg_lat rd (alu op va vb) 0
+       | Insn.Alui (op, rd, ra, imm) -> setg_lat rd (alu op (useg ra) imm) 0
+       | Insn.Mv (rd, rs) -> setg_lat rd (useg rs) 0
+       | Insn.Mvi (rd, imm) -> setg_lat rd imm 0
+       | Insn.Mvhi (rd, imm) -> setg_lat rd (Bitops.of_u32 (imm lsl 16)) 0
+       | Insn.Neg (rd, rs) -> setg_lat rd (Bitops.sub32 0 (useg rs)) 0
+       | Insn.Inv (rd, rs) -> setg_lat rd (Bitops.of_u32 (lnot (useg rs))) 0
+       | Insn.Cmp (c, rd, ra, rb) ->
+         let va = useg ra in
+         let vb = useg rb in
+         setg_lat rd (if eval_cond c va vb then 1 else 0) 0
+       | Insn.Cmpi (c, rd, ra, imm) ->
+         setg_lat rd (if eval_cond c (useg ra) imm then 1 else 0) 0
+       | Insn.Br off -> branch_to (addr + off)
+       | Insn.Bz (r, off) -> if useg r = 0 then branch_to (addr + off)
+       | Insn.Bnz (r, off) -> if useg r <> 0 then branch_to (addr + off)
+       | Insn.Brl off ->
+         setg_lat Regs.link (addr + (2 * insn_bytes)) 0;
+         branch_to (addr + off)
+       | Insn.J r -> branch_to (useg r)
+       | Insn.Jz (rt, rd) ->
+         let target = useg rd in
+         if useg rt = 0 then branch_to target
+       | Insn.Jnz (rt, rd) ->
+         let target = useg rd in
+         if useg rt <> 0 then branch_to target
+       | Insn.Jl r ->
+         let target = useg r in
+         setg_lat Regs.link (addr + (2 * insn_bytes)) 0;
+         branch_to target
+       | Insn.Fbin (op, _, fd, fa, fb) ->
+         let va = usef fa in
+         let vb = usef fb in
+         let v, lat =
+           match op with
+           | Fadd -> (va +. vb, fp_latency_add)
+           | Fsub -> (va -. vb, fp_latency_add)
+           | Fmul -> (va *. vb, fp_latency_mul)
+           | Fdiv -> (va /. vb, fp_latency_div)
+         in
+         setf_lat fd v lat
+       | Insn.Fmv (_, fd, fs) -> setf_lat fd (usef fs) 0
+       | Insn.Fneg (_, fd, fs) -> setf_lat fd (-.usef fs) 0
+       | Insn.Fcmp (c, _, fa, fb) ->
+         let va = usef fa in
+         let vb = usef fb in
+         status := (if eval_fcond c va vb then 1 else 0);
+         ready_status := !cycle + 1 + fp_latency_cmp
+       | Insn.Cvtif (_, fd, rs) ->
+         setf_lat fd (float_of_int (useg rs)) fp_latency_add
+       | Insn.Cvtfi (_, rd, fs) ->
+         (* C truncation toward zero. *)
+         setg_lat rd (Bitops.of_u32 (Float.to_int (usef fs))) fp_latency_add
+       | Insn.Rdsr rd ->
+         if !ready_status > !cycle then begin
+           let s = !ready_status - !cycle in
+           interlocks := !interlocks + s;
+           cycle := !cycle + s
+         end;
+         setg_lat rd !status 0
+       | Insn.Trap code ->
+         if code = Trapcode.exit then exit_code := Some (useg Regs.ret_gpr land 0xFF)
+         else if code = Trapcode.put_int then
+           Buffer.add_string output (string_of_int (useg Regs.ret_gpr))
+         else if code = Trapcode.put_char then
+           Buffer.add_char output (Char.chr (useg Regs.ret_gpr land 0xFF))
+         else if code = Trapcode.put_float then
+           Buffer.add_string output (Printf.sprintf "%.6f" fregs.(Regs.ret_fpr))
+         else err "bad trap %d" code
+       | Insn.Nop -> ());
+       incr ic;
+       incr cycle;
+       (match (tr_iaddr, tr_dinfo) with
+       | Some ia, Some di ->
+         ibuf_push ia addr;
+         ibuf_push di !cur_d
+       | _ -> ());
+       if !just_branched then idx := !idx + 1
+       else if !pending >= 0 then begin
+         idx := !pending;
+         pending := -1
+       end
+       else idx := !idx + 1
+     done
+   with Runtime_error _ as e ->
+     (* Attach context. *)
+     let ctx =
+       Printf.sprintf " (at index %d, %s, ic=%d)" !idx
+         (if !idx >= 0 && !idx < n_insns then Insn.to_string insns.(!idx)
+          else "?")
+         !ic
+     in
+     raise
+       (match e with
+       | Runtime_error m -> Runtime_error (m ^ ctx)
+       | e -> e));
+  {
+    exit_code = Option.value !exit_code ~default:0;
+    output = Buffer.contents output;
+    ic = !ic;
+    loads = !loads;
+    stores = !stores;
+    load_words = !load_words;
+    store_words = !store_words;
+    interlocks = !interlocks;
+    trace =
+      (match (tr_iaddr, tr_dinfo) with
+      | Some ia, Some di ->
+        Some { iaddr = ibuf_contents ia; dinfo = ibuf_contents di }
+      | _ -> None);
+  }

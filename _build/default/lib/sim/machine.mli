@@ -1,0 +1,48 @@
+(** Architectural simulator for the shared five-stage pipeline.
+
+    Executes a linked image and produces the paper's per-program raw
+    measurements: path length (IC), loads/stores, interlock cycles (delayed
+    loads and FPU latencies, Table 10), and a compact reference trace that
+    the memory-system models replay (fetch buffering, caches).
+
+    Pipeline timing model: one instruction per cycle; a delayed load's
+    result is available one cycle late; FP results after the unit latency
+    (add/sub/convert 2, multiply 4, divide 8, compare-to-status 2);
+    consumers stall and the stalls are counted as interlocks.  Branches and
+    jumps execute their delay slot (the following instruction) before
+    control transfers — the code generator guarantees a slot after every
+    transfer. *)
+
+type trace = {
+  iaddr : int array;  (** Instruction byte address, per executed instruction. *)
+  dinfo : int array;
+      (** Packed data access per instruction: 0 for none, else
+          [(addr lsl 5) lor (bytes lsl 1) lor is_write]. *)
+}
+
+val decode_daccess : int -> (bool * int * int) option
+(** [Some (is_write, addr, bytes)] for a nonzero packed entry. *)
+
+type result = {
+  exit_code : int;
+  output : string;
+  ic : int;  (** Path length. *)
+  loads : int;
+  stores : int;
+  load_words : int;  (** Words of data read (doubles count 2). *)
+  store_words : int;
+  interlocks : int;
+  trace : trace option;
+}
+
+exception Runtime_error of string
+
+val run : ?trace:bool -> ?max_steps:int -> Repro_link.Link.image -> result
+(** [trace] (default true) records the reference trace.
+    [max_steps] defaults to 400 million.
+    @raise Runtime_error on invalid memory access, unaligned access,
+    division issues, or step overrun. *)
+
+val fp_latency_add : int
+val fp_latency_mul : int
+val fp_latency_div : int

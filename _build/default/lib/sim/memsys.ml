@@ -1,0 +1,160 @@
+type cache_config = {
+  size_bytes : int;
+  block_bytes : int;
+  sub_block_bytes : int;
+}
+
+type cache_stats = { accesses : int; misses : int; words_transferred : int }
+
+let miss_rate s =
+  if s.accesses = 0 then 0. else float_of_int s.misses /. float_of_int s.accesses
+
+type nocache = { irequests : int; drequests : int }
+
+let get_trace (r : Machine.result) =
+  match r.Machine.trace with
+  | Some t -> t
+  | None -> invalid_arg "Memsys: result has no trace"
+
+let replay_nocache ~bus_bytes (r : Machine.result) =
+  let t = get_trace r in
+  let ireq = ref 0 in
+  let dreq = ref 0 in
+  let buffer = ref (-1) in
+  let n = Array.length t.Machine.iaddr in
+  for i = 0 to n - 1 do
+    let block = t.Machine.iaddr.(i) / bus_bytes in
+    if block <> !buffer then begin
+      incr ireq;
+      buffer := block
+    end;
+    let d = t.Machine.dinfo.(i) in
+    if d <> 0 then begin
+      let bytes = (d lsr 1) land 0xF in
+      dreq := !dreq + ((bytes + bus_bytes - 1) / bus_bytes)
+    end
+  done;
+  { irequests = !ireq; drequests = !dreq }
+
+let nocache_cycles ~wait_states (r : Machine.result) nc =
+  r.Machine.ic + r.Machine.interlocks
+  + (wait_states * (nc.irequests + nc.drequests))
+
+(* Direct-mapped sub-blocked cache. ----------------------------------------- *)
+
+type cache = {
+  cfg : cache_config;
+  tags : int array;
+  valid : bool array array;  (* per set, per sub-block *)
+  mutable accesses : int;
+  mutable misses : int;
+  mutable words : int;
+}
+
+let cache_make cfg =
+  let sets = max 1 (cfg.size_bytes / cfg.block_bytes) in
+  let subs = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
+  {
+    cfg;
+    tags = Array.make sets (-1);
+    valid = Array.init sets (fun _ -> Array.make subs false);
+    accesses = 0;
+    misses = 0;
+    words = 0;
+  }
+
+(* One access event covering [addr, addr+bytes); [prefetch] fetches the
+   following sub-block (wrapping within the block) on a read miss. *)
+let cache_access c ~is_read addr bytes =
+  let cfg = c.cfg in
+  let sets = Array.length c.tags in
+  let subs_per_block = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
+  c.accesses <- c.accesses + 1;
+  let missed = ref false in
+  let fetch_sub set sub =
+    if not c.valid.(set).(sub) then begin
+      c.valid.(set).(sub) <- true;
+      c.words <- c.words + (cfg.sub_block_bytes / 4)
+    end
+  in
+  let touch a =
+    let block = a / cfg.block_bytes in
+    let set = block mod sets in
+    let sub = a mod cfg.block_bytes / cfg.sub_block_bytes in
+    if c.tags.(set) <> block then begin
+      c.tags.(set) <- block;
+      Array.fill c.valid.(set) 0 subs_per_block false;
+      missed := true;
+      fetch_sub set sub;
+      if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
+    end
+    else if not c.valid.(set).(sub) then begin
+      missed := true;
+      fetch_sub set sub;
+      if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
+    end
+  in
+  let first = addr in
+  let last = addr + bytes - 1 in
+  let step = cfg.sub_block_bytes in
+  let a = ref (first / step * step) in
+  while !a <= last do
+    touch !a;
+    a := !a + step
+  done;
+  if !missed then c.misses <- c.misses + 1
+
+let stats_of c =
+  { accesses = c.accesses; misses = c.misses; words_transferred = c.words }
+
+type cached = {
+  icache : cache_stats;
+  dcache_read : cache_stats;
+  dcache_write : cache_stats;
+}
+
+let replay_cached ~insn_bytes ~icache ~dcache (r : Machine.result) =
+  let t = get_trace r in
+  let ic = cache_make icache in
+  let dc = cache_make dcache in
+  let dreads = ref 0 in
+  let dread_miss = ref 0 in
+  let dwrites = ref 0 in
+  let dwrite_miss = ref 0 in
+  let n = Array.length t.Machine.iaddr in
+  for i = 0 to n - 1 do
+    cache_access ic ~is_read:true t.Machine.iaddr.(i) insn_bytes;
+    let d = t.Machine.dinfo.(i) in
+    if d <> 0 then begin
+      let is_write = d land 1 = 1 in
+      let bytes = (d lsr 1) land 0xF in
+      let addr = d lsr 5 in
+      let before = dc.misses in
+      cache_access dc ~is_read:(not is_write) addr bytes;
+      if is_write then begin
+        incr dwrites;
+        if dc.misses > before then incr dwrite_miss
+      end
+      else begin
+        incr dreads;
+        if dc.misses > before then incr dread_miss
+      end
+    end
+  done;
+  {
+    icache = stats_of ic;
+    dcache_read =
+      { accesses = !dreads; misses = !dread_miss; words_transferred = 0 };
+    dcache_write =
+      { accesses = !dwrites; misses = !dwrite_miss; words_transferred = 0 };
+  }
+
+let cached_cycles ~miss_penalty (r : Machine.result) (c : cached) =
+  r.Machine.ic + r.Machine.interlocks
+  + miss_penalty
+    * (c.icache.misses + c.dcache_read.misses + c.dcache_write.misses)
+
+let cpi ~cycles ~ic = float_of_int cycles /. float_of_int ic
+
+let normalized_cpi ~cycles ~reference_ic =
+  float_of_int cycles /. float_of_int reference_ic

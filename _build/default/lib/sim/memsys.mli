@@ -1,0 +1,56 @@
+(** Memory-system models replayed over a reference trace (paper Section 4).
+
+    Cacheless machines: an instruction buffer holds the last fetched
+    bus-width block; a fetch outside it is a memory request costing the wait
+    states.  Cycles = IC + Interlocks + l * (IRequests + DRequests)
+    (paper Appendix A.2).
+
+    Cached machines: split direct-mapped I/D caches with sub-block valid
+    bits and wrap-around prefetch on read misses (dinero-style, Section
+    4.1.1).  Cycles = IC + Interlocks + MissPenalty * (IMiss + RMiss +
+    WMiss). *)
+
+type cache_config = {
+  size_bytes : int;
+  block_bytes : int;
+  sub_block_bytes : int;
+}
+
+type cache_stats = {
+  accesses : int;
+  misses : int;
+  words_transferred : int;  (** Sub-blocks fetched from memory, in words. *)
+}
+
+val miss_rate : cache_stats -> float
+
+type nocache = {
+  irequests : int;  (** Instruction-fetch bus transactions. *)
+  drequests : int;  (** Data bus transactions (doubles = 2 on a 32-bit bus). *)
+}
+
+val replay_nocache : bus_bytes:int -> Machine.result -> nocache
+(** Requires the result to carry a trace. *)
+
+val nocache_cycles : wait_states:int -> Machine.result -> nocache -> int
+
+type cached = {
+  icache : cache_stats;
+  dcache_read : cache_stats;
+  dcache_write : cache_stats;
+}
+
+val replay_cached :
+  insn_bytes:int ->
+  icache:cache_config ->
+  dcache:cache_config ->
+  Machine.result ->
+  cached
+
+val cached_cycles : miss_penalty:int -> Machine.result -> cached -> int
+
+val cpi : cycles:int -> ic:int -> float
+
+val normalized_cpi : cycles:int -> reference_ic:int -> float
+(** The paper's normalization: cycles divided by the {e other} machine's
+    path length, factoring out the instruction-count difference. *)

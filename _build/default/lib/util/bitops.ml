@@ -1,0 +1,47 @@
+let mask32 = 0xFFFF_FFFF
+
+let to_u32 v = v land mask32
+
+let of_u32 v =
+  let v = v land mask32 in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let sext ~width v =
+  if width < 1 || width > 62 then invalid_arg "Bitops.sext";
+  let m = (1 lsl width) - 1 in
+  let v = v land m in
+  if v land (1 lsl (width - 1)) <> 0 then v - (1 lsl width) else v
+
+let zext ~width v = v land ((1 lsl width) - 1)
+
+let fits_signed ~width v =
+  let half = 1 lsl (width - 1) in
+  v >= -half && v < half
+
+let fits_unsigned ~width v = v >= 0 && v < 1 lsl width
+
+let bits ~lo ~hi w = (w lsr lo) land ((1 lsl (hi - lo + 1)) - 1)
+
+let put ~lo ~hi field w =
+  if not (fits_unsigned ~width:(hi - lo + 1) field) then
+    invalid_arg
+      (Printf.sprintf "Bitops.put: field %d does not fit bits %d..%d" field lo
+         hi);
+  w lor (field lsl lo)
+
+let add32 a b = of_u32 (a + b)
+let sub32 a b = of_u32 (a - b)
+let shl32 a n = of_u32 (to_u32 a lsl (n land 31))
+let shr32 a n = of_u32 (to_u32 a lsr (n land 31))
+
+let sra32 a n =
+  let n = n land 31 in
+  of_u32 (of_u32 a asr n)
+
+let ltu32 a b = to_u32 a < to_u32 b
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if n <= 0 then invalid_arg "Bitops.log2";
+  let rec loop acc n = if n <= 1 then acc else loop (acc + 1) (n lsr 1) in
+  loop 0 n

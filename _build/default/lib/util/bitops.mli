@@ -1,0 +1,59 @@
+(** Fixed-width two's-complement bit manipulation on OCaml [int].
+
+    All 32-bit machine words are represented as OCaml ints in the range
+    [-2^31, 2^31 - 1] (i.e. already sign-extended).  Helpers here convert
+    between signed/unsigned views and slice bit fields for the instruction
+    encoders and the simulator ALU. *)
+
+val mask32 : int
+(** [0xFFFF_FFFF]. *)
+
+val to_u32 : int -> int
+(** Unsigned 32-bit view of a word: result in [0, 2^32 - 1]. *)
+
+val of_u32 : int -> int
+(** Sign-extend the low 32 bits of an int to a signed word. *)
+
+val sext : width:int -> int -> int
+(** [sext ~width v] sign-extends the low [width] bits of [v].
+    @raise Invalid_argument if [width] is not in [1, 62]. *)
+
+val zext : width:int -> int -> int
+(** [zext ~width v] keeps only the low [width] bits of [v]. *)
+
+val fits_signed : width:int -> int -> bool
+(** Does [v] fit in a [width]-bit signed field? *)
+
+val fits_unsigned : width:int -> int -> bool
+(** Does [v] fit in a [width]-bit unsigned field? *)
+
+val bits : lo:int -> hi:int -> int -> int
+(** [bits ~lo ~hi w] extracts bits [hi..lo] (inclusive) of [w], unsigned. *)
+
+val put : lo:int -> hi:int -> int -> int -> int
+(** [put ~lo ~hi field w] ORs [field] into bits [hi..lo] of [w].
+    @raise Invalid_argument if [field] does not fit the slot. *)
+
+val add32 : int -> int -> int
+(** 32-bit wrapping addition, signed result. *)
+
+val sub32 : int -> int -> int
+(** 32-bit wrapping subtraction, signed result. *)
+
+val shl32 : int -> int -> int
+(** 32-bit logical shift left (shift amount taken mod 32). *)
+
+val shr32 : int -> int -> int
+(** 32-bit logical shift right. *)
+
+val sra32 : int -> int -> int
+(** 32-bit arithmetic shift right. *)
+
+val ltu32 : int -> int -> bool
+(** Unsigned 32-bit less-than. *)
+
+val is_pow2 : int -> bool
+(** Is the (positive) argument a power of two? *)
+
+val log2 : int -> int
+(** Floor of log base 2. @raise Invalid_argument on non-positive input. *)

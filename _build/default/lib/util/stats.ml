@@ -1,0 +1,30 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then invalid_arg "Stats.geomean: non-positive"
+          else acc +. log x)
+        0. xs
+    in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev = function
+  | [] -> invalid_arg "Stats.stddev: empty"
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let ratio a b =
+  if b = 0 then raise Division_by_zero;
+  float_of_int a /. float_of_int b
+
+let percent_increase ~base v =
+  if base = 0 then raise Division_by_zero;
+  float_of_int (v - base) /. float_of_int base *. 100.

@@ -1,0 +1,18 @@
+(** Small numeric summaries used throughout the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on the empty list or non-positive entries. *)
+
+val stddev : float list -> float
+(** Population standard deviation (0 for a singleton).
+    @raise Invalid_argument on the empty list. *)
+
+val ratio : int -> int -> float
+(** [ratio a b = a /. b] as floats. @raise Division_by_zero if [b = 0]. *)
+
+val percent_increase : base:int -> int -> float
+(** [(v - base) / base * 100]. *)

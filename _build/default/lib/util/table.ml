@@ -1,0 +1,73 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render ?align header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> Left :: List.init (max 0 (ncols - 1)) (fun _ -> Right)
+  in
+  let all = header :: rows in
+  let widths =
+    List.init ncols (fun i ->
+        List.fold_left
+          (fun acc row ->
+            match List.nth_opt row i with
+            | Some cell -> max acc (String.length cell)
+            | None -> acc)
+          0 all)
+  in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
+         row)
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let bar_chart ?(width = 40) ?max_value entries =
+  let data_max =
+    match max_value with
+    | Some m -> m
+    | None -> List.fold_left (fun acc (_, v) -> Float.max acc v) 0. entries
+  in
+  let data_max = if data_max <= 0. then 1. else data_max in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries
+  in
+  let line (label, v) =
+    let n =
+      int_of_float (Float.round (v /. data_max *. float_of_int width))
+    in
+    let n = max 0 (min width n) in
+    Printf.sprintf "%s  %s%s %6.2f"
+      (pad Left label_width label)
+      (String.make n '#')
+      (String.make (width - n) ' ')
+      v
+  in
+  String.concat "\n" (List.map line entries) ^ "\n"
+
+let fmt2 v = Printf.sprintf "%.2f" v
+let fmt3 v = Printf.sprintf "%.3f" v
+
+let series_chart ?width:_ ~x_label ~xs series =
+  let header = x_label :: List.map fst series in
+  let rows =
+    List.mapi
+      (fun i x -> x :: List.map (fun (_, ys) -> fmt3 (List.nth ys i)) series)
+      xs
+  in
+  render header rows

@@ -1,0 +1,32 @@
+(** ASCII renderers for the paper's tables and (bar/line) figures.
+
+    Every experiment in the harness produces either a table (rows of labelled
+    cells) or a "figure" we render as rows of numbers plus an ASCII bar, close
+    enough to eyeball against the paper's plots. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> string list -> string list list -> string
+(** [render header rows] lays out a padded ASCII table.  [align] gives
+    per-column alignment (default: first column left, rest right). *)
+
+val bar_chart :
+  ?width:int -> ?max_value:float -> (string * float) list -> string
+(** Horizontal bar chart, one labelled row per entry.  [max_value] fixes the
+    scale (default: the data maximum); [width] is the bar width in
+    characters (default 40). *)
+
+val series_chart :
+  ?width:int ->
+  x_label:string ->
+  xs:string list ->
+  (string * float list) list ->
+  string
+(** Multi-series table for line plots: one row per x value, one column per
+    series, used for the CPI-vs-latency style figures. *)
+
+val fmt2 : float -> string
+(** Two-decimal fixed formatting. *)
+
+val fmt3 : float -> string
+(** Three-decimal fixed formatting. *)

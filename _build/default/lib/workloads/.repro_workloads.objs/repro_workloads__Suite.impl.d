@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List W_assem W_dhrystone W_grep W_ipl W_latex W_numeric W_stanford

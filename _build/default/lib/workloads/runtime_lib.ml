@@ -1,0 +1,80 @@
+let source =
+  {|
+// Runtime library: integer multiply/divide millicode and small helpers.
+// Multiplication: shift-add over the bits of b; the wrapped 32-bit result
+// is correct for signed operands.
+int __mulsi3(int a, int b) {
+  int acc = 0;
+  while (b != 0) {
+    if (b & 1) acc = acc + a;
+    a = a << 1;
+    b = (b >> 1) & 0x7fffffff;
+  }
+  return acc;
+}
+
+// Truncating signed division via restoring long division on magnitudes.
+// Division by zero returns 0 (defined for the simulator's benefit).
+int __divsi3(int a, int b) {
+  int neg = 0;
+  int q = 0;
+  int i = 30;
+  if (b == 0) return 0;
+  if (a < 0) { a = -a; neg = 1 - neg; }
+  if (b < 0) { b = -b; neg = 1 - neg; }
+  while (i >= 0) {
+    if ((a >> i) >= b) {
+      a = a - (b << i);
+      q = q | (1 << i);
+    }
+    i = i - 1;
+  }
+  if (neg) return -q;
+  return q;
+}
+
+int __modsi3(int a, int b) {
+  int anegative = 0;
+  int r = a;
+  int i = 30;
+  if (b == 0) return 0;
+  if (r < 0) { r = -r; anegative = 1; }
+  if (b < 0) b = -b;
+  while (i >= 0) {
+    if ((r >> i) >= b) r = r - (b << i);
+    i = i - 1;
+  }
+  if (anegative) return -r;
+  return r;
+}
+
+void print_str(char *s) {
+  while (*s) {
+    print_char(*s);
+    s = s + 1;
+  }
+}
+
+int strlen_(char *s) {
+  int n = 0;
+  while (s[n]) n = n + 1;
+  return n;
+}
+
+int strcmp_(char *a, char *b) {
+  while (*a && *a == *b) {
+    a = a + 1;
+    b = b + 1;
+  }
+  return *a - *b;
+}
+
+void strcpy_(char *dst, char *src) {
+  while (*src) {
+    *dst = *src;
+    dst = dst + 1;
+    src = src + 1;
+  }
+  *dst = 0;
+}
+|}

@@ -1,0 +1,10 @@
+(** The runtime library linked into every benchmark, in mini-C.
+
+    The paper's library came from BSD sources and was identical on both
+    targets (footnote 1); ours likewise is compiled with each program for
+    whichever target is selected.  It provides the integer multiply/divide
+    millicode the ISAs lack ([__mulsi3], [__divsi3], [__modsi3] — Table 1
+    has no integer multiply or divide, as on several early RISCs) and the
+    small string/printing helpers the suite uses. *)
+
+val source : string

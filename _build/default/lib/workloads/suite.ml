@@ -1,0 +1,36 @@
+type benchmark = {
+  name : string;
+  description : string;
+  source : string;
+  cache_benchmark : bool;
+}
+
+let mk ?(cache = false) name description source =
+  { name; description; source; cache_benchmark = cache }
+
+let all =
+  [
+    mk "ackermann" "Computes the Ackermann function" W_stanford.ackermann;
+    mk "assem" "The D16 assembler (two-pass assembler)" W_assem.assem
+      ~cache:true;
+    mk "bubblesort" "Sorting program from the Stanford suite"
+      W_stanford.bubblesort;
+    mk "queens" "The Stanford eight-queens program" W_stanford.queens;
+    mk "quicksort" "The Stanford quicksort program" W_stanford.quicksort;
+    mk "towers" "The Stanford towers of Hanoi program" W_stanford.towers;
+    mk "grep" "The Unix utility (regular-expression search)" W_grep.grep;
+    mk "linpack" "The linear programming benchmark (LU factor/solve)"
+      W_numeric.linpack;
+    mk "matrix" "Gaussian elimination" W_numeric.matrix;
+    mk "dhrystone" "The synthetic benchmark" W_dhrystone.dhrystone;
+    mk "pi" "Computes digits of pi" W_numeric.pi;
+    mk "solver" "Newton-Raphson iterative solver" W_numeric.solver;
+    mk "latex" "The typesetter (paragraph filling and page makeup)"
+      W_latex.latex ~cache:true;
+    mk "ipl" "PostScript plotting package (rasterizer)" W_ipl.ipl ~cache:true;
+    mk "whetstone" "The synthetic floating point benchmark"
+      W_numeric.whetstone;
+  ]
+
+let find name = List.find (fun b -> b.name = name) all
+let cache_benchmarks = List.filter (fun b -> b.cache_benchmark) all

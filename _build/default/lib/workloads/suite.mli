@@ -1,0 +1,18 @@
+(** The benchmark suite (paper Table 2). *)
+
+type benchmark = {
+  name : string;
+  description : string;
+  source : string;  (** mini-C source (runtime library added at compile). *)
+  cache_benchmark : bool;
+      (** One of the three programs "large enough to have interesting cache
+          behavior" (Section 4.1): assem, ipl, latex. *)
+}
+
+val all : benchmark list
+(** In the paper's table order. *)
+
+val find : string -> benchmark
+(** @raise Not_found on unknown names. *)
+
+val cache_benchmarks : benchmark list

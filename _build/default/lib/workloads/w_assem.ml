@@ -1,0 +1,441 @@
+(* assem: a two-pass assembler for a small load/store ISA, standing in for
+   the paper's D16 assembler (symbol-table and string-heavy integer code
+   with a code working set large enough for the cache study). *)
+
+let assem =
+  {|
+// ---- the program to assemble (embedded source text) ----
+char src[1600] =
+"; vector sum and checksum kernel\n"
+"start:  li   r1, 0\n"
+"        li   r2, data\n"
+"        li   r3, 64\n"
+"        li   r7, 0\n"
+"loop:   ld   r4, r2, 0\n"
+"        add  r1, r1, r4\n"
+"        xor  r7, r7, r4\n"
+"        addi r2, r2, 4\n"
+"        subi r3, r3, 1\n"
+"        bnz  r3, loop\n"
+"        st   r1, r2, 8\n"
+"        li   r5, 0x3f\n"
+"        and  r7, r7, r5\n"
+"        jmp  done\n"
+"fill:   li   r6, 16\n"
+"floop:  st   r6, r2, 0\n"
+"        addi r2, r2, 4\n"
+"        subi r6, r6, 1\n"
+"        bnz  r6, floop\n"
+"        jmp  loop\n"
+"shifts: shl  r4, r4, r5\n"
+"        shr  r4, r4, r5\n"
+"        sub  r4, r4, r1\n"
+"        or   r4, r4, r7\n"
+"        bz   r4, fill\n"
+"done:   halt\n"
+"data:   word 7\n"
+"        word 11\n"
+"        word 0x1f\n"
+"        word 42\n";
+
+// ---- symbol table (open addressing) ----
+char sym_name[64][16];
+int sym_val[64];
+int sym_used[64];
+
+int hash_name(char *s) {
+  int h = 5381;
+  while (*s) {
+    h = ((h << 5) + h + *s) & 1023;
+    s = s + 1;
+  }
+  return h & 63;
+}
+
+int sym_lookup(char *name) {
+  int h = hash_name(name);
+  int probes = 0;
+  while (probes < 64) {
+    if (!sym_used[h]) return -1;
+    if (strcmp_(sym_name[h], name) == 0) return h;
+    h = (h + 1) & 63;
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+int sym_define(char *name, int value) {
+  int h = hash_name(name);
+  int probes = 0;
+  while (probes < 64) {
+    if (!sym_used[h]) {
+      sym_used[h] = 1;
+      strcpy_(sym_name[h], name);
+      sym_val[h] = value;
+      return h;
+    }
+    if (strcmp_(sym_name[h], name) == 0) return -2;  // duplicate
+    h = (h + 1) & 63;
+    probes = probes + 1;
+  }
+  return -1;
+}
+
+// ---- scanner ----
+int pos = 0;
+char tok[16];
+int errors = 0;
+
+int is_space(int c) { return c == ' ' || c == '\t'; }
+int is_alpha_(int c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+int is_digit_(int c) { return c >= '0' && c <= '9'; }
+int is_xdigit_(int c) {
+  return is_digit_(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
+void skip_spaces() { while (is_space(src[pos])) pos = pos + 1; }
+
+void skip_line() {
+  while (src[pos] && src[pos] != '\n') pos = pos + 1;
+  if (src[pos] == '\n') pos = pos + 1;
+}
+
+// Reads an identifier into tok; returns its length.
+int scan_ident() {
+  int n = 0;
+  while ((is_alpha_(src[pos]) || is_digit_(src[pos])) && n < 15) {
+    tok[n] = src[pos];
+    n = n + 1;
+    pos = pos + 1;
+  }
+  tok[n] = 0;
+  return n;
+}
+
+int xdigit_value(int c) {
+  if (is_digit_(c)) return c - '0';
+  if (c >= 'a') return c - 'a' + 10;
+  return c - 'A' + 10;
+}
+
+// Decimal or 0x hex literal.
+int scan_number() {
+  int v = 0;
+  if (src[pos] == '0' && src[pos + 1] == 'x') {
+    pos = pos + 2;
+    while (is_xdigit_(src[pos])) {
+      v = v * 16 + xdigit_value(src[pos]);
+      pos = pos + 1;
+    }
+    return v;
+  }
+  while (is_digit_(src[pos])) {
+    v = v * 10 + (src[pos] - '0');
+    pos = pos + 1;
+  }
+  return v;
+}
+
+// ---- opcode table ----
+char op_name[20][8];
+int op_code[20];
+int op_kind[20];  // 0=rrr 1=rri 2=ri 3=mem 4=branch 5=none 6=word
+int n_ops = 0;
+
+void add_op(char *name, int code, int kind) {
+  strcpy_(op_name[n_ops], name);
+  op_code[n_ops] = code;
+  op_kind[n_ops] = kind;
+  n_ops = n_ops + 1;
+}
+
+void init_ops() {
+  add_op("add", 1, 0);
+  add_op("sub", 2, 0);
+  add_op("and", 3, 0);
+  add_op("or", 4, 0);
+  add_op("xor", 5, 0);
+  add_op("shl", 6, 0);
+  add_op("shr", 7, 0);
+  add_op("addi", 8, 1);
+  add_op("subi", 9, 1);
+  add_op("li", 10, 2);
+  add_op("ld", 11, 3);
+  add_op("st", 12, 3);
+  add_op("bz", 13, 4);
+  add_op("bnz", 14, 4);
+  add_op("jmp", 15, 5);
+  add_op("halt", 16, 6);
+  add_op("word", 17, 7);
+}
+
+int find_op(char *name) {
+  int i;
+  for (i = 0; i < n_ops; i++)
+    if (strcmp_(op_name[i], name) == 0) return i;
+  return -1;
+}
+
+// ---- operand parsing ----
+int expect_comma() {
+  skip_spaces();
+  if (src[pos] == ',') { pos = pos + 1; skip_spaces(); return 1; }
+  errors = errors + 1;
+  return 0;
+}
+
+int parse_reg() {
+  skip_spaces();
+  if (src[pos] == 'r' && is_digit_(src[pos + 1])) {
+    pos = pos + 1;
+    return scan_number() & 15;
+  }
+  errors = errors + 1;
+  skip_line();
+  return 0;
+}
+
+// A value operand: number or symbol (pass 2 resolves; pass 1 returns 0).
+int parse_value(int pass) {
+  skip_spaces();
+  if (is_digit_(src[pos])) return scan_number();
+  if (is_alpha_(src[pos])) {
+    int h;
+    scan_ident();
+    if (pass == 1) return 0;
+    h = sym_lookup(tok);
+    if (h < 0) { errors = errors + 1; return 0; }
+    return sym_val[h];
+  }
+  errors = errors + 1;
+  return 0;
+}
+
+// ---- assembly ----
+int out_words[128];
+int n_out = 0;
+
+int encode(int code, int a, int b, int c) {
+  return (code << 24) | ((a & 15) << 20) | ((b & 15) << 16) | (c & 65535);
+}
+
+void assemble_line(int pass) {
+  int op;
+  int ra;
+  int rb;
+  int rc;
+  int v;
+  skip_spaces();
+  if (src[pos] == 0) return;
+  if (src[pos] == ';' || src[pos] == '\n') { skip_line(); return; }
+  if (is_alpha_(src[pos])) {
+    int save = pos;
+    scan_ident();
+    skip_spaces();
+    if (src[pos] == ':') {
+      pos = pos + 1;
+      if (pass == 1) {
+        if (sym_define(tok, n_out * 4) == -2) errors = errors + 1;
+      }
+      skip_spaces();
+      if (src[pos] == '\n' || src[pos] == ';' || src[pos] == 0) {
+        skip_line();
+        return;
+      }
+      if (is_alpha_(src[pos])) scan_ident();
+      else { errors = errors + 1; skip_line(); return; }
+    } else {
+      // Not a label: tok already holds the mnemonic.
+      save = save;
+    }
+  } else {
+    errors = errors + 1;
+    skip_line();
+    return;
+  }
+  op = find_op(tok);
+  if (op < 0) { errors = errors + 1; skip_line(); return; }
+  if (op_kind[op] == 0) {
+    ra = parse_reg();
+    expect_comma();
+    rb = parse_reg();
+    expect_comma();
+    rc = parse_reg();
+    v = encode(op_code[op], ra, rb, rc);
+  } else if (op_kind[op] == 1) {
+    ra = parse_reg();
+    expect_comma();
+    rb = parse_reg();
+    expect_comma();
+    v = encode(op_code[op], ra, rb, parse_value(pass));
+  } else if (op_kind[op] == 2) {
+    ra = parse_reg();
+    expect_comma();
+    v = encode(op_code[op], ra, 0, parse_value(pass));
+  } else if (op_kind[op] == 3) {
+    ra = parse_reg();
+    expect_comma();
+    rb = parse_reg();
+    expect_comma();
+    v = encode(op_code[op], ra, rb, parse_value(pass));
+  } else if (op_kind[op] == 4) {
+    ra = parse_reg();
+    expect_comma();
+    v = encode(op_code[op], ra, 0, parse_value(pass));
+  } else if (op_kind[op] == 5) {
+    v = encode(op_code[op], 0, 0, parse_value(pass));
+  } else if (op_kind[op] == 6) {
+    v = encode(op_code[op], 0, 0, 0);
+  } else {
+    v = parse_value(pass);
+  }
+  if (pass == 2) out_words[n_out] = v;
+  n_out = n_out + 1;
+  skip_line();
+}
+
+
+// ---- disassembler and listing generator (pass 3) ----
+char listing[96];
+int list_checksum = 0;
+
+void lput(int c) {
+  list_checksum = ((list_checksum * 33) ^ c) & 0x7fffffff;
+}
+
+void lput_str(char *s) {
+  while (*s) { lput(*s); s = s + 1; }
+}
+
+void lput_hex(int v, int digits) {
+  int shift = (digits - 1) * 4;
+  while (shift >= 0) {
+    int nib = (v >> shift) & 15;
+    if (nib < 10) lput('0' + nib);
+    else lput('a' + nib - 10);
+    shift = shift - 4;
+  }
+}
+
+void lput_reg(int r) {
+  lput('r');
+  if (r >= 10) lput('1');
+  lput('0' + r % 10);
+}
+
+// Decode one word back to assembly-ish text (folded into the checksum).
+void disassemble(int addr, int w) {
+  int code = (w >> 24) & 255;
+  int ra = (w >> 20) & 15;
+  int rb = (w >> 16) & 15;
+  int imm = w & 65535;
+  int i;
+  int op = -1;
+  lput_hex(addr, 4);
+  lput(':');
+  lput(' ');
+  lput_hex(w, 8);
+  lput(' ');
+  for (i = 0; i < n_ops; i++)
+    if (op_code[i] == code) op = i;
+  if (op < 0) { lput_str("???"); lput('\n'); return; }
+  lput_str(op_name[op]);
+  lput(' ');
+  if (op_kind[op] == 0) {
+    lput_reg(ra); lput(','); lput_reg(rb); lput(','); lput_reg(imm & 15);
+  } else if (op_kind[op] == 1 || op_kind[op] == 3) {
+    lput_reg(ra); lput(','); lput_reg(rb); lput(','); lput_hex(imm, 4);
+  } else if (op_kind[op] == 2 || op_kind[op] == 4) {
+    lput_reg(ra); lput(','); lput_hex(imm, 4);
+  } else if (op_kind[op] == 5) {
+    lput_hex(imm, 4);
+  }
+  lput('\n');
+}
+
+void listing_pass() {
+  int i;
+  for (i = 0; i < n_out; i++) disassemble(i * 4, out_words[i]);
+}
+
+// ---- symbol cross-reference: count and order defined symbols ----
+int xref_count = 0;
+int xref_hash = 0;
+
+void xref_pass() {
+  int i;
+  xref_count = 0;
+  xref_hash = 0;
+  for (i = 0; i < 64; i++) {
+    if (sym_used[i]) {
+      xref_count = xref_count + 1;
+      xref_hash = (xref_hash * 31 + sym_val[i] + hash_name(sym_name[i])) & 0xffffff;
+    }
+  }
+}
+
+// ---- peephole statistics over the object code ----
+int redundant_moves = 0;
+int dead_stores = 0;
+
+void object_stats() {
+  int i;
+  redundant_moves = 0;
+  dead_stores = 0;
+  for (i = 0; i < n_out; i++) {
+    int w = out_words[i];
+    int code = (w >> 24) & 255;
+    int ra = (w >> 20) & 15;
+    int rb = (w >> 16) & 15;
+    // add rX, rX, r0-style no-ops
+    if (code == 1 && ra == rb && (w & 15) == 0) redundant_moves = redundant_moves + 1;
+    // store immediately followed by load of the same register/base
+    if (code == 12 && i + 1 < n_out) {
+      int nxt = out_words[i + 1];
+      if (((nxt >> 24) & 255) == 11 && ((nxt >> 20) & 15) == ra
+          && ((nxt >> 16) & 15) == rb)
+        dead_stores = dead_stores + 1;
+    }
+  }
+}
+
+int main() {
+  int round;
+  int i;
+  int checksum = 0;
+  init_ops();
+  // Assemble the module repeatedly to give the working set time to settle,
+  // as a multi-module assembly run would.
+  for (round = 0; round < 24; round++) {
+    int pass;
+    for (i = 0; i < 64; i++) sym_used[i] = 0;
+    for (pass = 1; pass <= 2; pass++) {
+      pos = 0;
+      n_out = 0;
+      while (src[pos]) assemble_line(pass);
+    }
+    for (i = 0; i < n_out; i++)
+      checksum = (checksum ^ out_words[i]) + i;
+    listing_pass();
+    xref_pass();
+    object_stats();
+  }
+  print_int(n_out);
+  print_char(' ');
+  print_int(errors);
+  print_char(' ');
+  print_int(checksum);
+  print_char(' ');
+  print_int(list_checksum);
+  print_char(' ');
+  print_int(xref_count);
+  print_char(' ');
+  print_int(xref_hash);
+  print_char(' ');
+  print_int(redundant_moves + dead_stores);
+  print_char('\n');
+  return 0;
+}
+|}

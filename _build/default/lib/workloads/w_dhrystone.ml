@@ -1,0 +1,154 @@
+(* Dhrystone-like synthetic integer benchmark.  Mini-C has no structs, so
+   the record type of the original is laid out as parallel arrays, which
+   preserves the characteristic mix: assignments, integer arithmetic,
+   string comparison/copy, pointer-ish indirection through indices,
+   function calls, and control flow. *)
+
+let dhrystone =
+  {|
+// Record pool: discr, enum_comp, int_comp, next index, string (31 chars).
+int rec_discr[8];
+int rec_enum[8];
+int rec_int[8];
+int rec_next[8];
+char rec_str[8][32];
+
+int int_glob = 0;
+int bool_glob = 0;
+char ch1_glob = 'A';
+char ch2_glob = 'B';
+int arr1[50];
+int arr2[50][50];
+
+char str1[32] = "DHRYSTONE PROGRAM, 1ST STRING";
+char str2[32] = "DHRYSTONE PROGRAM, 2ND STRING";
+
+int func1(int ch1, int ch2) {
+  int ch = ch1;
+  if (ch != ch2) return 0;
+  ch1_glob = ch;
+  return 1;
+}
+
+int func2(char *s1, char *s2) {
+  int i = 2;
+  int ch = 'A';
+  while (i <= 2) {
+    if (func1(s1[i], s2[i + 1])) { ch = 'A'; i = i + 3; }
+    else i = i + 1;
+  }
+  if (ch >= 'W' && ch < 'Z') i = 7;
+  if (ch == 'R') return 1;
+  if (strcmp_(s1, s2) > 0) { int_glob = int_glob + 7; return 1; }
+  return 0;
+}
+
+int func3(int e) { return e == 2; }
+
+void proc6(int e_in, int *e_out) {
+  *e_out = e_in;
+  if (!func3(e_in)) *e_out = 3;
+  if (e_in == 0) *e_out = 0;
+  else if (e_in == 1) { if (int_glob > 100) *e_out = 0; else *e_out = 3; }
+  else if (e_in == 2) *e_out = 1;
+  else if (e_in == 4) *e_out = 2;
+}
+
+void proc7(int a, int b, int *c) { *c = b + a + 2; }
+
+void proc8(int *a1, int *a2, int n, int v) {
+  int i;
+  int idx = n + 5;
+  a1[idx] = v;
+  a1[idx + 1] = a1[idx];
+  a1[idx + 30] = idx;
+  for (i = idx; i <= idx + 1; i++) a2[i] = idx;
+  a2[idx - 1] = a2[idx - 1] + 1;
+  a2[idx + 20] = a1[idx];
+  int_glob = 5;
+}
+
+void proc5() { ch1_glob = 'A'; bool_glob = 0; }
+
+void proc4() {
+  int b = ch1_glob == 'A';
+  b = b | bool_glob;
+  ch2_glob = 'B';
+}
+
+void proc3(int *p) {
+  if (*p != 0) *p = rec_next[*p];
+  proc7(10, int_glob, &rec_int[*p]);
+}
+
+void proc2(int *i) {
+  int loc = *i + 10;
+  int done = 0;
+  while (!done) {
+    if (ch1_glob == 'A') { loc = loc - 1; *i = loc - int_glob; done = 1; }
+  }
+}
+
+void proc1(int p) {
+  int next = rec_next[p];
+  rec_discr[next] = rec_discr[p];
+  rec_int[next] = 5;
+  rec_int[p] = rec_int[next];
+  rec_next[next] = rec_next[p];
+  proc3(&rec_next[next]);
+  if (rec_discr[next] == 0) {
+    rec_int[next] = 6;
+    proc6(rec_enum[p], &rec_enum[next]);
+    rec_next[next] = rec_next[0];
+    proc7(rec_int[next], 10, &rec_int[next]);
+  }
+  else rec_discr[p] = rec_discr[next];
+}
+
+int main() {
+  int run;
+  int runs = 350;
+  int i;
+  int int1;
+  int int2;
+  int int3;
+  char chindex;
+
+  rec_next[1] = 2;
+  rec_next[2] = 0;
+  rec_discr[1] = 0;
+  rec_enum[1] = 2;
+  rec_int[1] = 40;
+  strcpy_(rec_str[1], "DHRYSTONE PROGRAM, SOME STRING");
+  strcpy_(rec_str[2], "DHRYSTONE PROGRAM, SOME STRING");
+
+  for (run = 0; run < runs; run++) {
+    proc5();
+    proc4();
+    int1 = 2;
+    int2 = 3;
+    bool_glob = !func2(str1, str2);
+    while (int1 < int2) {
+      int3 = 5 * int1 - int2;
+      proc7(int1, int2, &int3);
+      int1 = int1 + 1;
+    }
+    proc8(arr1, arr2[0], int1, int3);
+    proc1(1);
+    for (chindex = 'A'; chindex <= ch2_glob; chindex++) {
+      if (func3(chindex - 'A' + 2) && chindex == 'B') int_glob = int_glob + 1;
+    }
+    int2 = int2 * int1;
+    int1 = int2 / int3;
+    int2 = 7 * (int2 - int3) - int1;
+    proc2(&int1);
+  }
+  print_int(int_glob);
+  print_char(' ');
+  print_int(int1);
+  print_char(' ');
+  print_int(bool_glob);
+  print_char('\n');
+  return 0;
+}
+|}

@@ -1,0 +1,98 @@
+(* grep: a small regular-expression matcher (literal characters, '.',
+   'c*', '^', '$'), in the style of the classic UNIX implementation,
+   scanning an embedded text line by line for several patterns. *)
+
+let grep =
+  {|
+char text[2200] =
+"in any stored program computer system information is constantly\n"
+"transferred between the memory and the instruction processor\n"
+"machine instructions are a major portion of this traffic\n"
+"since transfer bandwidth is a limited resource inefficiency in\n"
+"the encoding of instruction information can have definite\n"
+"hardware and performance costs\n"
+"starting with a parameterized baseline risc design we compare\n"
+"performance for two instruction encodings for the architecture\n"
+"one is a variant of dlx the other is a sixteen bit format which\n"
+"sacrifices some expressive power while retaining essential risc\n"
+"features\n"
+"using optimizing compilers and software simulation we measure\n"
+"code density and path length for a suite of benchmark programs\n"
+"relating performance differences to specific instruction set\n"
+"features\n"
+"we measure time to completion performance while varying memory\n"
+"latency and instruction cache size parameters\n"
+"the sixteen bit format is shown to have significant cost\n"
+"performance advantages over the thirty two bit format under\n"
+"typical memory system performance constraints\n"
+"efficient transfer of instructions between the memory and the\n"
+"instruction set processor is a significant issue in any von\n"
+"neumann style computer system\n"
+"since the capacity of processors to execute instructions\n"
+"typically exceeds the capacity of a memory to provide them\n"
+"efficiency in the encoding of instruction information can be\n"
+"expected to have definite hardware or performance costs\n"
+"such considerations for many years supported the development\n"
+"of cisc processors\n";
+
+int matchstar(int c, char *re, char *s) {
+  do {
+    if (matchhere(re, s)) return 1;
+  } while (*s != 0 && (*s == c || c == '.') && (s = s + 1) != 0);
+  return 0;
+}
+
+int matchhere(char *re, char *s) {
+  if (re[0] == 0) return 1;
+  if (re[1] == '*') return matchstar(re[0], re + 2, s);
+  if (re[0] == '$' && re[1] == 0) return *s == 0;
+  if (*s != 0 && (re[0] == '.' || re[0] == *s))
+    return matchhere(re + 1, s + 1);
+  return 0;
+}
+
+int match(char *re, char *s) {
+  if (re[0] == '^') return matchhere(re + 1, s);
+  do {
+    if (matchhere(re, s)) return 1;
+  } while (*s != 0 && (s = s + 1) != 0);
+  return 0;
+}
+
+char line[128];
+
+// Count the lines of text matching the pattern.
+int grep_count(char *re) {
+  int count = 0;
+  int i = 0;
+  int j;
+  while (text[i]) {
+    j = 0;
+    while (text[i] && text[i] != '\n') {
+      line[j] = text[i];
+      j = j + 1;
+      i = i + 1;
+    }
+    line[j] = 0;
+    if (text[i] == '\n') i = i + 1;
+    if (match(re, line)) count = count + 1;
+  }
+  return count;
+}
+
+int main() {
+  print_int(grep_count("instruction"));
+  print_char(' ');
+  print_int(grep_count("^the"));
+  print_char(' ');
+  print_int(grep_count("memory"));
+  print_char(' ');
+  print_int(grep_count("p.rformance"));
+  print_char(' ');
+  print_int(grep_count("c.*s$"));
+  print_char(' ');
+  print_int(grep_count("z*risc"));
+  print_char('\n');
+  return 0;
+}
+|}

@@ -1,0 +1,386 @@
+(* ipl: a PostScript-style plotting package stand-in — fixed-point
+   transforms built from double-precision trig at startup, Bresenham lines,
+   midpoint circles, polygon rendering with rotation, span filling, and a
+   function plotter, rasterizing into a character frame buffer. *)
+
+let ipl =
+  {|
+int WIDTH = 96;
+int HEIGHT = 64;
+char raster[6144];  // WIDTH * HEIGHT
+
+int sin_fix[360];  // sin scaled by 4096, per degree
+int pixels = 0;
+
+double poly_sin(double x) {
+  double pi2 = 6.28318530718;
+  double x2;
+  while (x > 3.14159265359) x = x - pi2;
+  while (x < -3.14159265359) x = x + pi2;
+  x2 = x * x;
+  return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+}
+
+void init_tables() {
+  int d;
+  for (d = 0; d < 360; d++) {
+    double rad = (double)d * 0.0174532925199;
+    sin_fix[d] = (int)(poly_sin(rad) * 4096.0);
+  }
+}
+
+int sini(int deg) {
+  deg = deg % 360;
+  if (deg < 0) deg = deg + 360;
+  return sin_fix[deg];
+}
+
+int cosi(int deg) { return sini(deg + 90); }
+
+void clear_raster() {
+  int i;
+  int npix = WIDTH * HEIGHT;
+  for (i = 0; i < npix; i++) raster[i] = ' ';
+}
+
+void plot(int x, int y, int c) {
+  if (x >= 0 && x < WIDTH && y >= 0 && y < HEIGHT) {
+    raster[y * WIDTH + x] = c;
+    pixels = pixels + 1;
+  }
+}
+
+int iabs(int v) { return v < 0 ? -v : v; }
+
+void draw_line(int x0, int y0, int x1, int y1, int c) {
+  int dx = iabs(x1 - x0);
+  int dy = iabs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int e = dx - dy;
+  while (1) {
+    plot(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    {
+      int e2 = 2 * e;
+      if (e2 > -dy) { e = e - dy; x0 = x0 + sx; }
+      if (e2 < dx) { e = e + dx; y0 = y0 + sy; }
+    }
+  }
+}
+
+void draw_circle(int cx, int cy, int r, int c) {
+  int x = r;
+  int y = 0;
+  int err = 1 - r;
+  while (x >= y) {
+    plot(cx + x, cy + y, c);
+    plot(cx + y, cy + x, c);
+    plot(cx - y, cy + x, c);
+    plot(cx - x, cy + y, c);
+    plot(cx - x, cy - y, c);
+    plot(cx - y, cy - x, c);
+    plot(cx + y, cy - x, c);
+    plot(cx + x, cy - y, c);
+    y = y + 1;
+    if (err < 0) err = err + 2 * y + 1;
+    else { x = x - 1; err = err + 2 * (y - x) + 1; }
+  }
+}
+
+void fill_span(int y, int x0, int x1, int c) {
+  int x;
+  if (x0 > x1) { int t = x0; x0 = x1; x1 = t; }
+  for (x = x0; x <= x1; x++) plot(x, y, c);
+}
+
+// Rotate and translate a point in 12.4-ish fixed point.
+int xform_x(int x, int y, int deg, int tx) {
+  return ((x * cosi(deg) - y * sini(deg)) >> 12) + tx;
+}
+
+int xform_y(int x, int y, int deg, int ty) {
+  return ((x * sini(deg) + y * cosi(deg)) >> 12) + ty;
+}
+
+int px[8];
+int py[8];
+
+void draw_polygon(int *vx, int *vy, int n, int deg, int tx, int ty, int c) {
+  int i;
+  for (i = 0; i < n; i++) {
+    px[i] = xform_x(vx[i], vy[i], deg, tx);
+    py[i] = xform_y(vx[i], vy[i], deg, ty);
+  }
+  for (i = 0; i < n; i++) {
+    int j = (i + 1) % n;
+    draw_line(px[i], py[i], px[j], py[j], c);
+  }
+}
+
+// Filled triangle via scanline edge walking (integer only).
+void fill_triangle(int x0, int y0, int x1, int y1, int x2, int y2, int c) {
+  int y;
+  int miny = y0;
+  int maxy = y0;
+  if (y1 < miny) miny = y1;
+  if (y2 < miny) miny = y2;
+  if (y1 > maxy) maxy = y1;
+  if (y2 > maxy) maxy = y2;
+  for (y = miny; y <= maxy; y++) {
+    int xs = 10000;
+    int xe = -10000;
+    // Intersect the scanline with each edge.
+    if ((y0 <= y && y <= y1) || (y1 <= y && y <= y0)) {
+      if (y1 != y0) {
+        int x = x0 + (x1 - x0) * (y - y0) / (y1 - y0);
+        if (x < xs) xs = x;
+        if (x > xe) xe = x;
+      }
+    }
+    if ((y1 <= y && y <= y2) || (y2 <= y && y <= y1)) {
+      if (y2 != y1) {
+        int x = x1 + (x2 - x1) * (y - y1) / (y2 - y1);
+        if (x < xs) xs = x;
+        if (x > xe) xe = x;
+      }
+    }
+    if ((y0 <= y && y <= y2) || (y2 <= y && y <= y0)) {
+      if (y2 != y0) {
+        int x = x0 + (x2 - x0) * (y - y0) / (y2 - y0);
+        if (x < xs) xs = x;
+        if (x > xe) xe = x;
+      }
+    }
+    if (xs <= xe) fill_span(y, xs, xe, c);
+  }
+}
+
+// Plot y = a*sin(bx) with double evaluation, like a function plotter.
+void plot_function(double a, double b, int c) {
+  int x;
+  for (x = 0; x < WIDTH; x++) {
+    double fx = (double)x * b * 0.1;
+    int y = HEIGHT / 2 + (int)(a * poly_sin(fx));
+    plot(x, y, c);
+  }
+}
+
+void draw_axes() {
+  draw_line(0, HEIGHT / 2, WIDTH - 1, HEIGHT / 2, '-');
+  draw_line(WIDTH / 2, 0, WIDTH / 2, HEIGHT - 1, '|');
+  plot(WIDTH / 2, HEIGHT / 2, '+');
+}
+
+
+// ---- extended drawing repertoire ----
+
+// Midpoint ellipse.
+void draw_ellipse(int cx, int cy, int rx, int ry, int c) {
+  int x = 0;
+  int y = ry;
+  int rx2 = rx * rx;
+  int ry2 = ry * ry;
+  int px_ = 0;
+  int py_ = 2 * rx2 * y;
+  int p = ry2 - rx2 * ry + (rx2 + 2) / 4;
+  while (px_ < py_) {
+    plot(cx + x, cy + y, c);
+    plot(cx - x, cy + y, c);
+    plot(cx + x, cy - y, c);
+    plot(cx - x, cy - y, c);
+    x = x + 1;
+    px_ = px_ + 2 * ry2;
+    if (p < 0) p = p + ry2 + px_;
+    else {
+      y = y - 1;
+      py_ = py_ - 2 * rx2;
+      p = p + ry2 + px_ - py_;
+    }
+  }
+  p = ry2 * (4 * x * x + 4 * x + 1) / 4 + rx2 * (y - 1) * (y - 1) - rx2 * ry2;
+  while (y >= 0) {
+    plot(cx + x, cy + y, c);
+    plot(cx - x, cy + y, c);
+    plot(cx + x, cy - y, c);
+    plot(cx - x, cy - y, c);
+    y = y - 1;
+    py_ = py_ - 2 * rx2;
+    if (p > 0) p = p + rx2 - py_;
+    else {
+      x = x + 1;
+      px_ = px_ + 2 * ry2;
+      p = p + rx2 - py_ + px_;
+    }
+  }
+}
+
+// Dashed Bresenham: plots only on alternating runs.
+void draw_dashed(int x0, int y0, int x1, int y1, int c, int dash) {
+  int dx = iabs(x1 - x0);
+  int dy = iabs(y1 - y0);
+  int sx = x0 < x1 ? 1 : -1;
+  int sy = y0 < y1 ? 1 : -1;
+  int e = dx - dy;
+  int step = 0;
+  while (1) {
+    if ((step / dash) % 2 == 0) plot(x0, y0, c);
+    step = step + 1;
+    if (x0 == x1 && y0 == y1) break;
+    {
+      int e2 = 2 * e;
+      if (e2 > -dy) { e = e - dy; x0 = x0 + sx; }
+      if (e2 < dx) { e = e + dx; y0 = y0 + sy; }
+    }
+  }
+}
+
+// Cohen-Sutherland line clipping against the raster rectangle.
+int outcode(int x, int y) {
+  int code = 0;
+  if (x < 0) code = code | 1;
+  if (x >= WIDTH) code = code | 2;
+  if (y < 0) code = code | 4;
+  if (y >= HEIGHT) code = code | 8;
+  return code;
+}
+
+int clipped_lines = 0;
+
+void draw_clipped(int x0, int y0, int x1, int y1, int c) {
+  int c0 = outcode(x0, y0);
+  int c1 = outcode(x1, y1);
+  int guard = 0;
+  while (guard < 16) {
+    if ((c0 | c1) == 0) {
+      draw_line(x0, y0, x1, y1, c);
+      return;
+    }
+    if (c0 & c1) { clipped_lines = clipped_lines + 1; return; }
+    {
+      int out = c0 ? c0 : c1;
+      int nx = 0;
+      int ny = 0;
+      if (out & 8) { nx = x0 + (x1 - x0) * (HEIGHT - 1 - y0) / (y1 - y0); ny = HEIGHT - 1; }
+      else if (out & 4) { nx = x0 + (x1 - x0) * (0 - y0) / (y1 - y0); ny = 0; }
+      else if (out & 2) { ny = y0 + (y1 - y0) * (WIDTH - 1 - x0) / (x1 - x0); nx = WIDTH - 1; }
+      else { ny = y0 + (y1 - y0) * (0 - x0) / (x1 - x0); nx = 0; }
+      if (out == c0) { x0 = nx; y0 = ny; c0 = outcode(x0, y0); }
+      else { x1 = nx; y1 = ny; c1 = outcode(x1, y1); }
+    }
+    guard = guard + 1;
+  }
+}
+
+// Flood fill with an explicit stack (4-connected).
+int fstack[512];
+int flooded = 0;
+
+void flood_fill(int x, int y, int c) {
+  int sp = 0;
+  int old;
+  if (x < 0 || x >= WIDTH || y < 0 || y >= HEIGHT) return;
+  old = raster[y * WIDTH + x];
+  if (old == c) return;
+  fstack[sp] = y * WIDTH + x;
+  sp = sp + 1;
+  while (sp > 0) {
+    int pos;
+    int cx;
+    int cy;
+    sp = sp - 1;
+    pos = fstack[sp];
+    cx = pos % WIDTH;
+    cy = pos / WIDTH;
+    if (raster[pos] != old) continue;
+    raster[pos] = c;
+    flooded = flooded + 1;
+    if (sp < 508) {
+      if (cx > 0 && raster[pos - 1] == old) { fstack[sp] = pos - 1; sp = sp + 1; }
+      if (cx < WIDTH - 1 && raster[pos + 1] == old) { fstack[sp] = pos + 1; sp = sp + 1; }
+      if (cy > 0 && raster[pos - WIDTH] == old) { fstack[sp] = pos - WIDTH; sp = sp + 1; }
+      if (cy < HEIGHT - 1 && raster[pos + WIDTH] == old) { fstack[sp] = pos + WIDTH; sp = sp + 1; }
+    }
+  }
+}
+
+// A 3x5 digit font, packed one row per int (3 low bits per row).
+int font3x5[10][5];
+
+void init_font() {
+  font3x5[0][0] = 7; font3x5[0][1] = 5; font3x5[0][2] = 5; font3x5[0][3] = 5; font3x5[0][4] = 7;
+  font3x5[1][0] = 2; font3x5[1][1] = 6; font3x5[1][2] = 2; font3x5[1][3] = 2; font3x5[1][4] = 7;
+  font3x5[2][0] = 7; font3x5[2][1] = 1; font3x5[2][2] = 7; font3x5[2][3] = 4; font3x5[2][4] = 7;
+  font3x5[3][0] = 7; font3x5[3][1] = 1; font3x5[3][2] = 3; font3x5[3][3] = 1; font3x5[3][4] = 7;
+  font3x5[4][0] = 5; font3x5[4][1] = 5; font3x5[4][2] = 7; font3x5[4][3] = 1; font3x5[4][4] = 1;
+  font3x5[5][0] = 7; font3x5[5][1] = 4; font3x5[5][2] = 7; font3x5[5][3] = 1; font3x5[5][4] = 7;
+  font3x5[6][0] = 7; font3x5[6][1] = 4; font3x5[6][2] = 7; font3x5[6][3] = 5; font3x5[6][4] = 7;
+  font3x5[7][0] = 7; font3x5[7][1] = 1; font3x5[7][2] = 2; font3x5[7][3] = 2; font3x5[7][4] = 2;
+  font3x5[8][0] = 7; font3x5[8][1] = 5; font3x5[8][2] = 7; font3x5[8][3] = 5; font3x5[8][4] = 7;
+  font3x5[9][0] = 7; font3x5[9][1] = 5; font3x5[9][2] = 7; font3x5[9][3] = 1; font3x5[9][4] = 7;
+}
+
+void draw_digit(int d, int x, int y, int c) {
+  int row;
+  int col;
+  for (row = 0; row < 5; row++)
+    for (col = 0; col < 3; col++)
+      if (font3x5[d][row] & (4 >> col)) plot(x + col, y + row, c);
+}
+
+void draw_number(int n, int x, int y, int c) {
+  if (n >= 10) {
+    draw_number(n / 10, x, y, c);
+    draw_digit(n % 10, x + 4 * 2, y, c);
+  }
+  else draw_digit(n % 10, x, y, c);
+}
+
+// Thick line: three parallel Bresenhams.
+void draw_thick(int x0, int y0, int x1, int y1, int c) {
+  draw_line(x0, y0, x1, y1, c);
+  draw_line(x0 + 1, y0, x1 + 1, y1, c);
+  draw_line(x0, y0 + 1, x1, y1 + 1, c);
+}
+
+int tri_x[3];
+int tri_y[3];
+
+int main() {
+  int frame;
+  int check = 0;
+  int i;
+  init_tables();
+  init_font();
+  for (frame = 0; frame < 8; frame++) {
+    int deg = frame * 36;
+    clear_raster();
+    draw_axes();
+    plot_function(12.0, 1.0 + (double)frame * 0.2, '*');
+    draw_circle(WIDTH / 2, HEIGHT / 2, 8 + frame, 'o');
+    tri_x[0] = -10; tri_y[0] = -6;
+    tri_x[1] = 12;  tri_y[1] = -2;
+    tri_x[2] = 0;   tri_y[2] = 10;
+    draw_polygon(tri_x, tri_y, 3, deg, 24, 16, '#');
+    fill_triangle(70 + frame, 40, 88, 44 + frame % 8, 78, 58, '@');
+    draw_ellipse(70, 16, 14, 7 + frame % 4, 'e');
+    draw_dashed(2, 2, WIDTH - 3, HEIGHT - 3, ':', 2 + frame % 3);
+    draw_clipped(-20, 10, WIDTH + 20, HEIGHT - 10, 'c');
+    draw_clipped(-50, -50, -10, -10, 'x');
+    draw_thick(4, HEIGHT - 6, 30, HEIGHT - 20, 'T');
+    flood_fill(70, 16, '.');
+    draw_number(frame * 37, 2, 2, '9');
+    // Fold the frame into the checksum.
+    {
+      int npix = WIDTH * HEIGHT;
+      for (i = 0; i < npix; i++)
+        check = (check * 31 + raster[i]) & 0xffffff;
+    }
+  }
+  print_int(pixels);
+  print_char(' ');
+  print_int(check);
+  print_char('\n');
+  return 0;
+}
+|}

@@ -1,0 +1,410 @@
+(* latex: a typesetter stand-in — paragraph filling with justification,
+   crude hyphenation, page makeup with running heads and roman-numeral
+   folios.  Branchy integer/string code with a wide code working set. *)
+
+let latex =
+  {|
+char text[2000] =
+"The quick brown fox jumps over the lazy dog while the band plays "
+"a quiet waltz in the garden. Typesetting is the art of arranging "
+"type to make written language legible readable and appealing when "
+"displayed. The arrangement involves selecting typefaces point "
+"sizes line lengths leading and letter spacing and adjusting the "
+"space between pairs of letters.\n"
+"In the days of metal type a compositor assembled each line by "
+"hand from individual sorts taken from a type case. Justification "
+"was achieved by inserting spaces of varying width between words "
+"until the line filled the measure. Hyphenation allowed long words "
+"to be divided at syllable boundaries reducing the raggedness of "
+"the margin and the unsightly rivers of white space that plague "
+"poorly set paragraphs.\n"
+"Modern systems perform these tasks automatically breaking "
+"paragraphs into lines by minimizing a badness function summed "
+"over the chosen breakpoints. The algorithm considers stretching "
+"and shrinking of interword glue demerits for consecutive "
+"hyphenated lines and penalties for breaking before displayed "
+"formulas. The result approaches the quality of hand composition "
+"at a tiny fraction of the effort.\n"
+"A page consists of a running head a text block and a folio. The "
+"folio of front matter is traditionally set in roman numerals "
+"while the body uses arabic figures. Widows and orphans are "
+"avoided by adjusting page depth by a line when necessary.\n";
+
+int MEASURE = 58;
+int PAGELINES = 12;
+
+int checksum = 0;
+int lines_out = 0;
+int pages_out = 0;
+int hyphens = 0;
+
+// All output flows through here so the result is a cheap checksum.
+void emit(int c) {
+  checksum = ((checksum << 1) ^ ((checksum >> 27) & 31) ^ c) & 0x7fffffff;
+}
+
+void emit_str(char *s) {
+  while (*s) {
+    emit(*s);
+    s = s + 1;
+  }
+}
+
+void emit_int(int v) {
+  if (v >= 10) emit_int(v / 10);
+  emit('0' + v % 10);
+}
+
+int is_vowel(int c) {
+  return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u' || c == 'y';
+}
+
+// A plausible break point after position 2: between a vowel and a
+// following consonant pair.
+int hyphen_point(char *w, int len) {
+  int i;
+  for (i = 2; i < len - 2; i++) {
+    if (is_vowel(w[i]) && !is_vowel(w[i + 1]) && !is_vowel(w[i + 2]))
+      return i + 1;
+  }
+  return 0;
+}
+
+// ---- line buffer with justification ----
+char words[16][24];
+int wlens[16];
+int nwords = 0;
+int linelen = 0;
+
+void roman(int n) {
+  while (n >= 10) { emit('x'); n = n - 10; }
+  if (n == 9) { emit_str("ix"); n = 0; }
+  if (n >= 5) { emit('v'); n = n - 5; }
+  if (n == 4) { emit_str("iv"); n = 0; }
+  while (n > 0) { emit('i'); n = n - 1; }
+}
+
+void page_head() {
+  int i;
+  emit_str("-- of typesetting --");
+  emit('\n');
+  for (i = 0; i < 20; i++) emit('=');
+  emit('\n');
+}
+
+void page_foot() {
+  pages_out = pages_out + 1;
+  emit_str("page ");
+  roman(pages_out);
+  emit('\n');
+}
+
+void line_break() {
+  lines_out = lines_out + 1;
+  emit('\n');
+  if (lines_out % PAGELINES == 0) {
+    page_foot();
+    page_head();
+  }
+}
+
+// Flush the buffered words as one justified line.
+void flush_line(int justify) {
+  int gaps = nwords - 1;
+  int slack = MEASURE - linelen;
+  int i;
+  int extra = 0;
+  int remainder = 0;
+  if (nwords == 0) return;
+  if (justify && gaps > 0) {
+    extra = slack / gaps;
+    remainder = slack % gaps;
+  }
+  for (i = 0; i < nwords; i++) {
+    emit_str(words[i]);
+    if (i < gaps) {
+      int pad = 1 + extra;
+      if (i < remainder) pad = pad + 1;
+      while (pad > 0) { emit(' '); pad = pad - 1; }
+    }
+  }
+  line_break();
+  nwords = 0;
+  linelen = 0;
+}
+
+// Add one word, breaking (and possibly hyphenating) as needed.
+void add_word(char *w) {
+  int len = strlen_(w);
+  int needed = len;
+  if (nwords > 0) needed = needed + 1;
+  if (linelen + needed > MEASURE) {
+    // Try to hyphenate the word to fill the line better.
+    int room = MEASURE - linelen - 2;  // space + hyphen
+    int hp = hyphen_point(w, len);
+    if (hp > 0 && hp <= room && nwords > 0 && nwords < 15) {
+      int i;
+      for (i = 0; i < hp; i++) words[nwords][i] = w[i];
+      words[nwords][hp] = '-';
+      words[nwords][hp + 1] = 0;
+      wlens[nwords] = hp + 1;
+      linelen = linelen + hp + 2;
+      nwords = nwords + 1;
+      hyphens = hyphens + 1;
+      flush_line(1);
+      add_word(w + hp);
+      return;
+    }
+    flush_line(1);
+  }
+  if (nwords < 16) {
+    strcpy_(words[nwords], w);
+    wlens[nwords] = len;
+    linelen = linelen + len;
+    if (nwords > 0) linelen = linelen + 1;
+    nwords = nwords + 1;
+  }
+}
+
+// ---- additional passes run over the same text each round ----
+
+// Word statistics: length histogram, longest word, estimated syllables.
+int len_hist[24];
+int syllables = 0;
+int sentences = 0;
+int longest = 0;
+
+int count_syllables(char *w, int len) {
+  int count = 0;
+  int i;
+  int prev_vowel = 0;
+  for (i = 0; i < len; i++) {
+    int v = is_vowel(w[i]);
+    if (v && !prev_vowel) count = count + 1;
+    prev_vowel = v;
+  }
+  if (len > 2 && w[len - 1] == 'e' && count > 1) count = count - 1;
+  if (count == 0) count = 1;
+  return count;
+}
+
+void note_word_stats(char *w) {
+  int len = strlen_(w);
+  int i = len;
+  if (i > 23) i = 23;
+  len_hist[i] = len_hist[i] + 1;
+  syllables = syllables + count_syllables(w, len);
+  if (len > longest) longest = len;
+  if (len > 0) {
+    int last = w[len - 1];
+    if (last == '.' || last == '!' || last == '?') sentences = sentences + 1;
+  }
+}
+
+// Integer Flesch-style readability: higher is easier.
+int readability(int words) {
+  int asl;
+  int asw;
+  if (words == 0 || sentences == 0) return 0;
+  asl = (words * 100) / (sentences + 4);        // avg sentence length x100
+  asw = (syllables * 100) / words;              // avg syllables/word x100
+  return 206835 - 1015 * asl / 100 - 846 * asw / 10;
+}
+
+// Centered and right-aligned emission modes for headings.
+void emit_centered(char *s) {
+  int len = strlen_(s);
+  int pad = (MEASURE - len) / 2;
+  int i;
+  for (i = 0; i < pad; i++) emit(' ');
+  emit_str(s);
+  line_break();
+}
+
+void emit_right(char *s) {
+  int len = strlen_(s);
+  int i;
+  for (i = 0; i < MEASURE - len; i++) emit(' ');
+  emit_str(s);
+  line_break();
+}
+
+// Minimal markup: *word* emphasizes, rendered as UPPERCASE; counts spans.
+int emphases = 0;
+
+void emit_marked_word(char *w) {
+  int len = strlen_(w);
+  if (len >= 3 && w[0] == '*' && w[len - 1] == '*') {
+    int i;
+    emphases = emphases + 1;
+    for (i = 1; i < len - 1; i++) {
+      int c = w[i];
+      if (c >= 'a' && c <= 'z') c = c - 32;
+      emit(c);
+    }
+  }
+  else emit_str(w);
+}
+
+// Arabic page number rendering with zero padding, used in the TOC pass.
+void arabic3(int n) {
+  emit('0' + n / 100 % 10);
+  emit('0' + n / 10 % 10);
+  emit('0' + n % 10);
+}
+
+// Table-of-contents pass: paragraph ordinals with dotted leaders.
+int toc_entries = 0;
+
+void toc_line(int para, int page) {
+  int i;
+  emit_str("para ");
+  roman(para);
+  for (i = 0; i < 18; i++) emit('.');
+  arabic3(page);
+  line_break();
+  toc_entries = toc_entries + 1;
+}
+
+// Hyphenation audit: how many words of each length can be broken.
+int breakable = 0;
+
+void hyphen_audit(char *w) {
+  int len = strlen_(w);
+  if (hyphen_point(w, len) > 0) breakable = breakable + 1;
+}
+
+// Line-numbered verbatim mode: emit raw text with 4-digit line numbers.
+void verbatim_pass() {
+  int i = 0;
+  int lineno = 1;
+  while (text[i]) {
+    if (i == 0 || text[i - 1] == '\n') {
+      emit('0' + lineno / 1000 % 10);
+      emit('0' + lineno / 100 % 10);
+      emit('0' + lineno / 10 % 10);
+      emit('0' + lineno % 10);
+      emit(' ');
+      lineno = lineno + 1;
+    }
+    emit(text[i]);
+    i = i + 1;
+  }
+}
+
+// Word-frequency sampling via a small hash of first/last chars.
+int freq[64];
+
+void note_freq(char *w) {
+  int len = strlen_(w);
+  int h;
+  if (len == 0) return;
+  h = (w[0] * 7 + w[len - 1] * 3 + len) & 63;
+  freq[h] = freq[h] + 1;
+}
+
+int freq_mode() {
+  int best = 0;
+  int i;
+  for (i = 0; i < 64; i++)
+    if (freq[i] > freq[best]) best = i;
+  return best * 1000 + freq[best];
+}
+
+char curword[24];
+
+void format_text() {
+  int i = 0;
+  int j = 0;
+  page_head();
+  while (text[i]) {
+    int c = text[i];
+    if (c == ' ' || c == '\n') {
+      if (j > 0) {
+        curword[j] = 0;
+        note_word_stats(curword);
+        note_freq(curword);
+        hyphen_audit(curword);
+        add_word(curword);
+        j = 0;
+      }
+      if (c == '\n') {
+        // Paragraph end: flush ragged, add blank line.
+        flush_line(0);
+        line_break();
+      }
+    } else if (j < 23) {
+      curword[j] = c;
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  if (j > 0) { curword[j] = 0; add_word(curword); }
+  flush_line(0);
+  page_foot();
+}
+
+int words_total = 0;
+
+void reset_stats() {
+  int i;
+  for (i = 0; i < 24; i++) len_hist[i] = 0;
+  for (i = 0; i < 64; i++) freq[i] = 0;
+  syllables = 0;
+  sentences = 0;
+  longest = 0;
+  emphases = 0;
+  breakable = 0;
+  toc_entries = 0;
+}
+
+int main() {
+  int round;
+  int score = 0;
+  for (round = 0; round < 8; round++) {
+    int p;
+    checksum = 0;
+    lines_out = 0;
+    pages_out = 0;
+    hyphens = 0;
+    reset_stats();
+    MEASURE = 50 + round;  // vary the measure between rounds
+    emit_centered("ON TYPESETTING");
+    emit_right("draft");
+    format_text();
+    for (p = 1; p <= pages_out; p++) toc_line(p, p * 3 + round);
+    verbatim_pass();
+    {
+      int w = 0;
+      int i;
+      for (i = 0; i < 24; i++) w = w + len_hist[i];
+      words_total = w;
+      score = readability(w);
+    }
+    emit_marked_word("*finis*");
+  }
+  print_int(lines_out);
+  print_char(' ');
+  print_int(pages_out);
+  print_char(' ');
+  print_int(hyphens);
+  print_char(' ');
+  print_int(words_total);
+  print_char(' ');
+  print_int(sentences);
+  print_char(' ');
+  print_int(longest);
+  print_char(' ');
+  print_int(breakable);
+  print_char(' ');
+  print_int(score);
+  print_char(' ');
+  print_int(freq_mode());
+  print_char(' ');
+  print_int(toc_entries);
+  print_char(' ');
+  print_int(checksum);
+  print_char('\n');
+  return 0;
+}
+|}

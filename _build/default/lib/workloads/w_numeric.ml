@@ -1,0 +1,408 @@
+(* Numeric benchmarks: linpack-style LU solve, Gaussian elimination,
+   digits of pi (integer spigot), Newton-Raphson solver, and a whetstone-
+   style synthetic FP benchmark with polynomial libm approximations. *)
+
+let linpack =
+  {|
+// The linear programming benchmark of the paper's table; as in the
+// original LINPACK, this factors a dense system and solves it.
+double a[28][28];
+double b[28];
+double x[28];
+int piv[28];
+int n = 28;
+int seed = 1325;
+
+double randf() {
+  seed = (seed * 3125) % 65536;
+  return (double)seed / 65536.0 - 0.5;
+}
+
+void matgen() {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) {
+    b[i] = 0.0;
+    for (j = 0; j < n; j++) a[i][j] = randf();
+  }
+  for (i = 0; i < n; i++)
+    for (j = 0; j < n; j++) b[i] = b[i] + a[i][j];
+}
+
+// LU factorization with partial pivoting (dgefa).
+int dgefa() {
+  int k;
+  int i;
+  int j;
+  for (k = 0; k < n - 1; k++) {
+    int l = k;
+    double amax = a[k][k];
+    if (amax < 0.0) amax = -amax;
+    for (i = k + 1; i < n; i++) {
+      double v = a[i][k];
+      if (v < 0.0) v = -v;
+      if (v > amax) { amax = v; l = i; }
+    }
+    piv[k] = l;
+    if (a[l][k] == 0.0) return 1;
+    if (l != k) {
+      double t = a[l][k];
+      a[l][k] = a[k][k];
+      a[k][k] = t;
+    }
+    for (i = k + 1; i < n; i++) a[i][k] = -(a[i][k] / a[k][k]);
+    for (j = k + 1; j < n; j++) {
+      double t = a[l][j];
+      if (l != k) { a[l][j] = a[k][j]; a[k][j] = t; }
+      for (i = k + 1; i < n; i++) a[i][j] = a[i][j] + t * a[i][k];
+    }
+  }
+  piv[n - 1] = n - 1;
+  return 0;
+}
+
+// Back substitution (dgesl).
+void dgesl() {
+  int k;
+  int i;
+  for (i = 0; i < n; i++) x[i] = b[i];
+  for (k = 0; k < n - 1; k++) {
+    int l = piv[k];
+    double t = x[l];
+    if (l != k) { x[l] = x[k]; x[k] = t; }
+    for (i = k + 1; i < n; i++) x[i] = x[i] + t * a[i][k];
+  }
+  for (k = n - 1; k >= 0; k--) {
+    x[k] = x[k] / a[k][k];
+    for (i = 0; i < k; i++) x[i] = x[i] - x[k] * a[i][k];
+  }
+}
+
+int main() {
+  int i;
+  double err = 0.0;
+  matgen();
+  if (dgefa()) { print_str("SINGULAR\n"); return 1; }
+  dgesl();
+  // The right-hand side was chosen so the exact solution is all ones.
+  for (i = 0; i < n; i++) {
+    double d = x[i] - 1.0;
+    if (d < 0.0) d = -d;
+    if (d > err) err = d;
+  }
+  if (err < 0.000001) print_str("ok ");
+  print_int((int)(err * 1000000000.0));
+  print_char('\n');
+  return 0;
+}
+|}
+
+let matrix =
+  {|
+// Gaussian elimination (paper Table 2: "matrix").
+double m[26][27];
+int n = 26;
+int seed = 9901;
+
+double randf() {
+  seed = (seed * 3125) % 65536;
+  return (double)seed / 32768.0 - 1.0;
+}
+
+int main() {
+  int i;
+  int j;
+  int k;
+  double det = 1.0;
+  for (i = 0; i < n; i++) {
+    for (j = 0; j < n; j++) m[i][j] = randf();
+    m[i][i] = m[i][i] + 8.0;  // diagonally dominant
+    m[i][n] = 1.0;
+  }
+  for (k = 0; k < n; k++) {
+    det = det * m[k][k];
+    for (i = k + 1; i < n; i++) {
+      double f = m[i][k] / m[k][k];
+      for (j = k; j <= n; j++) m[i][j] = m[i][j] - f * m[k][j];
+    }
+  }
+  // Back substitution into column n.
+  for (k = n - 1; k >= 0; k--) {
+    double s = m[k][n];
+    for (j = k + 1; j < n; j++) s = s - m[k][j] * m[j][n];
+    m[k][n] = s / m[k][k];
+  }
+  print_int((int)(det * 100.0));
+  print_char(' ');
+  print_int((int)(m[0][n] * 1000000.0));
+  print_char('\n');
+  return 0;
+}
+|}
+
+let pi =
+  {|
+// Computes digits of pi with the integer spigot algorithm
+// (Rabinowitz-Wagon); heavy integer divide/remainder use.
+int r[500];
+int ndigits = 60;
+
+int main() {
+  int len = 500;  // > 10 * ndigits / 3
+  int i;
+  int k;
+  int carry = 0;
+  int printed = 0;
+  int held = 0;
+  int heldcount = 0;
+  len = (ndigits * 10) / 3 + 1;
+  for (i = 0; i < len; i++) r[i] = 2;
+  for (k = 0; k < ndigits; k++) {
+    carry = 0;
+    for (i = len - 1; i > 0; i--) {
+      int x = r[i] * 10 + carry * (i + 1);
+      r[i] = x % (2 * i + 1);
+      carry = x / (2 * i + 1);
+    }
+    r[0] = r[0] * 10 + carry * 1;
+    carry = r[0] / 10;
+    r[0] = r[0] % 10;
+    // Buffer digits to handle carries into 9s.
+    if (carry == 10) {
+      print_int(held + 1);
+      for (i = 0; i < heldcount; i++) print_int(0);
+      held = 0;
+      heldcount = 0;
+    } else if (carry == 9) {
+      heldcount = heldcount + 1;
+    } else {
+      if (printed) {
+        print_int(held);
+        for (i = 0; i < heldcount; i++) print_int(9);
+      }
+      held = carry;
+      heldcount = 0;
+      printed = 1;
+    }
+  }
+  print_int(held);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let solver =
+  {|
+// Newton-Raphson iterative solver: roots of x^3 - c over a sweep of c,
+// plus square roots, with convergence tests.
+double cube_root(double c) {
+  double x = c;
+  int it = 0;
+  if (c == 0.0) return 0.0;
+  if (x < 1.0) x = 1.0;
+  while (it < 60) {
+    double x2 = x * x;
+    double fx = x2 * x - c;
+    double d = fx / (3.0 * x2);
+    x = x - d;
+    if (d < 0.0) d = -d;
+    if (d < 0.0000001) return x;
+    it = it + 1;
+  }
+  return x;
+}
+
+double sqrt_(double c) {
+  double x = c;
+  int it = 0;
+  if (c <= 0.0) return 0.0;
+  if (x < 1.0) x = 1.0;
+  while (it < 60) {
+    double d = (x * x - c) / (2.0 * x);
+    x = x - d;
+    if (d < 0.0) d = -d;
+    if (d < 0.0000001) return x;
+    it = it + 1;
+  }
+  return x;
+}
+
+int main() {
+  int i;
+  double sum = 0.0;
+  for (i = 1; i <= 1200; i++) {
+    double c = (double)i;
+    sum = sum + cube_root(c) + sqrt_(c);
+  }
+  print_int((int)(sum * 100.0));
+  print_char('\n');
+  return 0;
+}
+|}
+
+let whetstone =
+  {|
+// Whetstone-style synthetic floating-point benchmark.  The transcendental
+// functions are polynomial/Newton approximations compiled with the
+// program, exercising the FP pipeline the way the original's libm did.
+double e1[4];
+double t = 0.499975;
+double t1 = 0.50025;
+double t2 = 2.0;
+
+double sin_(double x) {
+  // Range-reduce to [-pi, pi] then a 7th-order Taylor polynomial.
+  double pi2 = 6.28318530718;
+  double x2;
+  while (x > 3.14159265359) x = x - pi2;
+  while (x < -3.14159265359) x = x + pi2;
+  x2 = x * x;
+  return x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+}
+
+double cos_(double x) { return sin_(x + 1.570796326795); }
+
+double atan_(double x) {
+  // atan via the series on reduced argument.
+  int invert = 0;
+  double x2;
+  double r;
+  if (x < 0.0) return -atan_(-x);
+  if (x > 1.0) { invert = 1; x = 1.0 / x; }
+  x2 = x * x;
+  r = x * (1.0 - x2 * (0.33333 - x2 * (0.2 - x2 * 0.142857)));
+  if (invert) r = 1.570796326795 - r;
+  return r;
+}
+
+double exp_(double x) {
+  // exp via squaring of exp(x/32) Taylor series.
+  double y = x / 32.0;
+  double r = 1.0 + y * (1.0 + y * (0.5 + y * (0.1666666 + y * 0.0416666)));
+  int i;
+  for (i = 0; i < 5; i++) r = r * r;
+  return r;
+}
+
+double log_(double x) {
+  // Range-reduce by factors of e, then Newton on exp(z) = x.
+  double y = 0.0;
+  double z = 0.0;
+  int i;
+  if (x <= 0.0) return 0.0;
+  while (x > 2.718281828) { x = x / 2.718281828; y = y + 1.0; }
+  while (x < 0.367879441) { x = x * 2.718281828; y = y - 1.0; }
+  for (i = 0; i < 12; i++) z = z - 1.0 + x / exp_(z);
+  return y + z;
+}
+
+double sqrt_(double c) {
+  double x = c;
+  int i;
+  if (c <= 0.0) return 0.0;
+  if (x < 1.0) x = 1.0;
+  for (i = 0; i < 25; i++) x = x - (x * x - c) / (2.0 * x);
+  return x;
+}
+
+void p3(double x, double y, double *z) {
+  x = t * (x + y);
+  y = t * (x + y);
+  *z = (x + y) / t2;
+}
+
+void pa(double *e) {
+  int j = 0;
+  while (j < 6) {
+    e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+    e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+    e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+    e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+    j = j + 1;
+  }
+}
+
+int main() {
+  int loop = 12;
+  int i;
+  int ix;
+  double x;
+  double y;
+  double z;
+  double x1;
+  double x2;
+  double x3;
+  double x4;
+
+  // Module 1: simple identifiers.
+  x1 = 1.0; x2 = -1.0; x3 = -1.0; x4 = -1.0;
+  for (i = 0; i < 6 * loop; i++) {
+    x1 = (x1 + x2 + x3 - x4) * t;
+    x2 = (x1 + x2 - x3 + x4) * t;
+    x3 = (x1 - x2 + x3 + x4) * t;
+    x4 = (-x1 + x2 + x3 + x4) * t;
+  }
+  // Module 2: array elements.
+  e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+  for (i = 0; i < 8 * loop; i++) {
+    e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+    e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+    e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+    e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+  }
+  // Module 3: array as parameter.
+  for (i = 0; i < 7 * loop; i++) pa(e1);
+  // Module 4: conditional jumps.
+  ix = 1;
+  for (i = 0; i < 18 * loop; i++) {
+    if (ix == 1) ix = 2; else ix = 3;
+    if (ix > 2) ix = 0; else ix = 1;
+    if (ix < 1) ix = 1; else ix = 0;
+  }
+  // Module 6: integer arithmetic.
+  {
+    int j = 1;
+    int k = 2;
+    int l = 3;
+    for (i = 0; i < 30 * loop; i++) {
+      j = j * (k - j) * (l - k);
+      k = l * k - (l - j) * k;
+      l = (l - k) * (k + j);
+      e1[l - 2 > 3 ? 3 : (l - 2 < 0 ? 0 : l - 2)] = (double)(j + k + l);
+      e1[k - 2 > 3 ? 3 : (k - 2 < 0 ? 0 : k - 2)] = (double)(j * k * l);
+    }
+  }
+  // Module 7: trig functions.
+  x = 0.5; y = 0.5;
+  for (i = 0; i < 4 * loop; i++) {
+    x = t * atan_(t2 * sin_(x) * cos_(x) / (cos_(x + y) + cos_(x - y) - 1.0));
+    y = t * atan_(t2 * sin_(y) * cos_(y) / (cos_(x + y) + cos_(x - y) - 1.0));
+  }
+  // Module 8: procedure calls.
+  x = 1.0; y = 1.0; z = 1.0;
+  for (i = 0; i < 20 * loop; i++) p3(x, y, &z);
+  // Module 10: integer arithmetic.
+  {
+    int j = 2;
+    int k = 3;
+    for (i = 0; i < 40 * loop; i++) {
+      j = j + k;
+      k = j + k;
+      j = k - j;
+      k = k - j - j;
+    }
+    ix = k;
+  }
+  // Module 11: standard functions.
+  x = 0.75;
+  for (i = 0; i < 5 * loop; i++) x = sqrt_(exp_(log_(x) / t1));
+
+  print_int((int)(x * 1000000.0));
+  print_char(' ');
+  print_int(ix);
+  print_char(' ');
+  print_int((int)(z * 1000.0));
+  print_char('\n');
+  return 0;
+}
+|}

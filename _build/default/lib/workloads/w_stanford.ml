@@ -1,0 +1,151 @@
+(* The small Stanford-suite style benchmarks (paper Table 2), in mini-C.
+   Problem sizes are calibrated so the whole suite simulates in seconds
+   while keeping path lengths in the paper's interesting range. *)
+
+let ackermann =
+  {|
+// Computes the Ackermann function (paper Table 2).
+int ack(int m, int n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack(m - 1, 1);
+  return ack(m - 1, ack(m, n - 1));
+}
+
+int main() {
+  print_int(ack(3, 3));
+  print_char('\n');
+  return 0;
+}
+|}
+
+let bubblesort =
+  {|
+// Sorting program from the Stanford suite.
+int data[260];
+int n = 260;
+int seed = 74755;
+
+int rand_() {
+  seed = (seed * 1309 + 13849) & 32767;
+  return seed;
+}
+
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < n; i++) data[i] = rand_();
+  for (i = n - 1; i > 0; i--) {
+    for (j = 0; j < i; j++) {
+      if (data[j] > data[j + 1]) {
+        int t = data[j];
+        data[j] = data[j + 1];
+        data[j + 1] = t;
+      }
+    }
+  }
+  for (i = 1; i < n; i++)
+    if (data[i - 1] > data[i]) { print_str("NOT SORTED\n"); return 1; }
+  print_int(data[0]); print_char(' ');
+  print_int(data[n / 2]); print_char(' ');
+  print_int(data[n - 1]); print_char('\n');
+  return 0;
+}
+|}
+
+let queens =
+  {|
+// The Stanford eight-queens program: counts all solutions.
+int row[8];
+int col_used[8];
+int diag1[15];
+int diag2[15];
+int count = 0;
+
+void place(int c) {
+  int r;
+  if (c == 8) { count = count + 1; return; }
+  for (r = 0; r < 8; r++) {
+    if (!col_used[r] && !diag1[r + c] && !diag2[r - c + 7]) {
+      col_used[r] = 1;
+      diag1[r + c] = 1;
+      diag2[r - c + 7] = 1;
+      row[c] = r;
+      place(c + 1);
+      col_used[r] = 0;
+      diag1[r + c] = 0;
+      diag2[r - c + 7] = 0;
+    }
+  }
+}
+
+int main() {
+  place(0);
+  print_int(count);
+  print_char('\n');
+  return 0;
+}
+|}
+
+let quicksort =
+  {|
+// The Stanford quicksort program.
+int data[1400];
+int n = 1400;
+int seed = 74755;
+
+int rand_() {
+  seed = (seed * 1309 + 13849) & 32767;
+  return seed;
+}
+
+void sort(int lo, int hi) {
+  int i = lo;
+  int j = hi;
+  int pivot = data[(lo + hi) / 2];
+  while (i <= j) {
+    while (data[i] < pivot) i++;
+    while (data[j] > pivot) j--;
+    if (i <= j) {
+      int t = data[i];
+      data[i] = data[j];
+      data[j] = t;
+      i++;
+      j--;
+    }
+  }
+  if (lo < j) sort(lo, j);
+  if (i < hi) sort(i, hi);
+}
+
+int main() {
+  int i;
+  for (i = 0; i < n; i++) data[i] = rand_();
+  sort(0, n - 1);
+  for (i = 1; i < n; i++)
+    if (data[i - 1] > data[i]) { print_str("NOT SORTED\n"); return 1; }
+  print_int(data[0]); print_char(' ');
+  print_int(data[n / 2]); print_char(' ');
+  print_int(data[n - 1]); print_char('\n');
+  return 0;
+}
+|}
+
+let towers =
+  {|
+// The Stanford towers of Hanoi program.
+int moves = 0;
+
+void hanoi(int n, int from, int to, int via) {
+  if (n == 1) { moves = moves + 1; return; }
+  hanoi(n - 1, from, via, to);
+  moves = moves + 1;
+  hanoi(n - 1, via, to, from);
+}
+
+int main() {
+  hanoi(14, 1, 3, 2);
+  print_int(moves);
+  print_char('\n');
+  return 0;
+}
+|}

@@ -1,0 +1,1 @@
+test/t_cfg.ml: Alcotest Hashtbl List Printf Repro_core Repro_ir

@@ -1,0 +1,1 @@
+test/t_compiler.ml: Alcotest Int32 List Printf QCheck QCheck_alcotest Repro_core Repro_harness Repro_sim Repro_workloads String

@@ -1,0 +1,1 @@
+test/t_encoding.ml: Alcotest D16 Dlxe Insn List QCheck QCheck_alcotest Repro_core Target Test

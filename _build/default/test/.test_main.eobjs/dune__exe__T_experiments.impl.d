@@ -1,0 +1,1 @@
+test/t_experiments.ml: Alcotest List Printf Repro_core Repro_harness Repro_sim Repro_util String

@@ -1,0 +1,1 @@
+test/t_extension.ml: Alcotest Array List Printf QCheck QCheck_alcotest Repro_core Repro_harness Repro_ir Repro_link Repro_sim Repro_workloads

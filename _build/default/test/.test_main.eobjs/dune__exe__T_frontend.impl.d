@@ -1,0 +1,1 @@
+test/t_frontend.ml: Alcotest List Repro_ir Repro_minic

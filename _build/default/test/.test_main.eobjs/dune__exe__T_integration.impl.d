@@ -1,0 +1,1 @@
+test/t_integration.ml: Alcotest List Printf Repro_core Repro_harness Repro_link Repro_sim Repro_workloads String

@@ -1,0 +1,1 @@
+test/t_link.ml: Alcotest Array Hashtbl List Printf Repro_core Repro_harness Repro_link Repro_sim String

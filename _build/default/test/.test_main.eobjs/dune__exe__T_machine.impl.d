@@ -1,0 +1,1 @@
+test/t_machine.ml: Alcotest List Printf Repro_codegen Repro_core Repro_link Repro_sim

@@ -1,0 +1,1 @@
+test/t_memsys.ml: Alcotest Array List Printf Repro_core Repro_harness Repro_sim Repro_workloads

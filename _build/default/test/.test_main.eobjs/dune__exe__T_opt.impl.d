@@ -1,0 +1,1 @@
+test/t_opt.ml: Alcotest Hashtbl List Printf Repro_ir Repro_minic Repro_workloads

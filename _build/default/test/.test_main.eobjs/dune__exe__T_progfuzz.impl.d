@@ -1,0 +1,1 @@
+test/t_progfuzz.ml: Array Buffer Int32 List Printf QCheck QCheck_alcotest Repro_core Repro_harness Repro_sim String

@@ -1,0 +1,1 @@
+test/t_regalloc.ml: Alcotest Hashtbl List Printf Repro_codegen Repro_core Repro_harness Repro_ir Repro_minic Repro_sim Repro_workloads

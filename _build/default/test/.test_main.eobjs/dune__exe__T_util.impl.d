@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Bitops Gen Int32 List QCheck QCheck_alcotest Repro_util Stats String Table Test

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_cfg T_compiler T_encoding T_experiments T_extension T_frontend T_integration T_link T_machine T_memsys T_opt T_progfuzz T_regalloc T_util

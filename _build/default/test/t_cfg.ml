@@ -1,0 +1,112 @@
+(* CFG and liveness analysis unit tests on hand-built functions. *)
+
+module Ir = Repro_ir.Ir
+module Cfg = Repro_ir.Cfg
+module Iset = Repro_ir.Iset
+module Liveness = Repro_ir.Liveness
+
+(* A diamond with a loop on one arm:
+     L0 -> L1 -> L2 -> L1 (back edge), L1 -> L3, L0 -> L3. *)
+let build_func () =
+  let f =
+    {
+      Ir.name = "t";
+      arg_temps = [];
+      ret_float = Some false;
+      blocks = [];
+      slots = [];
+      next_temp = 10;
+      next_ftemp = 0;
+      next_label = 10;
+    }
+  in
+  let b0 = { Ir.lbl = 0; ins = [ Ir.Li (0, 1) ]; term = Ir.Bif (0, 1, 3) } in
+  let b1 = { Ir.lbl = 1; ins = [ Ir.Bin (Ir.Add, 1, 0, Ir.Oimm 1) ]; term = Ir.Bif (1, 2, 3) } in
+  let b2 = { Ir.lbl = 2; ins = [ Ir.Mov (0, 1) ]; term = Ir.Jmp 1 } in
+  let b3 = { Ir.lbl = 3; ins = []; term = Ir.Ret (Some (Ir.Aint 0)) } in
+  f.Ir.blocks <- [ b0; b1; b2; b3 ];
+  f
+
+let test_predecessors () =
+  let f = build_func () in
+  let preds = Cfg.predecessors f in
+  let sorted l = List.sort compare l in
+  Alcotest.(check (list int)) "preds of L1" [ 0; 2 ]
+    (sorted (Hashtbl.find preds 1));
+  Alcotest.(check (list int)) "preds of L3" [ 0; 1 ]
+    (sorted (Hashtbl.find preds 3));
+  Alcotest.(check (list int)) "entry has no preds" []
+    (Hashtbl.find preds 0)
+
+let test_dominators () =
+  let f = build_func () in
+  let dom = Cfg.dominators f in
+  let d l = Hashtbl.find dom l in
+  Alcotest.(check bool) "L0 dominates all" true
+    (List.for_all (fun l -> Iset.mem 0 (d l)) [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "L1 dominates L2" true (Iset.mem 1 (d 2));
+  Alcotest.(check bool) "L1 does not dominate L3" false (Iset.mem 1 (d 3));
+  Alcotest.(check bool) "L2 dominates only itself" true
+    (Iset.equal (Iset.of_list [ 0; 1; 2 ]) (d 2))
+
+let test_natural_loops () =
+  let f = build_func () in
+  match Cfg.natural_loops f with
+  | [ l ] ->
+    Alcotest.(check int) "header is L1" 1 l.Cfg.header;
+    Alcotest.(check bool) "body is {1,2}" true
+      (Iset.equal (Iset.of_list [ 1; 2 ]) l.Cfg.body)
+  | loops ->
+    Alcotest.fail (Printf.sprintf "expected one loop, got %d" (List.length loops))
+
+let test_liveness () =
+  let f = build_func () in
+  let live = Liveness.compute f Liveness.int_class in
+  let live_in l = Hashtbl.find live.Liveness.live_in l in
+  (* t0 is defined in L0, used everywhere after. *)
+  Alcotest.(check bool) "t0 not live into entry" false (Iset.mem 0 (live_in 0));
+  Alcotest.(check bool) "t0 live into L1" true (Iset.mem 0 (live_in 1));
+  Alcotest.(check bool) "t0 live into L3 (returned)" true (Iset.mem 0 (live_in 3));
+  (* t1 is defined in L1, used in L2; live around the back edge. *)
+  Alcotest.(check bool) "t1 live into L2" true (Iset.mem 1 (live_in 2));
+  Alcotest.(check bool) "t1 dead into L3" false (Iset.mem 1 (live_in 3))
+
+let test_clean_removes_empty () =
+  let f = build_func () in
+  (* Add an empty forwarding block L4 between L0 and L3. *)
+  let b4 = { Ir.lbl = 4; ins = []; term = Ir.Jmp 3 } in
+  (List.nth f.Ir.blocks 0).Ir.term <- Ir.Bif (0, 1, 4);
+  f.Ir.blocks <- f.Ir.blocks @ [ b4 ];
+  Cfg.clean f;
+  Alcotest.(check bool) "forwarding block removed" true
+    (not (List.exists (fun (b : Ir.block) -> b.Ir.lbl = 4) f.Ir.blocks));
+  (match (List.hd f.Ir.blocks).Ir.term with
+  | Ir.Bif (_, 1, 3) -> ()
+  | t -> Alcotest.fail ("entry term not retargeted: " ^ Ir.term_to_string t))
+
+let test_ins_metadata () =
+  let i = Ir.Bin (Ir.Add, 5, 6, Ir.Otemp 7) in
+  Alcotest.(check (option int)) "bin defines" (Some 5) (Ir.defs i);
+  Alcotest.(check (list int)) "bin uses" [ 6; 7 ] (Ir.uses i);
+  Alcotest.(check bool) "bin pure" true (Ir.is_pure i);
+  Alcotest.(check bool) "store impure" false
+    (Ir.is_pure (Ir.Store (Repro_core.Insn.Sw, 1, Ir.Aslot (0, 0))));
+  Alcotest.(check bool) "div by zero imm impure" false
+    (Ir.is_pure (Ir.Bin (Ir.Div, 1, 2, Ir.Oimm 0)));
+  Alcotest.(check bool) "load removable but not pure" true
+    (Ir.is_pure_or_load (Ir.Load (Repro_core.Insn.Lw, 1, Ir.Aglobal ("g", 0)))
+    && not (Ir.is_pure (Ir.Load (Repro_core.Insn.Lw, 1, Ir.Aglobal ("g", 0)))));
+  let j = Ir.Call (Ir.Rint 3, "f", [ Ir.Aint 4; Ir.Afloat 5 ]) in
+  Alcotest.(check (option int)) "call defines ret" (Some 3) (Ir.defs j);
+  Alcotest.(check (list int)) "call uses int args" [ 4 ] (Ir.uses j);
+  Alcotest.(check (list int)) "call uses float args" [ 5 ] (Ir.fuses j)
+
+let tests =
+  [
+    Alcotest.test_case "predecessors" `Quick test_predecessors;
+    Alcotest.test_case "dominators" `Quick test_dominators;
+    Alcotest.test_case "natural loops" `Quick test_natural_loops;
+    Alcotest.test_case "liveness" `Quick test_liveness;
+    Alcotest.test_case "cfg clean" `Quick test_clean_removes_empty;
+    Alcotest.test_case "ir metadata" `Quick test_ins_metadata;
+  ]

@@ -1,0 +1,276 @@
+(* Instruction encoding tests: encode/decode roundtrips over random legal
+   instructions for both formats, format boundary cases, and legality
+   checking. *)
+
+open Repro_core
+
+let gen_cond6 =
+  QCheck.Gen.oneofl [ Insn.Lt; Ltu; Le; Leu; Eq; Ne ]
+
+let gen_cond10 =
+  QCheck.Gen.oneofl [ Insn.Lt; Ltu; Le; Leu; Eq; Ne; Gt; Gtu; Ge; Geu ]
+
+let gen_alu = QCheck.Gen.oneofl [ Insn.Add; Sub; And; Or; Xor; Shl; Shr; Shra ]
+let gen_fbin = QCheck.Gen.oneofl [ Insn.Fadd; Fsub; Fmul; Fdiv ]
+
+(* Random D16-legal instruction. *)
+let gen_d16 : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 15 in
+  oneof
+    [
+      (let* rd = reg and* base = reg and* off = int_bound 31 in
+       oneofl
+         [
+           Insn.Load (Lw, rd, base, 4 * off);
+           Insn.Store (Sw, rd, base, 4 * off);
+           Insn.Fload (Df, rd, base, 4 * off);
+           Insn.Fstore (Df, rd, base, 4 * off);
+         ]);
+      (let* rd = reg and* base = reg in
+       oneofl
+         [
+           Insn.Load (Lh, rd, base, 0);
+           Insn.Load (Lhu, rd, base, 0);
+           Insn.Load (Lb, rd, base, 0);
+           Insn.Load (Lbu, rd, base, 0);
+           Insn.Store (Sh, rd, base, 0);
+           Insn.Store (Sb, rd, base, 0);
+         ]);
+      (let* off = int_bound 2046 in
+       return (Insn.Ldc (0, -4 * (off + 1))));
+      (let* op = gen_alu and* rd = reg and* rb = reg in
+       return (Insn.Alu (op, rd, rd, rb)));
+      (let* op = oneofl [ Insn.Add; Sub; Shl; Shr; Shra ]
+       and* rd = reg
+       and* imm = int_bound 31 in
+       return (Insn.Alui (op, rd, rd, imm)));
+      (let* rd = reg and* rs = reg in
+       oneofl [ Insn.Mv (rd, rs); Insn.Neg (rd, rs); Insn.Inv (rd, rs) ]);
+      (let* rd = reg and* imm = int_range (-256) 255 in
+       return (Insn.Mvi (rd, imm)));
+      (let* c = gen_cond6 and* ra = reg and* rb = reg in
+       return (Insn.Cmp (c, 0, ra, rb)));
+      (let* off = int_range (-512) 511 in
+       oneofl
+         [
+           Insn.Br (2 * off);
+           Insn.Bz (0, 2 * off);
+           Insn.Bnz (0, 2 * off);
+           Insn.Brl (2 * off);
+         ]);
+      (let* r = reg in
+       oneofl [ Insn.J r; Insn.Jl r ]);
+      (let* r = reg in
+       oneofl [ Insn.Jz (0, r); Insn.Jnz (0, r) ]);
+      (let* op = gen_fbin and* fd = reg and* fb = reg in
+       return (Insn.Fbin (op, Df, fd, fd, fb)));
+      (let* fd = reg and* fs = reg in
+       oneofl
+         [
+           Insn.Fmv (Df, fd, fs);
+           Insn.Fneg (Df, fd, fs);
+           Insn.Cvtif (Df, fd, fs);
+           Insn.Cvtfi (Df, fd, fs);
+         ]);
+      (let* c = gen_cond6 and* fa = reg and* fb = reg in
+       return (Insn.Fcmp (c, Df, fa, fb)));
+      (let* rd = reg in
+       return (Insn.Rdsr rd));
+      (let* code = int_bound 15 in
+       return (Insn.Trap code));
+      return Insn.Nop;
+    ]
+
+(* Random DLXe-legal instruction. *)
+let gen_dlxe : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let imm16 = int_range (-32768) 32767 in
+  oneof
+    [
+      (let* rd = reg and* base = reg and* off = imm16 in
+       oneofl
+         [
+           Insn.Load (Lw, rd, base, off);
+           Insn.Load (Lb, rd, base, off);
+           Insn.Load (Lbu, rd, base, off);
+           Insn.Load (Lh, rd, base, off);
+           Insn.Load (Lhu, rd, base, off);
+           Insn.Store (Sw, rd, base, off);
+           Insn.Store (Sh, rd, base, off);
+           Insn.Store (Sb, rd, base, off);
+           Insn.Fload (Df, rd, base, off);
+           Insn.Fstore (Df, rd, base, off);
+           Insn.Fload (Sf, rd, base, off);
+           Insn.Fstore (Sf, rd, base, off);
+         ]);
+      (let* op = gen_alu and* rd = reg and* ra = reg and* rb = reg in
+       return (Insn.Alu (op, rd, ra, rb)));
+      (let* rd = reg and* ra = reg and* imm = imm16 in
+       oneofl [ Insn.Alui (Add, rd, ra, imm); Insn.Alui (Sub, rd, ra, imm) ]);
+      (let* rd = reg and* ra = reg and* imm = int_bound 65535 in
+       oneofl
+         [
+           Insn.Alui (And, rd, ra, imm);
+           Insn.Alui (Or, rd, ra, imm);
+           Insn.Alui (Xor, rd, ra, imm);
+         ]);
+      (let* rd = reg and* ra = reg and* sh = int_bound 31 in
+       oneofl
+         [
+           Insn.Alui (Shl, rd, ra, sh);
+           Insn.Alui (Shr, rd, ra, sh);
+           Insn.Alui (Shra, rd, ra, sh);
+         ]);
+      (let* rd = reg and* rs = reg in
+       return (Insn.Mv (rd, rs)));
+      (let* rd = reg and* imm = imm16 in
+       return (Insn.Mvi (rd, imm)));
+      (let* rd = reg and* imm = int_bound 65535 in
+       return (Insn.Mvhi (rd, imm)));
+      (let* c = gen_cond10 and* rd = reg and* ra = reg and* rb = reg in
+       return (Insn.Cmp (c, rd, ra, rb)));
+      (let* c = gen_cond10 and* rd = reg and* ra = reg and* imm = imm16 in
+       return (Insn.Cmpi (c, rd, ra, imm)));
+      (let* off = int_range (-8192) 8191 in
+       oneofl [ Insn.Br (4 * off); Insn.Brl (4 * off) ]);
+      (let* r = reg and* off = int_range (-8192) 8191 in
+       oneofl [ Insn.Bz (r, 4 * off); Insn.Bnz (r, 4 * off) ]);
+      (let* r = reg in
+       oneofl [ Insn.J r; Insn.Jl r ]);
+      (let* rt = reg and* rd = reg in
+       oneofl [ Insn.Jz (rt, rd); Insn.Jnz (rt, rd) ]);
+      (let* op = gen_fbin and* fd = reg and* fa = reg and* fb = reg in
+       oneofl [ Insn.Fbin (op, Df, fd, fa, fb); Insn.Fbin (op, Sf, fd, fa, fb) ]);
+      (let* fd = reg and* fs = reg in
+       oneofl
+         [
+           Insn.Fmv (Df, fd, fs);
+           Insn.Fneg (Sf, fd, fs);
+           Insn.Cvtif (Df, fd, fs);
+           Insn.Cvtfi (Sf, fd, fs);
+         ]);
+      (let* c = gen_cond10 and* fa = reg and* fb = reg in
+       return (Insn.Fcmp (c, Df, fa, fb)));
+      (let* rd = reg in
+       return (Insn.Rdsr rd));
+      (let* code = int_bound 15 in
+       return (Insn.Trap code));
+      return Insn.Nop;
+    ]
+
+let arb gen = QCheck.make ~print:Insn.to_string gen
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"D16 generated instructions are legal" ~count:2000
+      (arb gen_d16)
+      (fun i -> Target.legal Target.d16 i = Ok ());
+    Test.make ~name:"DLXe generated instructions are legal" ~count:2000
+      (arb gen_dlxe)
+      (fun i -> Target.legal Target.dlxe i = Ok ());
+    Test.make ~name:"D16 encode/decode roundtrip" ~count:2000 (arb gen_d16)
+      (fun i -> D16.decode (D16.encode i) = Some i);
+    Test.make ~name:"DLXe encode/decode roundtrip" ~count:2000 (arb gen_dlxe)
+      (fun i -> Dlxe.decode (Dlxe.encode i) = Some i);
+    Test.make ~name:"D16 encodings fit 16 bits" ~count:1000 (arb gen_d16)
+      (fun i ->
+        let w = D16.encode i in
+        w >= 0 && w < 65536);
+    Test.make ~name:"DLXe encodings fit 32 bits" ~count:1000 (arb gen_dlxe)
+      (fun i ->
+        let w = Dlxe.encode i in
+        w >= 0 && w < 0x1_0000_0000);
+    Test.make ~name:"D16 decode total on 16-bit words" ~count:2000
+      (int_bound 65535)
+      (fun w ->
+        match D16.decode w with
+        | Some i -> D16.decode (D16.encode i) = Some i
+        | None -> true);
+  ]
+
+let test_d16_limits () =
+  let ok i = Alcotest.(check bool) (Insn.to_string i) true (Target.legal Target.d16 i = Ok ()) in
+  let bad i = Alcotest.(check bool) (Insn.to_string i) true (Target.legal Target.d16 i <> Ok ()) in
+  ok (Insn.Load (Lw, 3, 4, 124));
+  bad (Insn.Load (Lw, 3, 4, 128));
+  bad (Insn.Load (Lw, 3, 4, 2));
+  bad (Insn.Load (Lw, 3, 4, -4));
+  bad (Insn.Load (Lb, 3, 4, 1));
+  ok (Insn.Alui (Add, 5, 5, 31));
+  bad (Insn.Alui (Add, 5, 5, 32));
+  bad (Insn.Alui (Add, 5, 5, -1));
+  bad (Insn.Alui (Add, 5, 6, 3));
+  bad (Insn.Alui (And, 5, 5, 3));
+  ok (Insn.Mvi (2, -256));
+  bad (Insn.Mvi (2, 256));
+  bad (Insn.Mvhi (2, 1));
+  bad (Insn.Cmp (Gt, 0, 1, 2));
+  bad (Insn.Cmp (Lt, 3, 1, 2));
+  ok (Insn.Br 1022);
+  bad (Insn.Br 1024);
+  ok (Insn.Br (-1024));
+  bad (Insn.Br 3);
+  ok (Insn.Ldc (0, -8188));
+  bad (Insn.Ldc (0, -8192));
+  bad (Insn.Ldc (1, -8));
+  bad (Insn.Cmpi (Lt, 1, 2, 3));
+  bad (Insn.Alu (Add, 1, 2, 3))
+
+let test_dlxe_limits () =
+  let ok i = Alcotest.(check bool) (Insn.to_string i) true (Target.legal Target.dlxe i = Ok ()) in
+  let bad i = Alcotest.(check bool) (Insn.to_string i) true (Target.legal Target.dlxe i <> Ok ()) in
+  ok (Insn.Alu (Add, 1, 2, 3));
+  ok (Insn.Alui (Add, 5, 6, -32768));
+  bad (Insn.Alui (Add, 5, 6, 32768));
+  ok (Insn.Alui (Or, 5, 6, 65535));
+  bad (Insn.Alui (Or, 5, 6, -1));
+  bad (Insn.Neg (1, 2));
+  bad (Insn.Inv (1, 2));
+  bad (Insn.Ldc (0, -8));
+  ok (Insn.Cmpi (Geu, 7, 8, 1000));
+  ok (Insn.Cmp (Gt, 9, 1, 2));
+  bad (Insn.Load (Lw, 32, 0, 0));
+  ok (Insn.Load (Lw, 31, 0, 0))
+
+let test_restricted_targets () =
+  (* The 16-register restriction rejects high registers; the two-address
+     restriction rejects free destinations. *)
+  let t = Target.dlxe_16_2 in
+  Alcotest.(check bool) "r16 rejected" true
+    (Target.legal t (Insn.Mv (16, 0)) <> Ok ());
+  Alcotest.(check bool) "2-addr violation rejected" true
+    (Target.legal t (Insn.Alu (Add, 1, 2, 3)) <> Ok ());
+  Alcotest.(check bool) "2-addr ok" true
+    (Target.legal t (Insn.Alu (Add, 1, 1, 3)) = Ok ());
+  Alcotest.(check bool) "still has cmpi" true
+    (Target.legal t (Insn.Cmpi (Lt, 1, 1, 12000)) = Ok ())
+
+let test_insn_metadata () =
+  Alcotest.(check (option int)) "brl defines link" (Some 1)
+    (Insn.defs_gpr (Insn.Brl 8));
+  Alcotest.(check (list int)) "store uses both" [ 3; 4 ]
+    (Insn.uses_gpr (Insn.Store (Sw, 3, 4, 0)));
+  Alcotest.(check bool) "ldc is load" true (Insn.is_load (Insn.Ldc (0, -4)));
+  Alcotest.(check bool) "jl is branch" true (Insn.is_branch (Insn.Jl 5));
+  Alcotest.(check bool) "fcmp writes status" true
+    (Insn.writes_fp_status (Insn.Fcmp (Lt, Df, 0, 1)));
+  (* negate/swap are involutions. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check string) "negate involution" (Insn.cond_to_string c)
+        (Insn.cond_to_string (Insn.negate_cond (Insn.negate_cond c)));
+      Alcotest.(check string) "swap involution" (Insn.cond_to_string c)
+        (Insn.cond_to_string (Insn.swap_cond (Insn.swap_cond c))))
+    [ Insn.Lt; Ltu; Le; Leu; Eq; Ne; Gt; Gtu; Ge; Geu ]
+
+let tests =
+  [
+    Alcotest.test_case "D16 operand limits" `Quick test_d16_limits;
+    Alcotest.test_case "DLXe operand limits" `Quick test_dlxe_limits;
+    Alcotest.test_case "restricted targets" `Quick test_restricted_targets;
+    Alcotest.test_case "instruction metadata" `Quick test_insn_metadata;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,159 @@
+(* Experiment-level shape checks: the qualitative claims of the paper must
+   hold in the reproduction.  These exercise the full harness (compile,
+   simulate, replay) across the suite, so they are tagged slow. *)
+
+module Target = Repro_core.Target
+module Experiments = Repro_harness.Experiments
+module Runs = Repro_harness.Runs
+module Memsys = Repro_sim.Memsys
+
+let check_in name lo hi v =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s = %.3f in [%.2f, %.2f]" name v lo hi)
+    true
+    (v >= lo && v <= hi)
+
+let test_density_band () =
+  (* Paper: DLXe programs average ~1.5x the bytes of D16 (Fig 4). *)
+  check_in "average density" 1.30 1.75 (Experiments.average_density Target.dlxe);
+  List.iter
+    (fun b -> check_in (b ^ " density") 1.1 2.0 (Experiments.density_ratio b Target.dlxe))
+    Experiments.suite_names
+
+let test_pathlen_band () =
+  (* Paper: DLXe path lengths ~0.87 of D16 on average (Table 5). *)
+  check_in "average path ratio" 0.70 0.95
+    (Experiments.average_pathlen Target.dlxe)
+
+let test_feature_ordering () =
+  (* Each restriction hurts: path length grows as features are removed. *)
+  let p t = Experiments.average_pathlen t in
+  Alcotest.(check bool) "3-address beats 2-address (32 regs)" true
+    (p Target.dlxe <= p Target.dlxe_32_2);
+  Alcotest.(check bool) "3-address beats 2-address (16 regs)" true
+    (p Target.dlxe_16_3 <= p Target.dlxe_16_2);
+  Alcotest.(check bool) "32 regs beat 16 regs (3-address)" true
+    (p Target.dlxe <= p Target.dlxe_16_3 +. 0.005);
+  let d t = Experiments.average_density t in
+  Alcotest.(check bool) "restrictions never shrink code" true
+    (d Target.dlxe_16_2 >= d Target.dlxe -. 0.02)
+
+let test_crossover () =
+  (* Paper Table 11: DLXe wins with zero wait states; D16 with any nonzero
+     wait state on a 32-bit bus. *)
+  let mean l =
+    Repro_util.Stats.mean
+      (List.map
+         (fun b -> Experiments.cycle_ratio b ~bus_bytes:4 ~wait_states:l)
+         Experiments.suite_names)
+  in
+  Alcotest.(check bool) "l=0 favors DLXe" true (mean 0 < 1.0);
+  Alcotest.(check bool) "l=2 favors D16" true (mean 2 > 1.0);
+  Alcotest.(check bool) "l=3 favors D16 more" true (mean 3 > mean 2);
+  (* 64-bit bus: near parity (paper: DLXe ~8% slower on average). *)
+  let mean64 l =
+    Repro_util.Stats.mean
+      (List.map
+         (fun b -> Experiments.cycle_ratio b ~bus_bytes:8 ~wait_states:l)
+         Experiments.suite_names)
+  in
+  check_in "64-bit bus l=3" 0.85 1.25 (mean64 3);
+  Alcotest.(check bool) "wider bus helps DLXe" true (mean64 3 < mean 3)
+
+let test_traffic_reduction () =
+  (* Paper Table 8: D16 fetches ~35% fewer instruction words. *)
+  let reductions =
+    List.map
+      (fun b ->
+        let s16 = Runs.stats b Target.d16 in
+        let s32 = Runs.stats b Target.dlxe in
+        1. -. (float_of_int s16.Runs.ireq32 /. float_of_int s32.Runs.ireq32))
+      Experiments.suite_names
+  in
+  check_in "average traffic reduction" 0.20 0.50
+    (Repro_util.Stats.mean reductions);
+  List.iter (fun r -> Alcotest.(check bool) "every program reduces" true (r > 0.)) reductions
+
+let test_dlxe_traffic_equals_path () =
+  (* With 4-byte instructions on a 4-byte bus every instruction is one
+     fetch: Table 8's DLXe traffic column equals its path length. *)
+  List.iter
+    (fun b ->
+      let s = Runs.stats b Target.dlxe in
+      Alcotest.(check int) (b ^ " traffic = path") s.Runs.ic s.Runs.ireq32)
+    Experiments.suite_names
+
+let test_interlock_rates () =
+  (* Paper Table 10 reports 0.05..0.20; our solver is a dependent
+     Newton divide chain, so its FP stalls run higher. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun t ->
+          let s = Runs.stats b t in
+          check_in
+            (Printf.sprintf "%s %s interlock rate" b t.Target.name)
+            0.0 1.10
+            (float_of_int s.Runs.interlocks /. float_of_int s.Runs.ic))
+        [ Target.d16; Target.dlxe ])
+    Experiments.suite_names
+
+let test_cache_miss_ordering () =
+  (* Paper Fig 16: byte for byte, D16 misses less; both fall with size.
+     Direct-mapped placement can flip an isolated size by conflict luck
+     (the paper's own assem point at 4K is such a case), so assert the
+     ordering in aggregate and allow at most one exception. *)
+  List.iter
+    (fun b ->
+      let rate t size =
+        Memsys.miss_rate (Runs.cached b t ~size ~block:32 ~sub:4).Memsys.icache
+      in
+      let violations =
+        List.length
+          (List.filter
+             (fun size -> rate Target.d16 size > rate Target.dlxe size +. 0.002)
+             Runs.standard_cache_sizes)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: D16 <= DLXe at all but one size (%d violations)" b
+           violations)
+        true (violations <= 1);
+      let avg t =
+        Repro_util.Stats.mean
+          (List.map (fun s -> rate t s) Runs.standard_cache_sizes)
+      in
+      Alcotest.(check bool) (b ^ ": D16 misses less on average") true
+        (avg Target.d16 <= avg Target.dlxe);
+      Alcotest.(check bool) (b ^ ": misses fall with size") true
+        (rate Target.dlxe 16384 <= rate Target.dlxe 1024))
+    [ "assem"; "latex"; "ipl" ]
+
+let test_immediate_frequencies () =
+  (* Paper Table 4 totals ~9.5%; ours should be single-digit percent. *)
+  let c, a, d = Experiments.immediate_frequencies () in
+  check_in "compare-immediate share" 0.0 0.10 c;
+  check_in "alu-immediate share" 0.0 0.15 a;
+  check_in "displacement share" 0.0 0.15 d;
+  check_in "total" 0.005 0.30 (c +. a +. d)
+
+let test_all_experiments_render () =
+  List.iter
+    (fun (e : Experiments.t) ->
+      let s = e.render () in
+      Alcotest.(check bool) (e.id ^ " renders") true (String.length s > 40))
+    Experiments.all
+
+let tests =
+  [
+    Alcotest.test_case "density band" `Slow test_density_band;
+    Alcotest.test_case "path length band" `Slow test_pathlen_band;
+    Alcotest.test_case "feature ordering" `Slow test_feature_ordering;
+    Alcotest.test_case "wait-state crossover" `Slow test_crossover;
+    Alcotest.test_case "traffic reduction" `Slow test_traffic_reduction;
+    Alcotest.test_case "DLXe traffic equals path" `Slow
+      test_dlxe_traffic_equals_path;
+    Alcotest.test_case "interlock rates" `Slow test_interlock_rates;
+    Alcotest.test_case "cache miss ordering" `Slow test_cache_miss_ordering;
+    Alcotest.test_case "immediate frequencies" `Slow test_immediate_frequencies;
+    Alcotest.test_case "all experiments render" `Slow test_all_experiments_render;
+  ]

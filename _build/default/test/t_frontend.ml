@@ -1,0 +1,141 @@
+(* Lexer, parser, and lowering tests. *)
+
+module Lexer = Repro_minic.Lexer
+module Parser = Repro_minic.Parser
+module Ast = Repro_minic.Ast
+module Lower = Repro_ir.Lower
+module Ir = Repro_ir.Ir
+
+let toks s = List.map (fun (t : Lexer.t) -> t.tok) (Lexer.tokenize s)
+
+let test_lexer_basic () =
+  Alcotest.(check int) "token count" 6 (List.length (toks "int x = 42;"));
+  (match toks "0x1f" with
+  | [ Lexer.INT 31; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hex literal");
+  (match toks "3.5e2" with
+  | [ Lexer.FLOAT f; Lexer.EOF ] when abs_float (f -. 350.) < 1e-9 -> ()
+  | _ -> Alcotest.fail "float literal");
+  (match toks "'\\n'" with
+  | [ Lexer.CHAR '\n'; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "char escape");
+  (match toks "\"a\\tb\"" with
+  | [ Lexer.STRING "a\tb"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "string escape");
+  (match toks "a<<=b" with
+  | [ Lexer.IDENT "a"; Lexer.PUNCT "<<="; Lexer.IDENT "b"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "longest-match punct")
+
+let test_lexer_comments () =
+  Alcotest.(check int) "line comment" 1 (List.length (toks "// hi\n"));
+  Alcotest.(check int) "block comment" 3 (List.length (toks "a /* x\ny */ b"));
+  Alcotest.check_raises "unterminated comment"
+    (Lexer.Error "line 1: unterminated comment") (fun () ->
+      ignore (Lexer.tokenize "/* oops"))
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3). *)
+  (match Parser.parse_expr "1 + 2 * 3" with
+  | Ast.Bin (Ast.Add, Ast.Intlit 1, Ast.Bin (Ast.Mul, Ast.Intlit 2, Ast.Intlit 3))
+    -> ()
+  | _ -> Alcotest.fail "precedence mul over add");
+  (match Parser.parse_expr "a < b == c" with
+  | Ast.Bin (Ast.Eq, Ast.Bin (Ast.Lt, _, _), _) -> ()
+  | _ -> Alcotest.fail "relational binds tighter than equality");
+  (match Parser.parse_expr "a = b = c" with
+  | Ast.Assign (Ast.Var "a", Ast.Assign (Ast.Var "b", Ast.Var "c")) -> ()
+  | _ -> Alcotest.fail "assignment right-assoc");
+  (match Parser.parse_expr "-a[1]" with
+  | Ast.Un (Ast.Neg, Ast.Index (Ast.Var "a", Ast.Intlit 1)) -> ()
+  | _ -> Alcotest.fail "unary vs postfix");
+  (match Parser.parse_expr "a ? b : c ? d : e" with
+  | Ast.Cond (_, Ast.Var "b", Ast.Cond (_, _, _)) -> ()
+  | _ -> Alcotest.fail "ternary right-assoc")
+
+let test_parser_stmts () =
+  let p = Parser.parse "int f(int x) { if (x) return 1; else return 0; }" in
+  Alcotest.(check int) "one global" 1 (List.length p);
+  let p2 =
+    Parser.parse
+      "int g() { int i; for (i = 0; i < 3; i++) { continue; } do i--; while (i); return i; }"
+  in
+  Alcotest.(check int) "one function" 1 (List.length p2);
+  Alcotest.check_raises "missing semicolon"
+    (Parser.Error "line 1: expected ';', found '}'") (fun () ->
+      ignore (Parser.parse "int f() { return 1 }"))
+
+let test_parser_globals () =
+  match Parser.parse "int a[3] = {1, 2, 3}; char s[8] = \"hi\"; double d = 1.5;" with
+  | [ Ast.Gvar (Ast.Tarr (Ast.Tint, 3), "a", Some (Ast.Iarray [ _; _; _ ]));
+      Ast.Gvar (Ast.Tarr (Ast.Tchar, 8), "s", Some (Ast.Istring "hi"));
+      Ast.Gvar (Ast.Tdouble, "d", Some (Ast.Iscalar _));
+    ] -> ()
+  | _ -> Alcotest.fail "global declarations"
+
+let test_string_concat () =
+  match Parser.parse {|char s[16] = "ab" "cd";|} with
+  | [ Ast.Gvar (_, _, Some (Ast.Istring "abcd")) ] -> ()
+  | _ -> Alcotest.fail "adjacent string literals concatenate"
+
+let lower src = Lower.lower_program (Parser.parse src)
+
+let test_lower_basic () =
+  let u = lower "int main() { return 1 + 2; }" in
+  Alcotest.(check int) "one function" 1 (List.length u.Lower.funcs);
+  let f = List.hd u.Lower.funcs in
+  Alcotest.(check string) "name" "main" f.Ir.name;
+  Alcotest.(check bool) "has blocks" true (List.length f.Ir.blocks >= 1)
+
+let test_lower_strings_interned () =
+  let u =
+    lower
+      {|int main() { int a = "x"[0]; int b = "x"[0]; int c = "y"[0]; return a+b+c; }|}
+  in
+  (* Two distinct literals -> two data items. *)
+  Alcotest.(check int) "string interning" 2 (List.length u.Lower.data)
+
+let test_lower_slots () =
+  let u = lower "int main() { int a[4]; int x = 3; a[0] = x; return a[0]; }" in
+  let f = List.hd u.Lower.funcs in
+  Alcotest.(check int) "array gets a slot" 1 (List.length f.Ir.slots);
+  let u2 = lower "int g(int *p) { return *p; } int main() { int x = 1; return g(&x); }" in
+  let main = List.find (fun f -> f.Ir.name = "main") u2.Lower.funcs in
+  Alcotest.(check bool) "address-taken local gets a slot" true
+    (List.length main.Ir.slots = 1)
+
+let test_lower_errors () =
+  let expect_error src =
+    match lower src with
+    | exception Lower.Error _ -> ()
+    | _ -> Alcotest.fail ("expected error: " ^ src)
+  in
+  expect_error "int main() { return y; }";
+  expect_error "int main() { return f(1); }";
+  expect_error "int f(int a) { return a; } int main() { return f(); }";
+  expect_error "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+  expect_error "int x; int x; int main() { return 0; }";
+  expect_error "int nomain() { return 0; }";
+  expect_error "int main() { break; }"
+
+let test_sizeof () =
+  Alcotest.(check int) "int" 4 (Lower.sizeof Ast.Tint);
+  Alcotest.(check int) "char" 1 (Lower.sizeof Ast.Tchar);
+  Alcotest.(check int) "double" 8 (Lower.sizeof Ast.Tdouble);
+  Alcotest.(check int) "ptr" 4 (Lower.sizeof (Ast.Tptr Ast.Tdouble));
+  Alcotest.(check int) "2d array" 24
+    (Lower.sizeof (Ast.Tarr (Ast.Tarr (Ast.Tint, 3), 2)))
+
+let tests =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "parser precedence" `Quick test_parser_precedence;
+    Alcotest.test_case "parser statements" `Quick test_parser_stmts;
+    Alcotest.test_case "parser globals" `Quick test_parser_globals;
+    Alcotest.test_case "string concatenation" `Quick test_string_concat;
+    Alcotest.test_case "lower basics" `Quick test_lower_basic;
+    Alcotest.test_case "string interning" `Quick test_lower_strings_interned;
+    Alcotest.test_case "slot assignment" `Quick test_lower_slots;
+    Alcotest.test_case "lower errors" `Quick test_lower_errors;
+    Alcotest.test_case "sizeof" `Quick test_sizeof;
+  ]

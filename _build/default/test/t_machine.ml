@@ -1,0 +1,216 @@
+(* Direct machine tests: hand-built assembly fragments linked and executed
+   without the compiler, covering instruction semantics the suite may not
+   reach (subword memory, conditional register jumps, exact interlock
+   counts, literal-pool loads, FP status). *)
+
+module Target = Repro_core.Target
+module Insn = Repro_core.Insn
+module Asm = Repro_codegen.Asm
+module Link = Repro_link.Link
+module Machine = Repro_sim.Machine
+
+(* Link a raw 'main' made of the given items (delay slots must be explicit)
+   and run it. *)
+let run ?(target = Target.d16) items =
+  let epilogue = [ Asm.Op (Insn.J 1); Asm.Op Insn.Nop ] in
+  let img = Link.link target [ { Asm.fn_name = "main"; items = items @ epilogue } ] [] in
+  Machine.run ~trace:true img
+
+let exit_code ?target items = (run ?target items).Machine.exit_code
+
+(* The harness exit code is main's return value (r4) masked to a byte. *)
+let check_r4 name expected items =
+  List.iter
+    (fun target ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s (%s)" name target.Target.name)
+        (expected land 0xFF)
+        (exit_code ~target items))
+    [ Target.d16; Target.dlxe ]
+
+let test_alu_ops () =
+  check_r4 "add" 11
+    [ Asm.Op (Insn.Mvi (4, 5)); Asm.Op (Insn.Mvi (5, 6));
+      Asm.Op (Insn.Alu (Add, 4, 4, 5)) ];
+  check_r4 "sub wraps into byte" 0xFF
+    [ Asm.Op (Insn.Mvi (4, 0)); Asm.Op (Insn.Mvi (5, 1));
+      Asm.Op (Insn.Alu (Sub, 4, 4, 5)) ];
+  check_r4 "xor" 6
+    [ Asm.Op (Insn.Mvi (4, 5)); Asm.Op (Insn.Mvi (5, 3));
+      Asm.Op (Insn.Alu (Xor, 4, 4, 5)) ];
+  check_r4 "shl" 40
+    [ Asm.Op (Insn.Mvi (4, 5)); Asm.Op (Insn.Alui (Shl, 4, 4, 3)) ];
+  check_r4 "shra of negative" (-2)
+    [ Asm.Op (Insn.Mvi (4, -8)); Asm.Op (Insn.Alui (Shra, 4, 4, 2)) ]
+
+let test_subword_memory () =
+  (* Store a word, read its bytes and halves back with both extensions.
+     Memory at the top of the data segment is scratch; use an address from
+     Lc to stay target-neutral. *)
+  let addr = 0x800000 in
+  let prologue =
+    [ Asm.Lc (5, addr); Asm.Lc (6, 0xFFFF8081); Asm.Op (Insn.Store (Sw, 6, 5, 0)) ]
+  in
+  check_r4 "lbu low byte" 0x81
+    (prologue @ [ Asm.Op (Insn.Load (Lbu, 4, 5, 0)) ]);
+  check_r4 "lb sign-extends" (-127)
+    (prologue @ [ Asm.Op (Insn.Load (Lb, 4, 5, 0)) ]);
+  check_r4 "lhu low half" 0x81 (* 0x8081 land 0xFF after exit masking *)
+    (prologue @ [ Asm.Op (Insn.Load (Lhu, 4, 5, 0)) ]);
+  check_r4 "sb then lbu"
+    0x7F
+    (prologue
+    @ [
+        Asm.Op (Insn.Mvi (7, 0x7F));
+        Asm.Op (Insn.Store (Sb, 7, 5, 0));
+        Asm.Op (Insn.Load (Lbu, 4, 5, 0));
+      ])
+
+let test_conditional_jumps () =
+  (* jz/jnz: build the target address with La of a local label... labels are
+     branch-relative only, so jump to the function itself via a pool
+     constant is awkward; instead test fall-through behaviour: a jnz with a
+     zero test register must not jump. *)
+  List.iter
+    (fun (target : Target.t) ->
+      let test_reg = if target.Target.isa = Target.D16 then 0 else 6 in
+      let items =
+        [
+          Asm.Op (Insn.Mvi (4, 1));
+          (* Lc first: on D16 it expands through r0, the test register. *)
+          Asm.Lc (5, 0x1000);
+          Asm.Op (Insn.Mvi (test_reg, 0));
+          (* not taken: r-test is zero *)
+          Asm.Op (Insn.Jnz (test_reg, 5));
+          Asm.Op Insn.Nop;
+          Asm.Op (Insn.Mvi (4, 42));
+        ]
+      in
+      Alcotest.(check int)
+        ("jnz not taken " ^ target.Target.name)
+        42
+        (exit_code ~target items))
+    [ Target.d16; Target.dlxe ]
+
+let test_branch_delay_slot () =
+  (* The instruction after a taken branch executes. *)
+  check_r4 "delay slot executes" 7
+    [
+      Asm.Op (Insn.Mvi (4, 0));
+      Asm.Br_lbl 99;
+      Asm.Op (Insn.Mvi (4, 7));  (* delay slot: still executes *)
+      Asm.Op (Insn.Mvi (4, 1));  (* skipped *)
+      Asm.Lbl 99;
+    ]
+
+let test_ldc_pool () =
+  (* Lc on D16 goes through the literal pool; the loaded value must be
+     exact for a constant no mvi/shift trick can build. *)
+  Alcotest.(check int) "pool constant round-trips" 0x37
+    (exit_code ~target:Target.d16
+       [ Asm.Lc (5, 0x12345637); Asm.Op (Insn.Mv (4, 5)) ]);
+  (* The same value twice shares one pool slot and still reads correctly. *)
+  Alcotest.(check int) "deduplicated pool reads" 0x37
+    (exit_code ~target:Target.d16
+       [
+         Asm.Lc (5, 0x12345637);
+         Asm.Lc (6, 0x12345637);
+         Asm.Op (Insn.Alu (Sub, 5, 5, 6));
+         Asm.Lc (6, 0x12345637);
+         Asm.Op (Insn.Alu (Add, 5, 5, 6));
+         Asm.Op (Insn.Mv (4, 5));
+       ])
+
+let test_interlock_exactness () =
+  (* One load immediately used: exactly one stall.  Separated by an
+     independent instruction: zero stalls. *)
+  let addr = 0x800000 in
+  let dependent =
+    [
+      Asm.Lc (5, addr);
+      Asm.Op (Insn.Load (Lw, 6, 5, 0));
+      Asm.Op (Insn.Alu (Add, 6, 6, 6));
+      Asm.Op (Insn.Mv (4, 6));
+    ]
+  in
+  let separated =
+    [
+      Asm.Lc (5, addr);
+      Asm.Op (Insn.Load (Lw, 6, 5, 0));
+      Asm.Op (Insn.Mvi (7, 0));
+      Asm.Op (Insn.Alu (Add, 6, 6, 6));
+      Asm.Op (Insn.Mv (4, 6));
+    ]
+  in
+  let locks items = (run ~target:Target.dlxe items).Machine.interlocks in
+  Alcotest.(check int) "load-use stalls once" 1 (locks dependent);
+  Alcotest.(check int) "separated load does not stall" 0 (locks separated)
+
+let test_fp_status () =
+  let items c =
+    [
+      Asm.Op (Insn.Mvi (5, 3));
+      Asm.Op (Insn.Cvtif (Df, 2, 5));
+      Asm.Op (Insn.Mvi (5, 4));
+      Asm.Op (Insn.Cvtif (Df, 3, 5));
+      Asm.Op (Insn.Fcmp (c, Df, 2, 3));
+      Asm.Op (Insn.Rdsr 4);
+    ]
+  in
+  check_r4 "fcmp lt true" 1 (items Insn.Lt);
+  check_r4 "fcmp eq false" 0 (items Insn.Eq);
+  check_r4 "fcmp ne true" 1 (items Insn.Ne)
+
+let test_fp_arith_direct () =
+  (* (3.0 + 4.0) * 2.0 = 14.0, truncated back to an integer. *)
+  let items =
+    [
+      Asm.Op (Insn.Mvi (5, 3));
+      Asm.Op (Insn.Cvtif (Df, 2, 5));
+      Asm.Op (Insn.Mvi (5, 4));
+      Asm.Op (Insn.Cvtif (Df, 3, 5));
+      Asm.Op (Insn.Fbin (Fadd, Df, 2, 2, 3));
+      Asm.Op (Insn.Mvi (5, 2));
+      Asm.Op (Insn.Cvtif (Df, 3, 5));
+      Asm.Op (Insn.Fbin (Fmul, Df, 2, 2, 3));
+      Asm.Op (Insn.Cvtfi (Df, 4, 2));
+    ]
+  in
+  check_r4 "fp arithmetic" 14 items
+
+let test_runtime_errors () =
+  let expect_error name items =
+    List.iter
+      (fun target ->
+        match run ~target items with
+        | exception Machine.Runtime_error _ -> ()
+        | _ -> Alcotest.fail (name ^ ": expected a runtime error"))
+      [ Target.d16; Target.dlxe ]
+  in
+  expect_error "unaligned word load"
+    [ Asm.Op (Insn.Mvi (5, 2)); Asm.Op (Insn.Load (Lw, 4, 5, 0)) ];
+  expect_error "wild jump"
+    [ Asm.Op (Insn.Mvi (5, 0)); Asm.Op (Insn.J 5); Asm.Op Insn.Nop ]
+
+let test_zero_register_dlxe () =
+  (* DLXe r0 reads as zero and ignores writes; D16 r0 is a live register. *)
+  Alcotest.(check int) "dlxe r0 is zero" 0
+    (exit_code ~target:Target.dlxe
+       [ Asm.Op (Insn.Mvi (0, 55)); Asm.Op (Insn.Mv (4, 0)) ]);
+  Alcotest.(check int) "d16 r0 holds values" 55
+    (exit_code ~target:Target.d16
+       [ Asm.Op (Insn.Mvi (0, 55)); Asm.Op (Insn.Mv (4, 0)) ])
+
+let tests =
+  [
+    Alcotest.test_case "alu semantics" `Quick test_alu_ops;
+    Alcotest.test_case "subword memory" `Quick test_subword_memory;
+    Alcotest.test_case "conditional jumps" `Quick test_conditional_jumps;
+    Alcotest.test_case "branch delay slot" `Quick test_branch_delay_slot;
+    Alcotest.test_case "literal pool" `Quick test_ldc_pool;
+    Alcotest.test_case "interlock exactness" `Quick test_interlock_exactness;
+    Alcotest.test_case "fp status" `Quick test_fp_status;
+    Alcotest.test_case "fp arithmetic" `Quick test_fp_arith_direct;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "r0 semantics" `Quick test_zero_register_dlxe;
+  ]

@@ -1,0 +1,199 @@
+(* Memory-system model tests: fetch buffering, cache hit/miss behaviour
+   with sub-blocks and wrap-around prefetch, and the cycle formulas. *)
+
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Target = Repro_core.Target
+module Compile = Repro_harness.Compile
+
+(* Build a synthetic result carrying a given trace. *)
+let mk_result iaddrs daccs =
+  let dinfo =
+    Array.map
+      (function
+        | None -> 0
+        | Some (w, a, b) ->
+          (a lsl 5) lor (b lsl 1) lor (if w then 1 else 0))
+      daccs
+  in
+  {
+    Machine.exit_code = 0;
+    output = "";
+    ic = Array.length iaddrs;
+    loads = 0;
+    stores = 0;
+    load_words = 0;
+    store_words = 0;
+    interlocks = 0;
+    trace = Some { Machine.iaddr = iaddrs; dinfo };
+  }
+
+let no_data n = Array.make n None
+
+let test_fetch_buffer () =
+  (* Sequential 2-byte instructions on a 4-byte bus: one request per pair. *)
+  let iaddrs = Array.init 8 (fun i -> 0x1000 + (2 * i)) in
+  let r = mk_result iaddrs (no_data 8) in
+  let nc = Memsys.replay_nocache ~bus_bytes:4 r in
+  Alcotest.(check int) "k=2 halves requests" 4 nc.Memsys.irequests;
+  let nc8 = Memsys.replay_nocache ~bus_bytes:8 r in
+  Alcotest.(check int) "k=4 quarters requests" 2 nc8.Memsys.irequests;
+  (* 4-byte instructions on a 4-byte bus: one request each. *)
+  let iaddrs32 = Array.init 8 (fun i -> 0x1000 + (4 * i)) in
+  let r32 = mk_result iaddrs32 (no_data 8) in
+  Alcotest.(check int) "k=1 is one per instruction" 8
+    (Memsys.replay_nocache ~bus_bytes:4 r32).Memsys.irequests
+
+let test_fetch_buffer_branchy () =
+  (* A taken branch to a new block forces a refetch even when returning. *)
+  let iaddrs = [| 0x1000; 0x1002; 0x2000; 0x1000 |] in
+  let r = mk_result iaddrs (no_data 4) in
+  Alcotest.(check int) "branch thrashes buffer" 3
+    (Memsys.replay_nocache ~bus_bytes:4 r).Memsys.irequests
+
+let test_data_requests () =
+  (* A double costs two transactions on a 32-bit bus, one on 64-bit. *)
+  let iaddrs = [| 0x1000; 0x1004 |] in
+  let d = [| Some (false, 0x8000, 8); Some (true, 0x8000, 4) |] in
+  let r = mk_result iaddrs d in
+  Alcotest.(check int) "dreq 32-bit" 3
+    (Memsys.replay_nocache ~bus_bytes:4 r).Memsys.drequests;
+  Alcotest.(check int) "dreq 64-bit" 2
+    (Memsys.replay_nocache ~bus_bytes:8 r).Memsys.drequests
+
+let icfg size block sub =
+  { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+
+let test_cache_basic () =
+  (* Two instructions in the same sub-block: one miss. *)
+  let r = mk_result [| 0x1000; 0x1002; 0x1000 |] (no_data 3) in
+  let c =
+    Memsys.replay_cached ~insn_bytes:2 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4) r
+  in
+  Alcotest.(check int) "one miss for colocated fetches" 1
+    c.Memsys.icache.Memsys.misses;
+  Alcotest.(check int) "three accesses" 3 c.Memsys.icache.Memsys.accesses
+
+let test_cache_prefetch () =
+  (* Wrap-around prefetch: a read miss fetches the next sub-block too, so a
+     sequential walk misses every other sub-block. *)
+  let iaddrs = Array.init 8 (fun i -> 0x1000 + (4 * i)) in
+  let r = mk_result iaddrs (no_data 8) in
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4) r
+  in
+  Alcotest.(check int) "every other sub-block misses" 4
+    c.Memsys.icache.Memsys.misses;
+  (* Each miss transfers 2 sub-blocks of one word. *)
+  Alcotest.(check int) "words transferred" 8
+    c.Memsys.icache.Memsys.words_transferred
+
+let test_cache_conflict () =
+  (* Two blocks that map to the same set alternate: every access misses. *)
+  let a = 0x1000 in
+  let b = 0x1000 + 1024 in
+  let r = mk_result [| a; b; a; b |] (no_data 4) in
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4) r
+  in
+  Alcotest.(check int) "conflict thrash" 4 c.Memsys.icache.Memsys.misses;
+  (* A larger cache separates them. *)
+  let c2 =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 4096 32 4)
+      ~dcache:(icfg 4096 32 4) r
+  in
+  Alcotest.(check int) "no thrash when separated" 2
+    c2.Memsys.icache.Memsys.misses
+
+let test_cache_write_no_prefetch () =
+  (* Writes allocate but do not prefetch the next sub-block. *)
+  let iaddrs = [| 0x1000; 0x1004 |] in
+  let d = [| Some (true, 0x8000, 4); Some (false, 0x8004, 4) |] in
+  let r = mk_result iaddrs d in
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4) r
+  in
+  Alcotest.(check int) "write misses" 1 c.Memsys.dcache_write.Memsys.misses;
+  (* The following read of the next word misses (no prefetch on write). *)
+  Alcotest.(check int) "read after write still misses" 1
+    c.Memsys.dcache_read.Memsys.misses
+
+let test_cycle_formulas () =
+  let iaddrs = Array.init 10 (fun i -> 0x1000 + (4 * i)) in
+  let r = { (mk_result iaddrs (no_data 10)) with Machine.interlocks = 3 } in
+  let nc = Memsys.replay_nocache ~bus_bytes:4 r in
+  Alcotest.(check int) "zero wait states" 13
+    (Memsys.nocache_cycles ~wait_states:0 r nc);
+  Alcotest.(check int) "wait states multiply requests" (13 + (2 * 10))
+    (Memsys.nocache_cycles ~wait_states:2 r nc);
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4) r
+  in
+  Alcotest.(check int) "cached cycles" (13 + (4 * 5))
+    (Memsys.cached_cycles ~miss_penalty:4 r c)
+
+let test_formula_vs_measurement () =
+  (* The paper's footnote 2: the closed formula and the measured pipeline
+     agree closely.  In our model they agree exactly by construction; check
+     one real program end to end. *)
+  let b = Repro_workloads.Suite.find "queens" in
+  List.iter
+    (fun t ->
+      let _, r = Compile.compile_and_run ~trace:true t b.Repro_workloads.Suite.source in
+      let nc = Memsys.replay_nocache ~bus_bytes:4 r in
+      let cycles = Memsys.nocache_cycles ~wait_states:1 r nc in
+      let formula =
+        r.Machine.ic + r.Machine.interlocks
+        + (1 * (nc.Memsys.irequests + nc.Memsys.drequests))
+      in
+      Alcotest.(check int) ("formula agreement " ^ t.Target.name) formula cycles)
+    [ Target.d16; Target.dlxe ]
+
+let test_interlock_counting () =
+  (* A load feeding the very next instruction stalls one cycle. *)
+  let src_dep =
+    {|int g = 5;
+      int main() {
+        int i; int s = 0;
+        for (i = 0; i < 100; i++) s = s + g;
+        print_int(s);
+        return 0; }|}
+  in
+  let _, r = Compile.compile_and_run ~trace:false Target.dlxe src_dep in
+  Alcotest.(check bool) "loop with load-use has interlocks" true
+    (r.Machine.interlocks > 0);
+  (* FP divides are the longest stalls. *)
+  let src_fp =
+    {|double g = 3.0;
+      int main() {
+        double x = 1.0; int i;
+        for (i = 0; i < 50; i++) x = 1.0 / (x + g);
+        print_int((int)(x * 1000.0));
+        return 0; }|}
+  in
+  let _, rf = Compile.compile_and_run ~trace:false Target.dlxe src_fp in
+  (* Each of the 50 iterations has a divide whose latency the loop's few
+     other instructions cannot fully hide. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fp chain stalls heavily (%d)" rf.Machine.interlocks)
+    true
+    (rf.Machine.interlocks > 50)
+
+let tests =
+  [
+    Alcotest.test_case "fetch buffer widths" `Quick test_fetch_buffer;
+    Alcotest.test_case "fetch buffer on branches" `Quick test_fetch_buffer_branchy;
+    Alcotest.test_case "data bus requests" `Quick test_data_requests;
+    Alcotest.test_case "cache basics" `Quick test_cache_basic;
+    Alcotest.test_case "wrap-around prefetch" `Quick test_cache_prefetch;
+    Alcotest.test_case "conflict misses" `Quick test_cache_conflict;
+    Alcotest.test_case "writes do not prefetch" `Quick test_cache_write_no_prefetch;
+    Alcotest.test_case "cycle formulas" `Quick test_cycle_formulas;
+    Alcotest.test_case "formula vs measurement" `Quick test_formula_vs_measurement;
+    Alcotest.test_case "interlock counting" `Quick test_interlock_counting;
+  ]

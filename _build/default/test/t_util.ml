@@ -1,0 +1,107 @@
+(* Unit and property tests for the utility layer. *)
+
+open Repro_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_sext () =
+  check_int "sext 9 of 255" 255 (Bitops.sext ~width:9 255);
+  check_int "sext 9 of 256" (-256) (Bitops.sext ~width:9 256);
+  check_int "sext 9 of 511" (-1) (Bitops.sext ~width:9 511);
+  check_int "sext 16 of 0x8000" (-32768) (Bitops.sext ~width:16 0x8000);
+  check_int "sext keeps positives" 5 (Bitops.sext ~width:4 5)
+
+let test_zext () =
+  check_int "zext 8 of -1" 255 (Bitops.zext ~width:8 (-1));
+  check_int "zext 16 of 0x12345" 0x2345 (Bitops.zext ~width:16 0x12345)
+
+let test_fits () =
+  check_bool "fits_signed 9 255" true (Bitops.fits_signed ~width:9 255);
+  check_bool "fits_signed 9 256" false (Bitops.fits_signed ~width:9 256);
+  check_bool "fits_signed 9 -256" true (Bitops.fits_signed ~width:9 (-256));
+  check_bool "fits_signed 9 -257" false (Bitops.fits_signed ~width:9 (-257));
+  check_bool "fits_unsigned 5 31" true (Bitops.fits_unsigned ~width:5 31);
+  check_bool "fits_unsigned 5 32" false (Bitops.fits_unsigned ~width:5 32);
+  check_bool "fits_unsigned 5 -1" false (Bitops.fits_unsigned ~width:5 (-1))
+
+let test_wrap () =
+  check_int "add32 wraps" (-2147483648)
+    (Bitops.add32 2147483647 1);
+  check_int "sub32 wraps" 2147483647 (Bitops.sub32 (-2147483648) 1);
+  check_int "shl32" (-2147483648) (Bitops.shl32 1 31);
+  check_int "shr32 of -1" 1 (Bitops.shr32 (-1) 31);
+  check_int "sra32 of -8" (-2) (Bitops.sra32 (-8) 2);
+  check_bool "ltu32 -1 > 1" false (Bitops.ltu32 (-1) 1);
+  check_bool "ltu32 1 < -1" true (Bitops.ltu32 1 (-1))
+
+let test_bits_put () =
+  let w = Bitops.put ~lo:4 ~hi:7 0xA 0 in
+  check_int "put/bits roundtrip" 0xA (Bitops.bits ~lo:4 ~hi:7 w);
+  check_int "put leaves rest" 0 (Bitops.bits ~lo:0 ~hi:3 w);
+  Alcotest.check_raises "put overflow" (Invalid_argument
+    "Bitops.put: field 16 does not fit bits 4..7")
+    (fun () -> ignore (Bitops.put ~lo:4 ~hi:7 16 0))
+
+let test_pow2 () =
+  check_bool "8 is pow2" true (Bitops.is_pow2 8);
+  check_bool "12 is not" false (Bitops.is_pow2 12);
+  check_bool "0 is not" false (Bitops.is_pow2 0);
+  check_int "log2 1024" 10 (Bitops.log2 1024)
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.; 2.; 4. ]);
+  Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5. ]);
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 (Stats.ratio 1 2);
+  Alcotest.(check (float 1e-9)) "percent" 50.0 (Stats.percent_increase ~base:2 3)
+
+let test_table () =
+  let s = Table.render [ "a"; "b" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  check_bool "header present" true
+    (String.length s > 0 && String.sub s 0 1 = "a");
+  let bar = Table.bar_chart ~width:10 ~max_value:2. [ ("p", 1.) ] in
+  check_bool "bar half filled" true
+    (String.length bar > 0
+    && String.split_on_char '#' bar |> List.length = 6)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"sext/zext agree on sign bit clear" ~count:500
+      (pair (int_range 1 31) (int_bound 0x3FFFFFFF))
+      (fun (w, v) ->
+        let v = v land ((1 lsl (w - 1)) - 1) in
+        Bitops.sext ~width:w v = Bitops.zext ~width:w v);
+    Test.make ~name:"of_u32/to_u32 roundtrip" ~count:500
+      (int_range (-0x80000000) 0x7FFFFFFF)
+      (fun v -> Bitops.of_u32 (Bitops.to_u32 v) = v);
+    Test.make ~name:"add32 matches Int32" ~count:500
+      (pair int int)
+      (fun (a, b) ->
+        let a = Bitops.of_u32 a and b = Bitops.of_u32 b in
+        Bitops.add32 a b
+        = Int32.to_int (Int32.add (Int32.of_int a) (Int32.of_int b)));
+    Test.make ~name:"sra32 matches Int32" ~count:500
+      (pair int (int_bound 31))
+      (fun (a, n) ->
+        let a = Bitops.of_u32 a in
+        Bitops.sra32 a n
+        = Int32.to_int (Int32.shift_right (Int32.of_int a) n));
+    Test.make ~name:"geomean <= mean" ~count:200
+      (list_of_size (Gen.int_range 1 10) (float_range 0.1 100.))
+      (fun xs -> Stats.geomean xs <= Stats.mean xs +. 1e-9);
+  ]
+
+let tests =
+  [
+    Alcotest.test_case "sext" `Quick test_sext;
+    Alcotest.test_case "zext" `Quick test_zext;
+    Alcotest.test_case "fits" `Quick test_fits;
+    Alcotest.test_case "wrap32" `Quick test_wrap;
+    Alcotest.test_case "bits/put" `Quick test_bits_put;
+    Alcotest.test_case "pow2/log2" `Quick test_pow2;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "table" `Quick test_table;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("util", T_util.tests);
+      ("encoding", T_encoding.tests);
+      ("frontend", T_frontend.tests);
+      ("cfg", T_cfg.tests);
+      ("opt", T_opt.tests);
+      ("compiler", T_compiler.tests);
+      ("machine", T_machine.tests);
+      ("progfuzz", T_progfuzz.tests);
+      ("memsys", T_memsys.tests);
+      ("link", T_link.tests);
+      ("regalloc", T_regalloc.tests);
+      ("extension", T_extension.tests);
+      ("integration", T_integration.tests);
+      ("experiments", T_experiments.tests);
+    ]
