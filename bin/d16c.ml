@@ -8,18 +8,12 @@
 
 open Cmdliner
 
-let target_of_name = function
-  | "d16" -> Ok Repro_core.Target.d16
-  | "d16x" -> Ok Repro_core.Target.d16x
-  | "dlxe" -> Ok Repro_core.Target.dlxe
-  | "dlxe-16-2" -> Ok Repro_core.Target.dlxe_16_2
-  | "dlxe-16-3" -> Ok Repro_core.Target.dlxe_16_3
-  | "dlxe-32-2" -> Ok Repro_core.Target.dlxe_32_2
-  | s -> Error (`Msg ("unknown target " ^ s))
-
 let target_conv =
   Arg.conv
-    ( target_of_name,
+    ( (fun s ->
+        Result.map_error
+          (fun m -> `Msg m)
+          (Repro_core.Target.of_name s)),
       fun fmt t -> Format.pp_print_string fmt t.Repro_core.Target.name )
 
 let run_one target source ~show_asm ~show_stats =

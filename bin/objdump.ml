@@ -30,16 +30,12 @@ let () =
   in
   let target =
     match rest with
-    | [] | [ "d16" ] -> Target.d16
-    | [ "d16x" ] -> Target.d16x
-    | [ "dlxe" ] -> Target.dlxe
+    | [] -> Target.d16
     | [ name ] -> (
-      match
-        List.find_opt (fun (t : Target.t) -> t.name = name) Target.all
-      with
-      | Some t -> t
-      | None ->
-        prerr_endline ("unknown target " ^ name);
+      match Target.of_name name with
+      | Ok t -> t
+      | Error msg ->
+        prerr_endline msg;
         exit 1)
     | _ ->
       prerr_endline "too many arguments";

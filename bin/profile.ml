@@ -15,53 +15,68 @@ let () =
     if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 20
   in
   let target =
-    match target_name with
-    | "d16" -> Repro_core.Target.d16
-    | "dlxe" -> Repro_core.Target.dlxe
-    | name -> (
-      match
-        List.find_opt
-          (fun (t : Repro_core.Target.t) -> t.name = name)
-          Repro_core.Target.all
-      with
-      | Some t -> t
-      | None ->
-        prerr_endline
-          "unknown target (d16, dlxe, or a full name like DLXe/16/2)";
-        exit 1)
+    match Repro_core.Target.of_name target_name with
+    | Ok t -> t
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
   in
-  let b = Repro_workloads.Suite.find bench in
-  let img = Repro_harness.Compile.compile target b.source in
-  let r = Machine.run ~trace:true img in
-  let t = Option.get r.Machine.trace in
-  let counts = Array.make (Array.length img.Link.insns) 0 in
-  Array.iter
-    (fun a ->
-      let i = Hashtbl.find img.Link.index_of_addr a in
-      counts.(i) <- counts.(i) + 1)
-    t.Machine.iaddr;
-  let funcs =
-    Hashtbl.fold (fun s a acc -> (a, s) :: acc) img.Link.symbols []
-    |> List.sort compare
+  (* The compile+trace is the expensive part; the whole profile (header
+     stats and sorted hot rows) is persisted in the run cache. *)
+  let key =
+    Repro_harness.Diskcache.key
+      [
+        "profile"; bench;
+        Repro_harness.Runs.bench_fingerprint bench;
+        Repro_core.Target.describe target;
+        Repro_harness.Runs.knobs_descr;
+      ]
   in
-  let fn_of addr =
-    List.fold_left (fun acc (a, s) -> if a <= addr then s else acc) "?" funcs
+  let (header : string), (rows : (int * int * string * string) list) =
+    Repro_harness.Diskcache.memo key (fun () ->
+        let b = Repro_workloads.Suite.find bench in
+        let img = Repro_harness.Compile.compile target b.source in
+        let r = Machine.run ~trace:true img in
+        let t = Option.get r.Machine.trace in
+        let counts = Array.make (Array.length img.Link.insns) 0 in
+        Array.iter
+          (fun a ->
+            let i = Hashtbl.find img.Link.index_of_addr a in
+            counts.(i) <- counts.(i) + 1)
+          t.Machine.iaddr;
+        let funcs =
+          Hashtbl.fold (fun s a acc -> (a, s) :: acc) img.Link.symbols []
+          |> List.sort compare
+        in
+        let fn_of addr =
+          List.fold_left
+            (fun acc (a, s) -> if a <= addr then s else acc)
+            "?" funcs
+        in
+        let hot = ref [] in
+        Array.iteri
+          (fun i n ->
+            if n > 0 then
+              hot := (n, img.Link.addr_of.(i), img.Link.insns.(i)) :: !hot)
+          counts;
+        let sorted =
+          List.sort (fun (a, _, _) (b, _, _) -> compare b a) !hot
+        in
+        let header =
+          Printf.sprintf
+            "%s on %s: path=%d loads=%d stores=%d interlocks=%d size=%dB"
+            bench target.Repro_core.Target.name r.Machine.ic r.Machine.loads
+            r.Machine.stores r.Machine.interlocks (Link.size_bytes img)
+        in
+        ( header,
+          List.map
+            (fun (n, addr, insn) ->
+              (n, addr, Insn.to_string insn, fn_of addr))
+            sorted ))
   in
-  let hot = ref [] in
-  Array.iteri
-    (fun i n ->
-      if n > 0 then
-        hot := (n, img.Link.addr_of.(i), img.Link.insns.(i)) :: !hot)
-    counts;
-  let sorted = List.sort (fun (a, _, _) (b, _, _) -> compare b a) !hot in
-  Printf.printf
-    "%s on %s: path=%d loads=%d stores=%d interlocks=%d size=%dB\n\n" bench
-    target.Repro_core.Target.name r.Machine.ic r.Machine.loads
-    r.Machine.stores r.Machine.interlocks (Link.size_bytes img);
+  Printf.printf "%s\n\n" header;
   Printf.printf "%8s  %-8s  %-30s %s\n" "count" "addr" "instruction" "function";
   List.iteri
-    (fun k (n, addr, insn) ->
-      if k < top_n then
-        Printf.printf "%8d  0x%06x  %-30s %s\n" n addr (Insn.to_string insn)
-          (fn_of addr))
-    sorted
+    (fun k (n, addr, insn, fn) ->
+      if k < top_n then Printf.printf "%8d  0x%06x  %-30s %s\n" n addr insn fn)
+    rows

@@ -1,23 +1,54 @@
 (* Regenerate every table and figure of the paper.  With arguments, only
-   the named experiment ids (e.g. "fig4 tab11"). *)
+   the named experiment ids (e.g. "fig4 tab11").  [--jobs N] sets the
+   measurement-pool width (default: REPRO_JOBS or the domain count). *)
+
+module Experiments = Repro_harness.Experiments
+module Plan = Repro_harness.Plan
+module Pool = Repro_harness.Pool
+
+let usage () =
+  prerr_endline "usage: report [--jobs N] [id ...]";
+  prerr_endline "known ids:";
+  List.iter
+    (fun (e : Experiments.t) -> prerr_endline ("  " ^ e.id))
+    Experiments.all;
+  exit 1
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let experiments =
-    match args with
-    | [] -> Repro_harness.Experiments.all
-    | ids -> (
-      try List.map Repro_harness.Experiments.by_id ids
-      with Not_found ->
-        prerr_endline "unknown experiment id; known ids:";
-        List.iter
-          (fun (e : Repro_harness.Experiments.t) -> prerr_endline ("  " ^ e.id))
-          Repro_harness.Experiments.all;
-        exit 1)
+  let jobs = ref (Pool.default_jobs ()) in
+  let ids = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> jobs := n
+      | _ -> usage ());
+      parse rest
+    | "--jobs" :: [] -> usage ()
+    | id :: rest ->
+      ids := id :: !ids;
+      parse rest
   in
+  parse (List.tl (Array.to_list Sys.argv));
+  let experiments =
+    match List.rev !ids with
+    | [] -> Experiments.all
+    | ids -> (
+      try List.map Experiments.by_id ids
+      with Not_found ->
+        prerr_endline "unknown experiment id";
+        usage ())
+  in
+  (* Prefetch every measurement the selected experiments need, in
+     parallel; rendering below is serial and deterministic. *)
+  let plan =
+    match List.rev !ids with
+    | [] -> Plan.full ()
+    | ids -> List.fold_left (fun acc id -> Plan.union acc (Plan.for_experiment id)) [] ids
+  in
+  Pool.run_plan ~jobs:!jobs plan;
   List.iter
-    (fun (e : Repro_harness.Experiments.t) ->
+    (fun (e : Experiments.t) ->
       Printf.printf "================ %s: %s ================\n%s\n" e.id
-        e.title
-        (e.render ()))
+        e.title (Experiments.render e))
     experiments

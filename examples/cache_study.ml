@@ -27,9 +27,7 @@ let () =
   let r16 = run Target.d16 in
   let r32 = run Target.dlxe in
   let caches r insn_bytes size =
-    let cfg =
-      { Memsys.size_bytes = size; block_bytes = 32; sub_block_bytes = 4 }
-    in
+    let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
     Memsys.replay_cached ~insn_bytes ~icache:cfg ~dcache:cfg r
   in
   let rows =

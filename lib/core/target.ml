@@ -42,6 +42,42 @@ let dlxe_16_3 = { dlxe with name = "DLXe/16/3"; n_gpr = 16; n_fpr = 16 }
 let dlxe_16_2 = { dlxe_16_3 with name = "DLXe/16/2"; three_address = false }
 let dlxe_32_2 = { dlxe with name = "DLXe/32/2"; three_address = false }
 let all = [ d16; dlxe_16_2; dlxe_16_3; dlxe_32_2; dlxe ]
+
+(* Short names double as CLI spellings and as the slugs of the full names
+   ("DLXe/16/2" <-> "dlxe-16-2"); both are accepted case-insensitively. *)
+let named = [
+    ("d16", d16);
+    ("d16x", d16x);
+    ("dlxe", dlxe);
+    ("dlxe-16-2", dlxe_16_2);
+    ("dlxe-16-3", dlxe_16_3);
+    ("dlxe-32-2", dlxe_32_2);
+    ("dlxe-32-3", dlxe);
+  ]
+
+let all_names = [ "d16"; "d16x"; "dlxe"; "dlxe-16-2"; "dlxe-16-3"; "dlxe-32-2" ]
+
+let slug name =
+  String.lowercase_ascii (String.map (fun c -> if c = '/' then '-' else c) name)
+
+let of_name s =
+  let s = slug s in
+  match List.assoc_opt s named with
+  | Some t -> Ok t
+  | None -> (
+    match List.find_opt (fun t -> slug t.name = s) (d16x :: all) with
+    | Some t -> Ok t
+    | None ->
+      Error
+        (Printf.sprintf "unknown target %s (expected one of: %s)" s
+           (String.concat ", " all_names)))
+
+let describe t =
+  Printf.sprintf "%s;isa=%s;gpr=%d;fpr=%d;three_address=%b;zero_r0=%b;ext_cmpeqi=%b"
+    t.name
+    (match t.isa with D16 -> "D16" | Dlxe -> "DLXe")
+    t.n_gpr t.n_fpr t.three_address t.zero_r0 t.ext_cmpeqi
+
 let insn_bytes t = match t.isa with D16 -> 2 | Dlxe -> 4
 
 let alui_fits t (op : Insn.alu) imm =

@@ -38,6 +38,21 @@ val all : t list
 (** The five targets in the tables' column order:
     D16, DLXe/16/2, DLXe/16/3, DLXe/32/2, DLXe/32/3. *)
 
+val of_name : string -> (t, string) result
+(** Parse a target name as the CLIs spell it.  Accepts the short names of
+    {!all_names} and full names like "DLXe/16/2" (case-insensitive, "/"
+    and "-" interchangeable); {!d16x} is included.  The error message
+    lists the valid names. *)
+
+val all_names : string list
+(** The canonical short spellings accepted by {!of_name}:
+    d16, d16x, dlxe, dlxe-16-2, dlxe-16-3, dlxe-32-2. *)
+
+val describe : t -> string
+(** A stable one-line rendering of every field of the description, used
+    in persistent-cache keys: any change to a target invalidates entries
+    keyed on it. *)
+
 val insn_bytes : t -> int
 (** 2 for D16, 4 for DLXe. *)
 

@@ -1,0 +1,86 @@
+module Tbl = Repro_util.Table
+
+type cell =
+  | Text of string
+  | Int of int
+  | Float of { v : float; decimals : int }
+  | Percent of { v : float; decimals : int; signed : bool }
+
+let text s = Text s
+let int n = Int n
+let f2 v = Float { v; decimals = 2 }
+let f3 v = Float { v; decimals = 3 }
+let pct1 v = Percent { v; decimals = 1; signed = false }
+let spct2 v = Percent { v; decimals = 2; signed = true }
+
+let cell_to_string = function
+  | Text s -> s
+  | Int n -> string_of_int n
+  | Float { v; decimals } -> Printf.sprintf "%.*f" decimals v
+  | Percent { v; decimals; signed } ->
+    if signed then Printf.sprintf "%+.*f%%" decimals v
+    else Printf.sprintf "%.*f%%" decimals v
+
+let number = function
+  | Text _ -> None
+  | Int n -> Some (float_of_int n)
+  | Float { v; _ } | Percent { v; _ } -> Some v
+
+type item =
+  | Table of { header : string list; rows : cell list list }
+  | Bars of { max_value : float; entries : (string * float) list }
+  | Series of {
+      x_label : string;
+      xs : string list;
+      series : (string * float list) list;
+    }
+
+type section = { label : string option; body : item }
+
+type t = { caption : string; sections : section list; notes : string list }
+
+let section ?label body = { label; body }
+let make ~caption ?(notes = []) sections = { caption; sections; notes }
+
+let table ?label ~header rows = section ?label (Table { header; rows })
+
+let bars ?label ~max_value entries =
+  section ?label (Bars { max_value; entries })
+
+let series ?label ~x_label ~xs s = section ?label (Series { x_label; xs; series = s })
+
+let item_to_string = function
+  | Table { header; rows } ->
+    Tbl.render header (List.map (List.map cell_to_string) rows)
+  | Bars { max_value; entries } -> Tbl.bar_chart ~max_value entries
+  | Series { x_label; xs; series } -> Tbl.series_chart ~x_label ~xs series
+
+let to_text a =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf a.caption;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun { label; body } ->
+      (match label with
+      | Some l ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf l;
+        Buffer.add_string buf ":\n"
+      | None -> Buffer.add_char buf '\n');
+      Buffer.add_string buf (item_to_string body))
+    a.sections;
+  List.iter
+    (fun n ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf n;
+      Buffer.add_char buf '\n')
+    a.notes;
+  Buffer.contents buf
+
+let items a = List.map (fun s -> (s.label, s.body)) a.sections
+
+let first_table a =
+  List.find_map
+    (function
+      | { body = Table { header; rows }; _ } -> Some (header, rows) | _ -> None)
+    a.sections

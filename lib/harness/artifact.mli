@@ -1,0 +1,67 @@
+(** Structured experiment artifacts.
+
+    Every paper table and figure is produced as a typed value — tables of
+    typed cells, bar charts, and line-plot series — which tests and
+    downstream tools inspect numerically.  {!to_text} renders the exact
+    ASCII layout the harness has always printed (captions, labelled
+    sections, footnotes), so the text output is byte-for-byte stable. *)
+
+type cell =
+  | Text of string
+  | Int of int
+  | Float of { v : float; decimals : int }  (** ["%.*f"]. *)
+  | Percent of { v : float; decimals : int; signed : bool }
+      (** ["%.*f%%"], with a leading sign when [signed]. *)
+
+val text : string -> cell
+val int : int -> cell
+
+val f2 : float -> cell
+(** Two-decimal float cell. *)
+
+val f3 : float -> cell
+
+val pct1 : float -> cell
+(** One-decimal percentage, e.g. [pct1 9.5] renders "9.5%". *)
+
+val spct2 : float -> cell
+(** Signed two-decimal percentage, e.g. "+1.05%". *)
+
+val cell_to_string : cell -> string
+
+val number : cell -> float option
+(** The numeric value of a cell, if it has one. *)
+
+type item =
+  | Table of { header : string list; rows : cell list list }
+  | Bars of { max_value : float; entries : (string * float) list }
+  | Series of {
+      x_label : string;
+      xs : string list;
+      series : (string * float list) list;
+    }
+
+type section = { label : string option; body : item }
+(** A labelled section renders as "\n<label>:\n<body>". *)
+
+type t = { caption : string; sections : section list; notes : string list }
+
+val make : caption:string -> ?notes:string list -> section list -> t
+val section : ?label:string -> item -> section
+val table : ?label:string -> header:string list -> cell list list -> section
+val bars : ?label:string -> max_value:float -> (string * float) list -> section
+
+val series :
+  ?label:string ->
+  x_label:string ->
+  xs:string list ->
+  (string * float list) list ->
+  section
+
+val to_text : t -> string
+(** Caption, blank-or-labelled separators, section bodies, then footnotes. *)
+
+val items : t -> (string option * item) list
+
+val first_table : t -> (string list * cell list list) option
+(** Header and rows of the first table section, for tests. *)

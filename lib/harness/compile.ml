@@ -29,6 +29,13 @@ type ablation = {
 let no_ablation =
   { opt_flags = Opt.all_flags; fill_delay_slots = true; schedule_loads = true }
 
+let describe_ablation a =
+  Printf.sprintf
+    "fold=%b;cse=%b;dce=%b;licm=%b;strength=%b;fill_delay_slots=%b;schedule_loads=%b"
+    a.opt_flags.Opt.fold a.opt_flags.Opt.cse a.opt_flags.Opt.dce
+    a.opt_flags.Opt.do_licm a.opt_flags.Opt.strength a.fill_delay_slots
+    a.schedule_loads
+
 let compile ?(optimize = 2) ?(ablation = no_ablation) ?(with_runtime = true)
     target source =
   wrap (fun () ->

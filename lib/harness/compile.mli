@@ -13,6 +13,9 @@ type ablation = {
 
 val no_ablation : ablation
 
+val describe_ablation : ablation -> string
+(** Stable rendering of every switch, for persistent-cache keys. *)
+
 val compile :
   ?optimize:int ->
   ?ablation:ablation ->

@@ -1,0 +1,89 @@
+(* Persistent on-disk result cache.
+
+   Values are marshaled to one file per key under the cache directory
+   (default "_runs_cache", overridable with REPRO_CACHE_DIR or
+   [set_dir]).  Keys are hex digests computed by {!key} over a list of
+   string parts prefixed with the cache-format version, so any change to
+   benchmark sources, target descriptions, compiler knobs, or the format
+   itself changes the key and invalidates the entry.  Writes go through a
+   temporary file and an atomic rename, making concurrent readers (other
+   domains or processes) safe.  Unreadable or truncated entries are
+   treated as misses. *)
+
+let format_version = "repro-runs-cache-v1"
+
+let default_dir () =
+  match Sys.getenv_opt "REPRO_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> "_runs_cache"
+
+let default_enabled () = Sys.getenv_opt "REPRO_DISK_CACHE" <> Some "0"
+
+let lock = Mutex.create ()
+let dir_ref = ref (default_dir ())
+let enabled_ref = ref (default_enabled ())
+let hit_ref = ref 0
+let miss_ref = ref 0
+
+let with_lock f = Mutex.protect lock f
+let dir () = with_lock (fun () -> !dir_ref)
+let set_dir d = with_lock (fun () -> dir_ref := d)
+let enabled () = with_lock (fun () -> !enabled_ref)
+let set_enabled b = with_lock (fun () -> enabled_ref := b)
+let hit_count () = with_lock (fun () -> !hit_ref)
+let miss_count () = with_lock (fun () -> !miss_ref)
+
+let key parts =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" (format_version :: parts)))
+
+let path_of k = Filename.concat (dir ()) (k ^ ".bin")
+
+let ensure_dir () =
+  let d = dir () in
+  if not (Sys.file_exists d) then
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+
+let find (k : string) : 'a option =
+  if not (enabled ()) then None
+  else
+    let p = path_of k in
+    let v =
+      if Sys.file_exists p then
+        try
+          In_channel.with_open_bin p (fun ic -> Some (Marshal.from_channel ic))
+        with _ -> None
+      else None
+    in
+    with_lock (fun () ->
+        if v = None then incr miss_ref else incr hit_ref);
+    v
+
+let store (k : string) (v : 'a) =
+  if enabled () then begin
+    ensure_dir ();
+    let p = path_of k in
+    let tmp =
+      Printf.sprintf "%s.tmp.%d" p (Domain.self () :> int)
+    in
+    try
+      Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc v []);
+      Sys.rename tmp p
+    with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
+  end
+
+let memo (k : string) (compute : unit -> 'a) : 'a =
+  match find k with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    store k v;
+    v
+
+let clear () =
+  let d = dir () in
+  if Sys.file_exists d && Sys.is_directory d then
+    Array.iter
+      (fun f ->
+        try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+      (Sys.readdir d)

@@ -4,14 +4,14 @@ module Link = Repro_link.Link
 module Machine = Repro_sim.Machine
 module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
-module Table = Repro_util.Table
 module Stats = Repro_util.Stats
 module Opt = Repro_ir.Opt
+module A = Artifact
 
-type t = { id : string; title : string; render : unit -> string }
+type t = { id : string; title : string; artifact : unit -> Artifact.t }
 
-let suite_names = List.map (fun b -> b.Suite.name) Suite.all
-let cache_names = List.map (fun b -> b.Suite.name) Suite.cache_benchmarks
+let suite_names = Plan.suite_names
+let cache_names = Plan.cache_names
 let d16 = Target.d16
 let dlxe = Target.dlxe
 let fl = float_of_int
@@ -55,36 +55,45 @@ let cached_cycles bench target ~size ~penalty =
 (* ---- Section 3: instruction set performance ---- *)
 
 let fig4 () =
-  let entries =
-    List.map (fun b -> (b, density_ratio b dlxe)) suite_names
-  in
-  "D16 relative density (static code size DLXe/D16; paper Figure 4)\n\n"
-  ^ Table.bar_chart ~max_value:2.0 entries
-  ^ Printf.sprintf "\nAverage: %.2f  (paper: ~1.5)\n"
-      (Stats.mean (List.map snd entries))
+  let entries = List.map (fun b -> (b, density_ratio b dlxe)) suite_names in
+  A.make
+    ~caption:"D16 relative density (static code size DLXe/D16; paper Figure 4)"
+    ~notes:
+      [
+        Printf.sprintf "Average: %.2f  (paper: ~1.5)"
+          (Stats.mean (List.map snd entries));
+      ]
+    [ A.bars ~max_value:2.0 entries ]
 
 let fig5 () =
-  let entries =
-    List.map (fun b -> (b, pathlen_ratio b dlxe)) suite_names
-  in
-  "DLXe path length reduction (DLXe/D16 path lengths, D16 = 1.0; Figure 5)\n\n"
-  ^ Table.bar_chart ~max_value:1.2 entries
-  ^ Printf.sprintf "\nAverage DLXe/D16: %.2f  (paper: ~0.87)\n"
-      (Stats.mean (List.map snd entries))
+  let entries = List.map (fun b -> (b, pathlen_ratio b dlxe)) suite_names in
+  A.make
+    ~caption:
+      "DLXe path length reduction (DLXe/D16 path lengths, D16 = 1.0; Figure 5)"
+    ~notes:
+      [
+        Printf.sprintf "Average DLXe/D16: %.2f  (paper: ~0.87)"
+          (Stats.mean (List.map snd entries));
+      ]
+    [ A.bars ~max_value:1.2 entries ]
 
 let regs_table ~measure ~label () =
   let header = [ "program"; "DLXe-16reg"; "DLXe-32reg" ] in
   let rows =
     List.map
       (fun b ->
-        [ b; Table.fmt2 (measure b Target.dlxe_16_3); Table.fmt2 (measure b dlxe) ])
+        [ A.text b; A.f2 (measure b Target.dlxe_16_3); A.f2 (measure b dlxe) ])
       suite_names
   in
   let avg t = Stats.mean (List.map (fun b -> measure b t) suite_names) in
-  Printf.sprintf "%s, relative to D16 = 1.00\n\n%s\nAverages: 16reg %.2f, 32reg %.2f\n"
-    label
-    (Table.render header rows)
-    (avg Target.dlxe_16_3) (avg dlxe)
+  A.make
+    ~caption:(label ^ ", relative to D16 = 1.00")
+    ~notes:
+      [
+        Printf.sprintf "Averages: 16reg %.2f, 32reg %.2f"
+          (avg Target.dlxe_16_3) (avg dlxe);
+      ]
+    [ A.table ~header rows ]
 
 let fig6 () =
   regs_table ~measure:density_ratio
@@ -104,7 +113,7 @@ let tab3 () =
       (fun b ->
         let base = data_traffic b dlxe in
         let pct t = Stats.percent_increase ~base (data_traffic b t) in
-        [ b; Table.fmt2 (pct d16); Table.fmt2 (pct Target.dlxe_16_3) ])
+        [ A.text b; A.f2 (pct d16); A.f2 (pct Target.dlxe_16_3) ])
       suite_names
   in
   let avg t =
@@ -114,28 +123,33 @@ let tab3 () =
            Stats.percent_increase ~base:(data_traffic b dlxe) (data_traffic b t))
          suite_names)
   in
-  Printf.sprintf
-    "Data traffic increase for the smaller register file (%% over DLXe/32; Table 3)\n\n%s\nAverage: D16 %.1f%%, DLXe-16 %.1f%%  (paper: 10.1%%, 9.0%%)\n"
-    (Table.render [ "program"; "D16"; "DLXe-16" ] rows)
-    (avg d16) (avg Target.dlxe_16_3)
+  A.make
+    ~caption:
+      "Data traffic increase for the smaller register file (% over DLXe/32; Table 3)"
+    ~notes:
+      [
+        Printf.sprintf "Average: D16 %.1f%%, DLXe-16 %.1f%%  (paper: 10.1%%, 9.0%%)"
+          (avg d16) (avg Target.dlxe_16_3);
+      ]
+    [ A.table ~header:[ "program"; "D16"; "DLXe-16" ] rows ]
 
 let addr_table ~measure ~label () =
   let header = [ "program"; "2-address"; "3-address" ] in
   let rows =
     List.map
       (fun b ->
-        [
-          b;
-          Table.fmt2 (measure b Target.dlxe_32_2);
-          Table.fmt2 (measure b dlxe);
-        ])
+        [ A.text b; A.f2 (measure b Target.dlxe_32_2); A.f2 (measure b dlxe) ])
       suite_names
   in
   let avg t = Stats.mean (List.map (fun b -> measure b t) suite_names) in
-  Printf.sprintf "%s (DLXe/32, relative to D16 = 1.00)\n\n%s\nAverages: 2-addr %.2f, 3-addr %.2f\n"
-    label
-    (Table.render header rows)
-    (avg Target.dlxe_32_2) (avg dlxe)
+  A.make
+    ~caption:(label ^ " (DLXe/32, relative to D16 = 1.00)")
+    ~notes:
+      [
+        Printf.sprintf "Averages: 2-addr %.2f, 3-addr %.2f"
+          (avg Target.dlxe_32_2) (avg dlxe);
+      ]
+    [ A.table ~header rows ]
 
 let fig8 () =
   addr_table ~measure:density_ratio
@@ -154,19 +168,22 @@ let fig10 () =
             (Runs.stats b Target.dlxe_16_2).Runs.ic ))
       suite_names
   in
-  "Speedup from DLXe immediates and offsets (DLXe/16/2 vs D16 = 1.00; Figure 10)\n\n"
-  ^ Table.bar_chart ~max_value:1.3 entries
-  ^ Printf.sprintf "\nAverage: %.2f  (paper: ~1.10)\n"
-      (Stats.mean (List.map snd entries))
+  A.make
+    ~caption:
+      "Speedup from DLXe immediates and offsets (DLXe/16/2 vs D16 = 1.00; Figure 10)"
+    ~notes:
+      [
+        Printf.sprintf "Average: %.2f  (paper: ~1.10)"
+          (Stats.mean (List.map snd entries));
+      ]
+    [ A.bars ~max_value:1.3 entries ]
 
 (* Table 4: dynamic frequencies of DLXe/16/2 instructions that exceed D16's
-   immediate capabilities. *)
+   immediate capabilities.  The traced classification is expensive, so the
+   triple is memoized in process and in the disk cache. *)
 let immediate_frequencies_memo = ref None
 
-let immediate_frequencies () =
-  match !immediate_frequencies_memo with
-  | Some v -> v
-  | None ->
+let compute_immediate_frequencies () =
   let target = Target.dlxe_16_2 in
   let total = ref 0 in
   let cmpi = ref 0 in
@@ -209,26 +226,41 @@ let immediate_frequencies () =
         counts)
     suite_names;
   let t = fl !total in
-  let v = (fl !cmpi /. t, fl !alui /. t, fl !disp /. t) in
-  immediate_frequencies_memo := Some v;
-  v
+  (fl !cmpi /. t, fl !alui /. t, fl !disp /. t)
+
+let immediate_frequencies () =
+  match !immediate_frequencies_memo with
+  | Some v -> v
+  | None ->
+    let key =
+      Diskcache.key
+        ("tab4-immediate-frequencies"
+        :: Target.describe Target.dlxe_16_2
+        :: Runs.knobs_descr
+        :: List.map Runs.bench_fingerprint suite_names)
+    in
+    let v = Diskcache.memo key compute_immediate_frequencies in
+    immediate_frequencies_memo := Some v;
+    v
 
 let tab4 () =
   let c, a, d = immediate_frequencies () in
-  Printf.sprintf
-    "Average immediate-field instruction frequencies in DLXe/16/2 traces (Table 4)\n\n%s"
-    (Table.render
-       [ "class"; "share"; "paper" ]
-       [
-         [ "Compare immediate"; Printf.sprintf "%.1f%%" (100. *. c); "2.1%" ];
-         [ "ALU immediate beyond D16"; Printf.sprintf "%.1f%%" (100. *. a); "2.8%" ];
-         [ "Memory displacement beyond D16"; Printf.sprintf "%.1f%%" (100. *. d); "4.6%" ];
-         [
-           "Total";
-           Printf.sprintf "%.1f%%" (100. *. (c +. a +. d));
-           "9.5%";
-         ];
-       ])
+  A.make
+    ~caption:
+      "Average immediate-field instruction frequencies in DLXe/16/2 traces (Table 4)"
+    [
+      A.table
+        ~header:[ "class"; "share"; "paper" ]
+        [
+          [ A.text "Compare immediate"; A.pct1 (100. *. c); A.text "2.1%" ];
+          [ A.text "ALU immediate beyond D16"; A.pct1 (100. *. a); A.text "2.8%" ];
+          [
+            A.text "Memory displacement beyond D16"; A.pct1 (100. *. d);
+            A.text "4.6%";
+          ];
+          [ A.text "Total"; A.pct1 (100. *. (c +. a +. d)); A.text "9.5%" ];
+        ];
+    ]
 
 let variant_targets =
   [ Target.dlxe_16_2; Target.dlxe_16_3; Target.dlxe_32_2; dlxe ]
@@ -240,18 +272,18 @@ let summary_table ~measure ~label () =
   let rows =
     List.map
       (fun b ->
-        b :: "1.00"
-        :: List.map (fun t -> Table.fmt2 (measure b t)) variant_targets)
+        A.text b :: A.f2 1.0
+        :: List.map (fun t -> A.f2 (measure b t)) variant_targets)
       suite_names
   in
   let avgs =
-    "Average" :: "1.00"
+    A.text "Average" :: A.f2 1.0
     :: List.map
          (fun t ->
-           Table.fmt2 (Stats.mean (List.map (fun b -> measure b t) suite_names)))
+           A.f2 (Stats.mean (List.map (fun b -> measure b t) suite_names)))
          variant_targets
   in
-  Printf.sprintf "%s\n\n%s" label (Table.render header (rows @ [ avgs ]))
+  A.make ~caption:label [ A.table ~header (rows @ [ avgs ]) ]
 
 let fig11 () =
   summary_table ~measure:density_ratio
@@ -263,36 +295,29 @@ let fig12 () =
 
 let tab5 () =
   let avg m t = Stats.mean (List.map (fun b -> m b t) suite_names) in
-  Printf.sprintf
-    "Summary of density and path length effects (Table 5)\n\n%s\n%s"
-    (Table.render
-       [ "Code size (D16=1.00)"; "Two-Address"; "Three-Address" ]
-       [
-         [
-           "16 registers";
-           Table.fmt2 (avg density_ratio Target.dlxe_16_2);
-           Table.fmt2 (avg density_ratio Target.dlxe_16_3);
-         ];
-         [
-           "32 registers";
-           Table.fmt2 (avg density_ratio Target.dlxe_32_2);
-           Table.fmt2 (avg density_ratio dlxe);
-         ];
-       ])
-    (Table.render
-       [ "Path length (D16=1.00)"; "Two-Address"; "Three-Address" ]
-       [
-         [
-           "16 registers";
-           Table.fmt2 (avg pathlen_ratio Target.dlxe_16_2);
-           Table.fmt2 (avg pathlen_ratio Target.dlxe_16_3);
-         ];
-         [
-           "32 registers";
-           Table.fmt2 (avg pathlen_ratio Target.dlxe_32_2);
-           Table.fmt2 (avg pathlen_ratio dlxe);
-         ];
-       ])
+  let quadrant m =
+    [
+      [
+        A.text "16 registers";
+        A.f2 (avg m Target.dlxe_16_2);
+        A.f2 (avg m Target.dlxe_16_3);
+      ];
+      [
+        A.text "32 registers";
+        A.f2 (avg m Target.dlxe_32_2);
+        A.f2 (avg m dlxe);
+      ];
+    ]
+  in
+  A.make ~caption:"Summary of density and path length effects (Table 5)"
+    [
+      A.table
+        ~header:[ "Code size (D16=1.00)"; "Two-Address"; "Three-Address" ]
+        (quadrant density_ratio);
+      A.table
+        ~header:[ "Path length (D16=1.00)"; "Two-Address"; "Three-Address" ]
+        (quadrant pathlen_ratio);
+    ]
 
 let fig13 () =
   let rows =
@@ -302,11 +327,13 @@ let fig13 () =
           Stats.ratio (Runs.stats b dlxe).Runs.ireq32
             (Runs.stats b d16).Runs.ireq32
         in
-        [ b; Table.fmt2 traffic; Table.fmt2 (density_ratio b dlxe) ])
+        [ A.text b; A.f2 traffic; A.f2 (density_ratio b dlxe) ])
       suite_names
   in
-  "Instruction traffic vs code size, DLXe/D16 (uniformity check; Figure 13)\n\n"
-  ^ Table.render [ "program"; "traffic ratio"; "static size ratio" ] rows
+  A.make
+    ~caption:
+      "Instruction traffic vs code size, DLXe/D16 (uniformity check; Figure 13)"
+    [ A.table ~header:[ "program"; "traffic ratio"; "static size ratio" ] rows ]
 
 (* ---- Section 4: memory performance ---- *)
 
@@ -339,16 +366,18 @@ let fig14 () =
                ~reference_ic:(Runs.stats b dlxe).Runs.ic)
            suite_names)
     in
-    Table.series_chart ~x_label:"wait states"
-      ~xs:(List.map string_of_int wait_states)
-      [
-        (Printf.sprintf "DLXe k=%d" (bus / 4), List.map dlxe_cpi wait_states);
-        (Printf.sprintf "D16 k=%d" (bus / 2), List.map d16_cpi wait_states);
-        ("D16 normalized", List.map d16_norm wait_states);
-      ]
+    [
+      (Printf.sprintf "DLXe k=%d" (bus / 4), List.map dlxe_cpi wait_states);
+      (Printf.sprintf "D16 k=%d" (bus / 2), List.map d16_cpi wait_states);
+      ("D16 normalized", List.map d16_norm wait_states);
+    ]
   in
-  "Normalized CPI, no cache (Figure 14)\n\n32-bit fetch:\n" ^ series 4
-  ^ "\n64-bit fetch:\n" ^ series 8
+  let xs = List.map string_of_int wait_states in
+  A.make ~caption:"Normalized CPI, no cache (Figure 14)"
+    [
+      A.series ~label:"32-bit fetch" ~x_label:"wait states" ~xs (series 4);
+      A.series ~label:"64-bit fetch" ~x_label:"wait states" ~xs (series 8);
+    ]
 
 let fig15 () =
   let series bus =
@@ -361,125 +390,125 @@ let fig15 () =
              fl ireq /. fl (nocache_cycles b t ~bus_bytes:bus ~wait_states:l))
            suite_names)
     in
-    Table.series_chart ~x_label:"wait states"
-      ~xs:(List.map string_of_int wait_states)
-      [
-        ("DLXe", List.map (f dlxe) wait_states);
-        ("D16", List.map (f d16) wait_states);
-      ]
+    [
+      ("DLXe", List.map (f dlxe) wait_states);
+      ("D16", List.map (f d16) wait_states);
+    ]
   in
-  "Instruction fetch saturation, requests/cycle, no cache (Figure 15)\n\n32-bit fetch:\n"
-  ^ series 4 ^ "\n64-bit fetch:\n" ^ series 8
+  let xs = List.map string_of_int wait_states in
+  A.make
+    ~caption:
+      "Instruction fetch saturation, requests/cycle, no cache (Figure 15)"
+    [
+      A.series ~label:"32-bit fetch" ~x_label:"wait states" ~xs (series 4);
+      A.series ~label:"64-bit fetch" ~x_label:"wait states" ~xs (series 8);
+    ]
 
 let fig16 () =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    "Instruction cache miss rates vs cache size (32B blocks, 4B sub-blocks; Figure 16)\n";
-  List.iter
-    (fun b ->
-      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
-      let rows =
-        List.map
-          (fun size ->
-            let rate t =
-              let c = Runs.cached b t ~size ~block:32 ~sub:4 in
-              Memsys.miss_rate c.Memsys.icache
-            in
-            [
-              Printf.sprintf "%dK" (size / 1024);
-              Table.fmt3 (rate d16);
-              Table.fmt3 (rate dlxe);
-            ])
-          Runs.standard_cache_sizes
-      in
-      Buffer.add_string buf (Table.render [ "size"; "D16"; "DLXe" ] rows))
-    cache_names;
-  Buffer.contents buf
+  A.make
+    ~caption:
+      "Instruction cache miss rates vs cache size (32B blocks, 4B sub-blocks; Figure 16)"
+    (List.map
+       (fun b ->
+         let rows =
+           List.map
+             (fun size ->
+               let rate t =
+                 let c = Runs.cached b t ~size ~block:32 ~sub:4 in
+                 Memsys.miss_rate c.Memsys.icache
+               in
+               [
+                 A.text (Printf.sprintf "%dK" (size / 1024));
+                 A.f3 (rate d16);
+                 A.f3 (rate dlxe);
+               ])
+             Runs.standard_cache_sizes
+         in
+         A.table ~label:b ~header:[ "size"; "D16"; "DLXe" ] rows)
+       cache_names)
 
 let cpi_vs_penalty ~size () =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    (Printf.sprintf
-       "CPI vs miss penalty, %dK instruction and data caches (Figure %s)\n"
-       (size / 1024)
-       (if size = 4096 then "17" else "18"));
-  List.iter
-    (fun b ->
-      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
-      let cpi t p =
-        Memsys.cpi
-          ~cycles:(cached_cycles b t ~size ~penalty:p)
-          ~ic:(Runs.stats b t).Runs.ic
-      in
-      let norm p =
-        Memsys.normalized_cpi
-          ~cycles:(cached_cycles b d16 ~size ~penalty:p)
-          ~reference_ic:(Runs.stats b dlxe).Runs.ic
-      in
-      Buffer.add_string buf
-        (Table.series_chart ~x_label:"penalty"
-           ~xs:(List.map string_of_int miss_penalties)
+  let xs = List.map string_of_int miss_penalties in
+  A.make
+    ~caption:
+      (Printf.sprintf
+         "CPI vs miss penalty, %dK instruction and data caches (Figure %s)"
+         (size / 1024)
+         (if size = 4096 then "17" else "18"))
+    (List.map
+       (fun b ->
+         let cpi t p =
+           Memsys.cpi
+             ~cycles:(cached_cycles b t ~size ~penalty:p)
+             ~ic:(Runs.stats b t).Runs.ic
+         in
+         let norm p =
+           Memsys.normalized_cpi
+             ~cycles:(cached_cycles b d16 ~size ~penalty:p)
+             ~reference_ic:(Runs.stats b dlxe).Runs.ic
+         in
+         A.series ~label:b ~x_label:"penalty" ~xs
            [
              ("DLXe", List.map (cpi dlxe) miss_penalties);
              ("D16", List.map (cpi d16) miss_penalties);
              ("D16 normalized", List.map norm miss_penalties);
-           ]))
-    cache_names;
-  Buffer.contents buf
+           ])
+       cache_names)
 
 let fig17 () = cpi_vs_penalty ~size:4096 ()
 let fig18 () = cpi_vs_penalty ~size:16384 ()
 
 let fig19 () =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf
-    "Instruction traffic (words/cycle) with instruction cache, miss penalty 4 (Figure 19)\n";
-  List.iter
-    (fun b ->
-      Buffer.add_string buf (Printf.sprintf "\n%s:\n" b);
-      let rows =
-        List.map
-          (fun size ->
-            let wpc t =
-              let c = Runs.cached b t ~size ~block:32 ~sub:4 in
-              let cyc = cached_cycles b t ~size ~penalty:4 in
-              fl c.Memsys.icache.Memsys.words_transferred /. fl cyc
-            in
-            [
-              Printf.sprintf "%dK" (size / 1024);
-              Table.fmt3 (wpc d16);
-              Table.fmt3 (wpc dlxe);
-            ])
-          Runs.standard_cache_sizes
-      in
-      Buffer.add_string buf (Table.render [ "size"; "D16"; "DLXe" ] rows))
-    cache_names;
-  Buffer.contents buf
+  A.make
+    ~caption:
+      "Instruction traffic (words/cycle) with instruction cache, miss penalty 4 (Figure 19)"
+    (List.map
+       (fun b ->
+         let rows =
+           List.map
+             (fun size ->
+               let wpc t =
+                 let c = Runs.cached b t ~size ~block:32 ~sub:4 in
+                 let cyc = cached_cycles b t ~size ~penalty:4 in
+                 fl c.Memsys.icache.Memsys.words_transferred /. fl cyc
+               in
+               [
+                 A.text (Printf.sprintf "%dK" (size / 1024));
+                 A.f3 (wpc d16);
+                 A.f3 (wpc dlxe);
+               ])
+             Runs.standard_cache_sizes
+         in
+         A.table ~label:b ~header:[ "size"; "D16"; "DLXe" ] rows)
+       cache_names)
 
 (* ---- Appendix tables ---- *)
 
 let tab6 () =
   let header =
-    "program" :: "D16"
-    :: List.map (fun t -> t.Target.name) variant_targets
+    "program" :: "D16" :: List.map (fun t -> t.Target.name) variant_targets
   in
   let rows =
     List.map
       (fun b ->
-        string_of_int (Runs.stats b d16).Runs.size_bytes
+        A.text b
+        :: A.int (Runs.stats b d16).Runs.size_bytes
         :: List.map
-             (fun t -> string_of_int (Runs.stats b t).Runs.size_bytes)
-             variant_targets
-        |> fun cells -> b :: cells)
+             (fun t -> A.int (Runs.stats b t).Runs.size_bytes)
+             variant_targets)
       suite_names
   in
-  "Code size in bytes (Table 6)\n\n" ^ Table.render header rows
-  ^ Printf.sprintf "\nRelative density averages: %s\n"
-      (String.concat ", "
-         (List.map
-            (fun t ->
-              Printf.sprintf "%s %.2f" t.Target.name (average_density t))
-            variant_targets))
+  A.make ~caption:"Code size in bytes (Table 6)"
+    ~notes:
+      [
+        Printf.sprintf "Relative density averages: %s"
+          (String.concat ", "
+             (List.map
+                (fun t ->
+                  Printf.sprintf "%s %.2f" t.Target.name (average_density t))
+                variant_targets));
+      ]
+    [ A.table ~header rows ]
 
 let tab7 () =
   let header =
@@ -488,20 +517,22 @@ let tab7 () =
   let rows =
     List.map
       (fun b ->
-        b
-        :: string_of_int (Runs.stats b d16).Runs.ic
-        :: List.map
-             (fun t -> string_of_int (Runs.stats b t).Runs.ic)
-             variant_targets)
+        A.text b
+        :: A.int (Runs.stats b d16).Runs.ic
+        :: List.map (fun t -> A.int (Runs.stats b t).Runs.ic) variant_targets)
       suite_names
   in
-  "Path lengths (Table 7)\n\n" ^ Table.render header rows
-  ^ Printf.sprintf "\nPath length averages (DLXe/D16): %s\n"
-      (String.concat ", "
-         (List.map
-            (fun t ->
-              Printf.sprintf "%s %.2f" t.Target.name (average_pathlen t))
-            variant_targets))
+  A.make ~caption:"Path lengths (Table 7)"
+    ~notes:
+      [
+        Printf.sprintf "Path length averages (DLXe/D16): %s"
+          (String.concat ", "
+             (List.map
+                (fun t ->
+                  Printf.sprintf "%s %.2f" t.Target.name (average_pathlen t))
+                variant_targets));
+      ]
+    [ A.table ~header rows ]
 
 let tab8 () =
   let rows =
@@ -511,19 +542,23 @@ let tab8 () =
         let s32 = Runs.stats b dlxe in
         let pct = 100. *. (1. -. (fl s16.Runs.ireq32 /. fl s32.Runs.ireq32)) in
         [
-          b;
-          string_of_int s16.Runs.ic;
-          string_of_int s32.Runs.ic;
-          string_of_int s16.Runs.ireq32;
-          string_of_int s32.Runs.ireq32;
-          Table.fmt2 pct;
+          A.text b;
+          A.int s16.Runs.ic;
+          A.int s32.Runs.ic;
+          A.int s16.Runs.ireq32;
+          A.int s32.Runs.ireq32;
+          A.f2 pct;
         ])
       suite_names
   in
-  "Path length and instruction traffic in 32-bit words (Table 8)\n\n"
-  ^ Table.render
-      [ "program"; "D16 path"; "DLXe path"; "D16 words"; "DLXe words"; "%" ]
-      rows
+  A.make
+    ~caption:"Path length and instruction traffic in 32-bit words (Table 8)"
+    [
+      A.table
+        ~header:
+          [ "program"; "D16 path"; "DLXe path"; "D16 words"; "DLXe words"; "%" ]
+        rows;
+    ]
 
 let tab9 () =
   let rows =
@@ -535,15 +570,16 @@ let tab9 () =
         in
         let d = m d16 and x = m dlxe in
         [
-          b;
-          string_of_int d;
-          string_of_int x;
-          Table.fmt2 (Stats.percent_increase ~base:x d);
+          A.text b;
+          A.int d;
+          A.int x;
+          A.f2 (Stats.percent_increase ~base:x d);
         ])
       suite_names
   in
-  "Total loads and stores (Table 9; %% is D16 increase over DLXe)\n\n"
-  ^ Table.render [ "program"; "D16"; "DLXe"; "%" ] rows
+  A.make
+    ~caption:"Total loads and stores (Table 9; %% is D16 increase over DLXe)"
+    [ A.table ~header:[ "program"; "D16"; "DLXe"; "%" ] rows ]
 
 let tab10 () =
   let rows =
@@ -552,49 +588,54 @@ let tab10 () =
         let s16 = Runs.stats b d16 in
         let s32 = Runs.stats b dlxe in
         [
-          b;
-          string_of_int s16.Runs.ic;
-          string_of_int s16.Runs.interlocks;
-          Table.fmt3 (fl s16.Runs.interlocks /. fl s16.Runs.ic);
-          string_of_int s32.Runs.ic;
-          string_of_int s32.Runs.interlocks;
-          Table.fmt3 (fl s32.Runs.interlocks /. fl s32.Runs.ic);
+          A.text b;
+          A.int s16.Runs.ic;
+          A.int s16.Runs.interlocks;
+          A.f3 (fl s16.Runs.interlocks /. fl s16.Runs.ic);
+          A.int s32.Runs.ic;
+          A.int s32.Runs.interlocks;
+          A.f3 (fl s32.Runs.interlocks /. fl s32.Runs.ic);
         ])
       suite_names
   in
-  "Delayed load and math unit interlocks (Table 10)\n\n"
-  ^ Table.render
-      [
-        "program"; "D16 insns"; "D16 locks"; "rate"; "DLXe insns";
-        "DLXe locks"; "rate";
-      ]
-      rows
+  A.make ~caption:"Delayed load and math unit interlocks (Table 10)"
+    [
+      A.table
+        ~header:
+          [
+            "program"; "D16 insns"; "D16 locks"; "rate"; "DLXe insns";
+            "DLXe locks"; "rate";
+          ]
+        rows;
+    ]
 
 let cycles_table ~bus_bytes ~label () =
   let rows =
     List.map
       (fun b ->
-        b
+        A.text b
         :: List.map
-             (fun l -> Table.fmt2 (cycle_ratio b ~bus_bytes ~wait_states:l))
+             (fun l -> A.f2 (cycle_ratio b ~bus_bytes ~wait_states:l))
              wait_states)
       suite_names
   in
   let avgs =
-    "Mean"
+    A.text "Mean"
     :: List.map
          (fun l ->
-           Table.fmt2
+           A.f2
              (Stats.mean
                 (List.map
                    (fun b -> cycle_ratio b ~bus_bytes ~wait_states:l)
                    suite_names)))
          wait_states
   in
-  Printf.sprintf "%s\n\n%s" label
-    (Table.render
-       [ "program"; "l=0"; "l=1"; "l=2"; "l=3" ]
-       (rows @ [ avgs ]))
+  A.make ~caption:label
+    [
+      A.table
+        ~header:[ "program"; "l=0"; "l=1"; "l=2"; "l=3" ]
+        (rows @ [ avgs ]);
+    ]
 
 let tab11 () =
   cycles_table ~bus_bytes:4
@@ -612,54 +653,63 @@ let tab13 () =
           (fun t ->
             let s = Runs.stats b t in
             [
-              b;
-              t.Target.name;
-              string_of_int s.Runs.ic;
-              Table.fmt3 (fl s.Runs.interlocks /. fl s.Runs.ic);
-              string_of_int s.Runs.ireq32;
-              string_of_int s.Runs.loads;
-              string_of_int s.Runs.stores;
+              A.text b;
+              A.text t.Target.name;
+              A.int s.Runs.ic;
+              A.f3 (fl s.Runs.interlocks /. fl s.Runs.ic);
+              A.int s.Runs.ireq32;
+              A.int s.Runs.loads;
+              A.int s.Runs.stores;
             ])
           [ d16; dlxe ])
       cache_names
   in
-  "Traffic and interlocks for the cache benchmarks (Table 13)\n\n"
-  ^ Table.render
-      [ "program"; "ISA"; "insns"; "lock rate"; "ifetches"; "reads"; "writes" ]
-      rows
+  A.make ~caption:"Traffic and interlocks for the cache benchmarks (Table 13)"
+    [
+      A.table
+        ~header:
+          [
+            "program"; "ISA"; "insns"; "lock rate"; "ifetches"; "reads";
+            "writes";
+          ]
+        rows;
+    ]
 
 let miss_grid bench =
-  let rows =
-    List.concat_map
-      (fun size ->
-        List.map
-          (fun block ->
-            let sub = min 8 block in
-            let c16 = Runs.cached bench d16 ~size ~block ~sub in
-            let c32 = Runs.cached bench dlxe ~size ~block ~sub in
-            [
-              Printf.sprintf "%dk" (size / 1024);
-              string_of_int block;
-              Table.fmt3 (Memsys.miss_rate c16.Memsys.icache);
-              Table.fmt3 (Memsys.miss_rate c32.Memsys.icache);
-              Table.fmt3 (Memsys.miss_rate c16.Memsys.dcache_read);
-              Table.fmt3 (Memsys.miss_rate c32.Memsys.dcache_read);
-              Table.fmt3 (Memsys.miss_rate c16.Memsys.dcache_write);
-              Table.fmt3 (Memsys.miss_rate c32.Memsys.dcache_write);
-            ])
-          Runs.standard_blocks)
-      Runs.standard_cache_sizes
-  in
-  Table.render
-    [
-      "size"; "block"; "I D16"; "I DLXe"; "R D16"; "R DLXe"; "W D16"; "W DLXe";
-    ]
-    rows
+  List.concat_map
+    (fun size ->
+      List.map
+        (fun block ->
+          let sub = min 8 block in
+          let c16 = Runs.cached bench d16 ~size ~block ~sub in
+          let c32 = Runs.cached bench dlxe ~size ~block ~sub in
+          [
+            A.text (Printf.sprintf "%dk" (size / 1024));
+            A.int block;
+            A.f3 (Memsys.miss_rate c16.Memsys.icache);
+            A.f3 (Memsys.miss_rate c32.Memsys.icache);
+            A.f3 (Memsys.miss_rate c16.Memsys.dcache_read);
+            A.f3 (Memsys.miss_rate c32.Memsys.dcache_read);
+            A.f3 (Memsys.miss_rate c16.Memsys.dcache_write);
+            A.f3 (Memsys.miss_rate c32.Memsys.dcache_write);
+          ])
+        Runs.standard_blocks)
+    Runs.standard_cache_sizes
 
-let tab14 () = "Cache miss rates for assem (Table 14)\n\n" ^ miss_grid "assem"
-let tab15 () = "Cache miss rates for ipl (Table 15)\n\n" ^ miss_grid "ipl"
-let tab16 () = "Cache miss rates for latex (Table 16)\n\n" ^ miss_grid "latex"
+let miss_grid_header =
+  [ "size"; "block"; "I D16"; "I DLXe"; "R D16"; "R DLXe"; "W D16"; "W DLXe" ]
 
+let tab14 () =
+  A.make ~caption:"Cache miss rates for assem (Table 14)"
+    [ A.table ~header:miss_grid_header (miss_grid "assem") ]
+
+let tab15 () =
+  A.make ~caption:"Cache miss rates for ipl (Table 15)"
+    [ A.table ~header:miss_grid_header (miss_grid "ipl") ]
+
+let tab16 () =
+  A.make ~caption:"Cache miss rates for latex (Table 16)"
+    [ A.table ~header:miss_grid_header (miss_grid "latex") ]
 
 (* ---- Extensions beyond the paper's published artifacts ---- *)
 
@@ -673,13 +723,12 @@ let xfig1 () =
         let s16 = Runs.stats b d16 in
         let sx = Runs.stats b Target.d16x in
         [
-          b;
-          string_of_int s16.Runs.ic;
-          string_of_int sx.Runs.ic;
-          Printf.sprintf "%+.2f%%"
-            (100. *. (1. -. (fl sx.Runs.ic /. fl s16.Runs.ic)));
-          string_of_int s16.Runs.size_bytes;
-          string_of_int sx.Runs.size_bytes;
+          A.text b;
+          A.int s16.Runs.ic;
+          A.int sx.Runs.ic;
+          A.spct2 (100. *. (1. -. (fl sx.Runs.ic /. fl s16.Runs.ic)));
+          A.int s16.Runs.size_bytes;
+          A.int sx.Runs.size_bytes;
         ])
       suite_names
   in
@@ -693,15 +742,25 @@ let xfig1 () =
                  /. fl (Runs.stats b d16).Runs.ic))
          suite_names)
   in
-  Printf.sprintf
-    "EXTENSION: D16x = D16 + 8-bit compare-equal immediate (paper Section 3.3.3)\n\n%s\nAverage speedup: %+.2f%%  (paper's prediction: up to 2%%)\n"
-    (Table.render
-       [ "program"; "D16 path"; "D16x path"; "speedup"; "D16 B"; "D16x B" ]
-       rows)
-    avg
+  A.make
+    ~caption:
+      "EXTENSION: D16x = D16 + 8-bit compare-equal immediate (paper Section 3.3.3)"
+    ~notes:
+      [
+        Printf.sprintf
+          "Average speedup: %+.2f%%  (paper's prediction: up to 2%%)" avg;
+      ]
+    [
+      A.table
+        ~header:
+          [ "program"; "D16 path"; "D16x path"; "speedup"; "D16 B"; "D16x B" ]
+        rows;
+    ]
 
 (* Ablation study over the compiler's design choices (DESIGN.md): what each
-   optimization is worth, per encoding, on representative programs. *)
+   optimization is worth, per encoding, on representative programs.  The
+   ablated compiles bypass {!Runs}, so the measured ratios are disk-cached
+   here with the same key discipline. *)
 let ablation_programs = [ "queens"; "grep"; "towers"; "whetstone" ]
 
 let ablations : (string * Compile.ablation) list =
@@ -718,22 +777,16 @@ let ablations : (string * Compile.ablation) list =
 
 let xtab1_memo = ref None
 
-let xtab1 () =
-  match !xtab1_memo with
-  | Some s -> s
-  | None ->
-  let buf = Buffer.create 512 in
-  Buffer.add_string buf
-    "EXTENSION: compiler ablation (path-length ratio vs the full compiler)\n";
-  List.iter
-    (fun t ->
-      Buffer.add_string buf (Printf.sprintf "\n%s:\n" t.Target.name);
+(* Path-length ratios per target: (target name, (ablation name, ratio per
+   program) list) list. *)
+let compute_xtab1 () : (string * (string * float list) list) list =
+  List.map
+    (fun (t : Target.t) ->
       let baseline =
         List.map
           (fun b ->
             let _, r =
-              Compile.compile_and_run ~trace:false t
-                (Suite.find b).Suite.source
+              Compile.compile_and_run ~trace:false t (Suite.find b).Suite.source
             in
             (b, r.Machine.ic))
           ablation_programs
@@ -741,66 +794,95 @@ let xtab1 () =
       let rows =
         List.map
           (fun (name, ab) ->
-            name
-            :: List.map
-                 (fun (b, base_ic) ->
-                   let _, r =
-                     Compile.compile_and_run ~ablation:ab ~trace:false t
-                       (Suite.find b).Suite.source
-                   in
-                   Table.fmt2 (fl r.Machine.ic /. fl base_ic))
-                 baseline)
+            ( name,
+              List.map
+                (fun (b, base_ic) ->
+                  let _, r =
+                    Compile.compile_and_run ~ablation:ab ~trace:false t
+                      (Suite.find b).Suite.source
+                  in
+                  fl r.Machine.ic /. fl base_ic)
+                baseline ))
           ablations
       in
-      Buffer.add_string buf
-        (Table.render ("ablation" :: ablation_programs) rows))
-    [ d16; dlxe ];
-  let s = Buffer.contents buf in
-  xtab1_memo := Some s;
-  s
+      (t.Target.name, rows))
+    [ d16; dlxe ]
+
+let xtab1 () =
+  let data =
+    match !xtab1_memo with
+    | Some d -> d
+    | None ->
+      let key =
+        Diskcache.key
+          (("xtab1-ablation" :: Runs.knobs_descr
+            :: List.map Target.describe [ d16; dlxe ])
+          @ List.map Runs.bench_fingerprint ablation_programs
+          @ List.map
+              (fun (name, ab) -> name ^ "=" ^ Compile.describe_ablation ab)
+              ablations)
+      in
+      let d = Diskcache.memo key compute_xtab1 in
+      xtab1_memo := Some d;
+      d
+  in
+  A.make
+    ~caption:
+      "EXTENSION: compiler ablation (path-length ratio vs the full compiler)"
+    (List.map
+       (fun (target_name, rows) ->
+         A.table ~label:target_name
+           ~header:("ablation" :: ablation_programs)
+           (List.map
+              (fun (name, ratios) -> A.text name :: List.map A.f2 ratios)
+              rows))
+       data)
 
 let all =
   [
-    { id = "fig4"; title = "D16 relative density"; render = fig4 };
-    { id = "fig5"; title = "DLXe path length reduction"; render = fig5 };
-    { id = "fig6"; title = "Density effects of 16 vs 32 registers"; render = fig6 };
-    { id = "fig7"; title = "Path length effects, 16 vs 32 registers"; render = fig7 };
-    { id = "tab3"; title = "Data traffic increase, smaller register file"; render = tab3 };
-    { id = "fig8"; title = "Code density effects, two-address"; render = fig8 };
-    { id = "fig9"; title = "Path length effects, two-address"; render = fig9 };
-    { id = "fig10"; title = "Effect of large immediates on path lengths"; render = fig10 };
-    { id = "tab4"; title = "Immediate-field instruction frequencies"; render = tab4 };
-    { id = "fig11"; title = "Code density summary"; render = fig11 };
-    { id = "fig12"; title = "Path length summary"; render = fig12 };
-    { id = "tab5"; title = "Summary of density and path length effects"; render = tab5 };
-    { id = "fig13"; title = "Instruction traffic vs density"; render = fig13 };
-    { id = "fig14"; title = "Normalized CPI, no cache"; render = fig14 };
-    { id = "fig15"; title = "Instruction fetch saturation"; render = fig15 };
-    { id = "fig16"; title = "Instruction cache miss rates"; render = fig16 };
-    { id = "fig17"; title = "Performance with 4K caches"; render = fig17 };
-    { id = "fig18"; title = "Performance with 16K caches"; render = fig18 };
-    { id = "fig19"; title = "Instruction traffic with cache"; render = fig19 };
-    { id = "tab6"; title = "Code size summary"; render = tab6 };
-    { id = "tab7"; title = "Path length summary"; render = tab7 };
-    { id = "tab8"; title = "Path length and instruction traffic"; render = tab8 };
-    { id = "tab9"; title = "Total loads and stores"; render = tab9 };
-    { id = "tab10"; title = "Interlocks"; render = tab10 };
-    { id = "tab11"; title = "DLXe/D16 cycles, 32-bit bus"; render = tab11 };
-    { id = "tab12"; title = "DLXe/D16 cycles, 64-bit bus"; render = tab12 };
-    { id = "tab13"; title = "Traffic and interlocks, cache benchmarks"; render = tab13 };
-    { id = "tab14"; title = "Cache miss rates for assem"; render = tab14 };
-    { id = "tab15"; title = "Cache miss rates for ipl"; render = tab15 };
-    { id = "tab16"; title = "Cache miss rates for latex"; render = tab16 };
-    { id = "xfig1"; title = "EXT: D16x compare-equal-immediate extension"; render = xfig1 };
-    { id = "xtab1"; title = "EXT: compiler ablation study"; render = xtab1 };
+    { id = "fig4"; title = "D16 relative density"; artifact = fig4 };
+    { id = "fig5"; title = "DLXe path length reduction"; artifact = fig5 };
+    { id = "fig6"; title = "Density effects of 16 vs 32 registers"; artifact = fig6 };
+    { id = "fig7"; title = "Path length effects, 16 vs 32 registers"; artifact = fig7 };
+    { id = "tab3"; title = "Data traffic increase, smaller register file"; artifact = tab3 };
+    { id = "fig8"; title = "Code density effects, two-address"; artifact = fig8 };
+    { id = "fig9"; title = "Path length effects, two-address"; artifact = fig9 };
+    { id = "fig10"; title = "Effect of large immediates on path lengths"; artifact = fig10 };
+    { id = "tab4"; title = "Immediate-field instruction frequencies"; artifact = tab4 };
+    { id = "fig11"; title = "Code density summary"; artifact = fig11 };
+    { id = "fig12"; title = "Path length summary"; artifact = fig12 };
+    { id = "tab5"; title = "Summary of density and path length effects"; artifact = tab5 };
+    { id = "fig13"; title = "Instruction traffic vs density"; artifact = fig13 };
+    { id = "fig14"; title = "Normalized CPI, no cache"; artifact = fig14 };
+    { id = "fig15"; title = "Instruction fetch saturation"; artifact = fig15 };
+    { id = "fig16"; title = "Instruction cache miss rates"; artifact = fig16 };
+    { id = "fig17"; title = "Performance with 4K caches"; artifact = fig17 };
+    { id = "fig18"; title = "Performance with 16K caches"; artifact = fig18 };
+    { id = "fig19"; title = "Instruction traffic with cache"; artifact = fig19 };
+    { id = "tab6"; title = "Code size summary"; artifact = tab6 };
+    { id = "tab7"; title = "Path length summary"; artifact = tab7 };
+    { id = "tab8"; title = "Path length and instruction traffic"; artifact = tab8 };
+    { id = "tab9"; title = "Total loads and stores"; artifact = tab9 };
+    { id = "tab10"; title = "Interlocks"; artifact = tab10 };
+    { id = "tab11"; title = "DLXe/D16 cycles, 32-bit bus"; artifact = tab11 };
+    { id = "tab12"; title = "DLXe/D16 cycles, 64-bit bus"; artifact = tab12 };
+    { id = "tab13"; title = "Traffic and interlocks, cache benchmarks"; artifact = tab13 };
+    { id = "tab14"; title = "Cache miss rates for assem"; artifact = tab14 };
+    { id = "tab15"; title = "Cache miss rates for ipl"; artifact = tab15 };
+    { id = "tab16"; title = "Cache miss rates for latex"; artifact = tab16 };
+    { id = "xfig1"; title = "EXT: D16x compare-equal-immediate extension"; artifact = xfig1 };
+    { id = "xtab1"; title = "EXT: compiler ablation study"; artifact = xtab1 };
   ]
 
 let by_id id = List.find (fun e -> e.id = id) all
 
-let render_all () =
+let render e = Artifact.to_text (e.artifact ())
+
+let render_all ?jobs () =
+  Pool.run_plan ?jobs (Plan.full ());
   String.concat "\n"
     (List.map
        (fun e ->
          Printf.sprintf "================ %s: %s ================\n%s" e.id
-           e.title (e.render ()))
+           e.title (render e))
        all)

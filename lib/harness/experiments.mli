@@ -1,14 +1,18 @@
 (** One driver per table and figure of the paper's evaluation.
 
     Each experiment regenerates the paper artifact from scratch runs
-    (memoized through {!Runs}) and renders it as text: tables as aligned
-    columns, bar figures as labelled ASCII bars, line figures as series
-    tables.  DESIGN.md maps every id to the paper artifact. *)
+    (memoized through {!Runs} and the persistent {!Diskcache}) as a typed
+    {!Artifact.t}: tables with typed cells, bar figures, and line-series
+    figures.  Tests and downstream tools consume the structured artifact
+    directly; {!render} / {!render_all} are the text compatibility layer
+    (tables as aligned columns, bar figures as labelled ASCII bars, line
+    figures as series tables).  DESIGN.md maps every id to the paper
+    artifact. *)
 
 type t = {
   id : string;  (** "fig4" ... "tab16". *)
   title : string;
-  render : unit -> string;
+  artifact : unit -> Artifact.t;  (** Computes (or replays) the artifact. *)
 }
 
 val all : t list
@@ -17,7 +21,15 @@ val all : t list
 val by_id : string -> t
 (** @raise Not_found for unknown ids. *)
 
-val render_all : unit -> string
+val render : t -> string
+(** [Artifact.to_text] of the computed artifact — byte-compatible with the
+    pre-artifact string renderers. *)
+
+val render_all : ?jobs:int -> unit -> string
+(** Every experiment, each under a [================ id: title] banner.
+    Populates the measurement caches first by executing {!Plan.full} on a
+    {!Pool} ([jobs] defaults to {!Pool.default_jobs}); rendering itself is
+    always serial, so the output is identical for every jobs count. *)
 
 (* Structured accessors used by tests and the summary tables. *)
 

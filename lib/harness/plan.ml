@@ -1,0 +1,75 @@
+module Target = Repro_core.Target
+module Suite = Repro_workloads.Suite
+
+type spec = { bench : string; target : Target.t; grid : bool }
+type t = spec list
+
+let stats_specs ~benches ~targets =
+  List.concat_map
+    (fun bench ->
+      List.map (fun target -> { bench; target; grid = false }) targets)
+    benches
+
+let grid_specs ~benches ~targets =
+  List.concat_map
+    (fun bench ->
+      List.map (fun target -> { bench; target; grid = true }) targets)
+    benches
+
+let spec_id s = (s.bench, s.target.Target.name, s.grid)
+
+let dedup plan =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun s ->
+      let id = spec_id s in
+      if Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    plan
+
+let union a b = dedup (a @ b)
+
+let describe s =
+  Printf.sprintf "%s on %s%s" s.bench s.target.Target.name
+    (if s.grid then " (cache grid)" else "")
+
+let execute s =
+  if s.grid then Runs.ensure_grid s.bench s.target
+  else ignore (Runs.stats s.bench s.target)
+
+let suite_names = List.map (fun b -> b.Suite.name) Suite.all
+
+let cache_names =
+  List.map (fun b -> b.Suite.name) Suite.cache_benchmarks
+
+(* Grid replays are the most expensive units (large traced runs replayed
+   over 25 geometries), so they go first: under a parallel pool the long
+   poles start immediately instead of trailing the schedule. *)
+let full () =
+  union
+    (grid_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
+    (union
+       (stats_specs ~benches:suite_names ~targets:Target.all)
+       (stats_specs ~benches:suite_names ~targets:[ Target.d16x ]))
+
+let for_experiment id =
+  let cache_pair = [ Target.d16; Target.dlxe ] in
+  match id with
+  | "fig16" | "fig17" | "fig18" | "fig19" ->
+    union
+      (grid_specs ~benches:cache_names ~targets:cache_pair)
+      (stats_specs ~benches:cache_names ~targets:cache_pair)
+  | "tab14" -> grid_specs ~benches:[ "assem" ] ~targets:cache_pair
+  | "tab15" -> grid_specs ~benches:[ "ipl" ] ~targets:cache_pair
+  | "tab16" -> grid_specs ~benches:[ "latex" ] ~targets:cache_pair
+  | "tab13" -> stats_specs ~benches:cache_names ~targets:cache_pair
+  | "xfig1" ->
+    stats_specs ~benches:suite_names ~targets:[ Target.d16; Target.d16x ]
+  | "tab4" | "xtab1" ->
+    (* These drivers run their own traced/ablated compiles and cache the
+       derived numbers directly in {!Diskcache}. *)
+    []
+  | _ -> stats_specs ~benches:suite_names ~targets:Target.all

@@ -1,0 +1,47 @@
+(** Typed run requests: the measurements an experiment needs.
+
+    A plan enumerates (benchmark, target, unit-of-work) triples as values,
+    decoupling {e what} must be measured from {e how} it is executed — the
+    {!Pool} scheduler runs a plan serially or across domains, and the
+    results land in the {!Runs} memo either way.  Because plans are
+    deduplicated and results are keyed, execution order never affects what
+    any experiment later reads: parallel output is byte-identical to
+    serial. *)
+
+type spec = {
+  bench : string;
+  target : Repro_core.Target.t;
+  grid : bool;
+      (** [false]: the {!Runs.stats} measurements.  [true]: the standard
+          cache grid ({!Runs.ensure_grid}). *)
+}
+
+type t = spec list
+
+val stats_specs :
+  benches:string list -> targets:Repro_core.Target.t list -> t
+
+val grid_specs :
+  benches:string list -> targets:Repro_core.Target.t list -> t
+
+val union : t -> t -> t
+(** Concatenation with first-occurrence dedup. *)
+
+val dedup : t -> t
+
+val full : unit -> t
+(** Everything {!Experiments.render_all} needs: suite stats on all six
+    targets plus the cache grids for the three cache benchmarks, most
+    expensive units first. *)
+
+val for_experiment : string -> t
+(** The plan for one experiment id (empty for the two drivers that manage
+    their own derived caches). *)
+
+val execute : spec -> unit
+(** Run one spec to completion through {!Runs} (memo + disk cache). *)
+
+val describe : spec -> string
+
+val suite_names : string list
+val cache_names : string list

@@ -3,6 +3,7 @@ module Link = Repro_link.Link
 module Machine = Repro_sim.Machine
 module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
+module Runtime_lib = Repro_workloads.Runtime_lib
 
 type stats = {
   bench : string;
@@ -26,61 +27,6 @@ type stats = {
 let standard_cache_sizes = [ 1024; 2048; 4096; 8192; 16384 ]
 let standard_blocks = [ 8; 16; 32; 64 ]
 
-let image_tbl : (string * string, Link.image) Hashtbl.t = Hashtbl.create 32
-let stats_tbl : (string * string, stats) Hashtbl.t = Hashtbl.create 32
-
-let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
-  Hashtbl.create 256
-
-let clear_memo () =
-  Hashtbl.reset image_tbl;
-  Hashtbl.reset stats_tbl;
-  Hashtbl.reset cache_tbl
-
-let image bench (target : Target.t) =
-  let key = (bench, target.Target.name) in
-  match Hashtbl.find_opt image_tbl key with
-  | Some img -> img
-  | None ->
-    let b = Suite.find bench in
-    let img = Compile.compile target b.Suite.source in
-    Hashtbl.replace image_tbl key img;
-    img
-
-let run_with_trace bench target = Machine.run ~trace:true (image bench target)
-
-let stats bench (target : Target.t) =
-  let key = (bench, target.Target.name) in
-  match Hashtbl.find_opt stats_tbl key with
-  | Some s -> s
-  | None ->
-    let img = image bench target in
-    let r = run_with_trace bench target in
-    let nc32 = Memsys.replay_nocache ~bus_bytes:4 r in
-    let nc64 = Memsys.replay_nocache ~bus_bytes:8 r in
-    let s =
-      {
-        bench;
-        target;
-        size_bytes = Link.size_bytes img;
-        text_bytes = img.Link.text_bytes;
-        ic = r.Machine.ic;
-        loads = r.Machine.loads;
-        stores = r.Machine.stores;
-        load_words = r.Machine.load_words;
-        store_words = r.Machine.store_words;
-        interlocks = r.Machine.interlocks;
-        ireq32 = nc32.Memsys.irequests;
-        ireq64 = nc64.Memsys.irequests;
-        dreq32 = nc32.Memsys.drequests;
-        dreq64 = nc64.Memsys.drequests;
-        output = r.Machine.output;
-        exit_code = r.Machine.exit_code;
-      }
-    in
-    Hashtbl.replace stats_tbl key s;
-    s
-
 (* The standard grid replayed when any cache number is first requested:
    the appendix geometries (block x size with 8-byte sub-blocks) plus the
    figure geometry (32-byte blocks, 4-byte sub-blocks). *)
@@ -91,39 +37,167 @@ let standard_grid =
       :: List.map (fun block -> (size, block, min 8 block)) standard_blocks))
     standard_cache_sizes
 
-let fill_grid bench (target : Target.t) =
+(* In-process memo tables, shared across domains behind one lock.  Lookups
+   and insertions are locked; the compile+simulate work itself runs outside
+   the lock, so domains overlap on distinct keys (the {!Pool} scheduler
+   deduplicates its plan, so no key is computed twice). *)
+
+let lock = Mutex.create ()
+let with_lock f = Mutex.protect lock f
+
+let image_tbl : (string * string, Link.image) Hashtbl.t = Hashtbl.create 32
+let stats_tbl : (string * string, stats) Hashtbl.t = Hashtbl.create 32
+
+let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
+  Hashtbl.create 256
+
+let clear_memo () =
+  with_lock (fun () ->
+      Hashtbl.reset image_tbl;
+      Hashtbl.reset stats_tbl;
+      Hashtbl.reset cache_tbl)
+
+(* Disk-cache keys.  Every key digests the benchmark source (runtime
+   library included, exactly what the compiler sees), the full target
+   description, and the harness compiler knobs, so editing any of them
+   invalidates the entry. *)
+
+let knobs_descr = "optimize=2;with_runtime=true;" ^ Compile.describe_ablation Compile.no_ablation
+
+let bench_fingerprint bench =
+  Digest.to_hex
+    (Digest.string (Runtime_lib.source ^ (Suite.find bench).Suite.source))
+
+let stats_key bench (target : Target.t) =
+  Diskcache.key
+    [ "stats"; bench; bench_fingerprint bench; Target.describe target; knobs_descr ]
+
+let grid_descr =
+  String.concat ","
+    (List.map (fun (s, b, u) -> Printf.sprintf "%d/%d/%d" s b u) standard_grid)
+
+let grid_key bench (target : Target.t) =
+  Diskcache.key
+    [
+      "cache-grid"; grid_descr; bench; bench_fingerprint bench;
+      Target.describe target; knobs_descr;
+    ]
+
+let geometry_key bench (target : Target.t) ~size ~block ~sub =
+  Diskcache.key
+    [
+      "cache-one"; Printf.sprintf "%d/%d/%d" size block sub; bench;
+      bench_fingerprint bench; Target.describe target; knobs_descr;
+    ]
+
+let image bench (target : Target.t) =
+  let key = (bench, target.Target.name) in
+  match with_lock (fun () -> Hashtbl.find_opt image_tbl key) with
+  | Some img -> img
+  | None ->
+    let b = Suite.find bench in
+    let img = Compile.compile target b.Suite.source in
+    with_lock (fun () -> Hashtbl.replace image_tbl key img);
+    img
+
+let run_with_trace bench target = Machine.run ~trace:true (image bench target)
+
+let compute_stats bench (target : Target.t) =
+  let img = image bench target in
   let r = run_with_trace bench target in
-  let insn_bytes = Target.insn_bytes target in
-  List.iter
-    (fun (size, block, sub) ->
-      let key = (bench, target.Target.name, size, block, sub) in
-      if not (Hashtbl.mem cache_tbl key) then begin
-        let cfg =
-          { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+  let nc32 = Memsys.replay_nocache ~bus_bytes:4 r in
+  let nc64 = Memsys.replay_nocache ~bus_bytes:8 r in
+  {
+    bench;
+    target;
+    size_bytes = Link.size_bytes img;
+    text_bytes = img.Link.text_bytes;
+    ic = r.Machine.ic;
+    loads = r.Machine.loads;
+    stores = r.Machine.stores;
+    load_words = r.Machine.load_words;
+    store_words = r.Machine.store_words;
+    interlocks = r.Machine.interlocks;
+    ireq32 = nc32.Memsys.irequests;
+    ireq64 = nc64.Memsys.irequests;
+    dreq32 = nc32.Memsys.drequests;
+    dreq64 = nc64.Memsys.drequests;
+    output = r.Machine.output;
+    exit_code = r.Machine.exit_code;
+  }
+
+let stats bench (target : Target.t) =
+  let key = (bench, target.Target.name) in
+  match with_lock (fun () -> Hashtbl.find_opt stats_tbl key) with
+  | Some s -> s
+  | None ->
+    let s =
+      match (Diskcache.find (stats_key bench target) : stats option) with
+      | Some s -> s
+      | None ->
+        let s = compute_stats bench target in
+        Diskcache.store (stats_key bench target) s;
+        s
+    in
+    with_lock (fun () -> Hashtbl.replace stats_tbl key s);
+    s
+
+let grid_complete bench (target : Target.t) =
+  with_lock (fun () ->
+      List.for_all
+        (fun (size, block, sub) ->
+          Hashtbl.mem cache_tbl (bench, target.Target.name, size, block, sub))
+        standard_grid)
+
+let install_grid bench (target : Target.t) entries =
+  with_lock (fun () ->
+      List.iter
+        (fun ((size, block, sub), c) ->
+          Hashtbl.replace cache_tbl
+            (bench, target.Target.name, size, block, sub)
+            c)
+        entries)
+
+let replay_one target r (size, block, sub) =
+  let cfg = Memsys.cache_config ~size ~block ~sub in
+  Memsys.replay_cached
+    ~insn_bytes:(Target.insn_bytes target)
+    ~icache:cfg ~dcache:cfg r
+
+let ensure_grid bench (target : Target.t) =
+  if not (grid_complete bench target) then begin
+    let entries
+        : ((int * int * int) * Memsys.cached) list =
+      match Diskcache.find (grid_key bench target) with
+      | Some entries -> entries
+      | None ->
+        let r = run_with_trace bench target in
+        let entries =
+          List.map (fun g -> (g, replay_one target r g)) standard_grid
         in
-        let c = Memsys.replay_cached ~insn_bytes ~icache:cfg ~dcache:cfg r in
-        Hashtbl.replace cache_tbl key c
-      end)
-    standard_grid
+        Diskcache.store (grid_key bench target) entries;
+        entries
+    in
+    install_grid bench target entries
+  end
 
 let cached bench (target : Target.t) ~size ~block ~sub =
   let key = (bench, target.Target.name, size, block, sub) in
-  match Hashtbl.find_opt cache_tbl key with
+  match with_lock (fun () -> Hashtbl.find_opt cache_tbl key) with
   | Some c -> c
   | None ->
-    fill_grid bench target;
-    (match Hashtbl.find_opt cache_tbl key with
+    ensure_grid bench target;
+    (match with_lock (fun () -> Hashtbl.find_opt cache_tbl key) with
     | Some c -> c
     | None ->
       (* Off-grid geometry: one dedicated replay. *)
-      let r = run_with_trace bench target in
-      let cfg =
-        { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
-      in
       let c =
-        Memsys.replay_cached
-          ~insn_bytes:(Target.insn_bytes target)
-          ~icache:cfg ~dcache:cfg r
+        Diskcache.memo
+          (geometry_key bench target ~size ~block ~sub)
+          (fun () ->
+            replay_one target
+              (run_with_trace bench target)
+              (size, block, sub))
       in
-      Hashtbl.replace cache_tbl key c;
+      with_lock (fun () -> Hashtbl.replace cache_tbl key c);
       c)

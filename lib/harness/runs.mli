@@ -3,7 +3,18 @@
     Compiling and simulating a benchmark is deterministic, so every
     experiment shares one set of raw numbers.  Traces are large; they are
     replayed once per (benchmark, target) to derive fetch-buffer request
-    counts and the standard grid of cache statistics, then discarded. *)
+    counts and the standard grid of cache statistics, then discarded.
+
+    Two memo layers back every accessor:
+
+    - an in-process table, safe to populate from multiple domains (the
+      {!Pool} scheduler runs disjoint requests in parallel; lookups and
+      insertions are mutex-guarded, the measurement work itself is not);
+    - the persistent {!Diskcache} under [_runs_cache/], keyed by a digest
+      of the benchmark source (runtime library included), the full target
+      description and the harness compiler knobs, so repeated process
+      invocations skip compile+simulate entirely and any change to the
+      inputs invalidates the entry. *)
 
 type stats = {
   bench : string;
@@ -25,7 +36,8 @@ type stats = {
 }
 
 val stats : string -> Repro_core.Target.t -> stats
-(** Compile, run, replay the two fetch-buffer widths; memoized. *)
+(** Compile, run, replay the two fetch-buffer widths; memoized in process
+    and on disk. *)
 
 val cached :
   string ->
@@ -39,11 +51,18 @@ val cached :
     a (benchmark, target) runs the trace once and replays the whole standard
     grid. *)
 
+val ensure_grid : string -> Repro_core.Target.t -> unit
+(** Populate the standard cache grid for one (benchmark, target), from disk
+    when possible.  The unit of work {!Pool} schedules for cache studies. *)
+
 val standard_cache_sizes : int list
 (** 1K, 2K, 4K, 8K, 16K. *)
 
 val standard_blocks : int list
 (** 8, 16, 32, 64 (with 8-byte sub-blocks, paper appendix A.3). *)
+
+val standard_grid : (int * int * int) list
+(** Every (size, block, sub) geometry the appendix tables and figures use. *)
 
 val run_with_trace : string -> Repro_core.Target.t -> Repro_sim.Machine.result
 (** A fresh traced run (not memoized — the trace is big). *)
@@ -51,3 +70,18 @@ val run_with_trace : string -> Repro_core.Target.t -> Repro_sim.Machine.result
 val image : string -> Repro_core.Target.t -> Repro_link.Link.image
 
 val clear_memo : unit -> unit
+(** Drop the in-process tables only; the disk cache persists. *)
+
+(** {2 Cache keys}
+
+    Exposed for tests and for drivers that disk-cache derived results
+    (profiles, trace classifications) with the same invalidation rules. *)
+
+val stats_key : string -> Repro_core.Target.t -> string
+val grid_key : string -> Repro_core.Target.t -> string
+
+val bench_fingerprint : string -> string
+(** Digest of runtime library + benchmark source. *)
+
+val knobs_descr : string
+(** Description of the compiler configuration the harness measures with. *)

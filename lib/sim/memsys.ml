@@ -4,6 +4,17 @@ type cache_config = {
   sub_block_bytes : int;
 }
 
+let cache_config ~size ~block ~sub =
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  let fail fmt = Printf.ksprintf invalid_arg ("Memsys.cache_config: " ^^ fmt) in
+  if not (pow2 size) then fail "size %d is not a positive power of two" size;
+  if not (pow2 block) then fail "block %d is not a positive power of two" block;
+  if not (pow2 sub) then
+    fail "sub-block %d is not a positive power of two" sub;
+  if sub > block then fail "sub-block %d exceeds block %d" sub block;
+  if block > size then fail "block %d exceeds cache size %d" block size;
+  { size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+
 type cache_stats = { accesses : int; misses : int; words_transferred : int }
 
 let miss_rate s =

@@ -16,6 +16,11 @@ type cache_config = {
   sub_block_bytes : int;
 }
 
+val cache_config : size:int -> block:int -> sub:int -> cache_config
+(** Smart constructor: all three must be powers of two with
+    [sub <= block <= size].
+    @raise Invalid_argument naming the violated invariant otherwise. *)
+
 type cache_stats = {
   accesses : int;
   misses : int;

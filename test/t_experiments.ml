@@ -139,8 +139,15 @@ let test_immediate_frequencies () =
 let test_all_experiments_render () =
   List.iter
     (fun (e : Experiments.t) ->
-      let s = e.render () in
-      Alcotest.(check bool) (e.id ^ " renders") true (String.length s > 40))
+      let a = e.artifact () in
+      let s = Experiments.render e in
+      Alcotest.(check bool) (e.id ^ " renders") true (String.length s > 40);
+      (* Every artifact carries at least one section, and table cells that
+         claim to be numeric expose their value. *)
+      Alcotest.(check bool)
+        (e.id ^ " has sections")
+        true
+        (Repro_harness.Artifact.items a <> []))
     Experiments.all
 
 let tests =

@@ -61,8 +61,33 @@ let test_data_requests () =
   Alcotest.(check int) "dreq 64-bit" 2
     (Memsys.replay_nocache ~bus_bytes:8 r).Memsys.drequests
 
-let icfg size block sub =
-  { Memsys.size_bytes = size; block_bytes = block; sub_block_bytes = sub }
+let icfg size block sub = Memsys.cache_config ~size ~block ~sub
+
+let test_cache_config_validation () =
+  let cfg = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
+  Alcotest.(check int) "size" 4096 cfg.Memsys.size_bytes;
+  Alcotest.(check int) "block" 32 cfg.Memsys.block_bytes;
+  Alcotest.(check int) "sub" 4 cfg.Memsys.sub_block_bytes;
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument m ->
+      Alcotest.(check bool)
+        (name ^ " error is descriptive")
+        true
+        (String.length m > String.length "Memsys.cache_config: ")
+    | _ -> Alcotest.fail (name ^ " accepted")
+  in
+  rejects "non-power-of-two size" (fun () ->
+      Memsys.cache_config ~size:3000 ~block:32 ~sub:4);
+  rejects "non-power-of-two block" (fun () ->
+      Memsys.cache_config ~size:4096 ~block:24 ~sub:4);
+  rejects "non-power-of-two sub" (fun () ->
+      Memsys.cache_config ~size:4096 ~block:32 ~sub:3);
+  rejects "zero sub" (fun () -> Memsys.cache_config ~size:4096 ~block:32 ~sub:0);
+  rejects "sub > block" (fun () ->
+      Memsys.cache_config ~size:4096 ~block:32 ~sub:64);
+  rejects "block > size" (fun () ->
+      Memsys.cache_config ~size:16 ~block:32 ~sub:4)
 
 let test_cache_basic () =
   (* Two instructions in the same sub-block: one miss. *)
@@ -186,6 +211,8 @@ let test_interlock_counting () =
 
 let tests =
   [
+    Alcotest.test_case "cache_config validation" `Quick
+      test_cache_config_validation;
     Alcotest.test_case "fetch buffer widths" `Quick test_fetch_buffer;
     Alcotest.test_case "fetch buffer on branches" `Quick test_fetch_buffer_branchy;
     Alcotest.test_case "data bus requests" `Quick test_data_requests;

@@ -1,0 +1,132 @@
+(* Measurement-plane plumbing: the persistent run cache round-trips and
+   invalidates on key changes, and the parallel pool produces output
+   byte-identical to a serial run.  These drive real compiles, so they are
+   tagged slow where they do. *)
+
+module Target = Repro_core.Target
+module Runs = Repro_harness.Runs
+module Diskcache = Repro_harness.Diskcache
+module Plan = Repro_harness.Plan
+module Pool = Repro_harness.Pool
+module Experiments = Repro_harness.Experiments
+
+(* Route the persistent cache to a throwaway directory so the tests never
+   see (or pollute) a developer's _runs_cache. *)
+let with_temp_cache f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-test-cache-%d" (Unix.getpid ()))
+  in
+  let old = Diskcache.dir () in
+  Diskcache.set_dir dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Diskcache.clear ();
+      (try Sys.rmdir dir with Sys_error _ -> ());
+      Diskcache.set_dir old)
+    f
+
+let test_disk_roundtrip () =
+  with_temp_cache (fun () ->
+      Runs.clear_memo ();
+      let cold = Runs.stats "queens" Target.d16 in
+      (* Second process = cleared memo: must be served from disk. *)
+      Runs.clear_memo ();
+      let hits_before = Diskcache.hit_count () in
+      let warm = Runs.stats "queens" Target.d16 in
+      Alcotest.(check bool) "disk hit" true (Diskcache.hit_count () > hits_before);
+      Alcotest.(check int) "ic" cold.Runs.ic warm.Runs.ic;
+      Alcotest.(check int) "size" cold.Runs.size_bytes warm.Runs.size_bytes;
+      Alcotest.(check int) "interlocks" cold.Runs.interlocks warm.Runs.interlocks;
+      Alcotest.(check string) "output" cold.Runs.output warm.Runs.output)
+
+let test_store_find () =
+  with_temp_cache (fun () ->
+      let key = Diskcache.key [ "t_runs"; "store-find" ] in
+      Alcotest.(check bool) "miss first" true
+        ((Diskcache.find key : (int * string) option) = None);
+      Diskcache.store key (42, "payload");
+      Alcotest.(check (option (pair int string)))
+        "round-trips"
+        (Some (42, "payload"))
+        (Diskcache.find key))
+
+let test_key_invalidation () =
+  (* Changing the target description must change the key: a cache entry
+     written for one machine can never answer for another. *)
+  let k16 = Runs.stats_key "queens" Target.d16 in
+  let k32 = Runs.stats_key "queens" Target.dlxe in
+  Alcotest.(check bool) "target changes key" true (k16 <> k32);
+  let kb = Runs.stats_key "towers" Target.d16 in
+  Alcotest.(check bool) "bench changes key" true (k16 <> kb);
+  let kg = Runs.grid_key "queens" Target.d16 in
+  Alcotest.(check bool) "kind changes key" true (k16 <> kg)
+
+let test_parallel_determinism () =
+  with_temp_cache (fun () ->
+      (* Serial pass computes everything and fills the temp disk cache;
+         the jobs=4 pass then re-executes the full plan through four
+         worker domains (concurrent memo installs, disk reads, and any
+         recomputes), and must render the same bytes. *)
+      Runs.clear_memo ();
+      let serial = Experiments.render_all ~jobs:1 () in
+      Runs.clear_memo ();
+      let parallel = Experiments.render_all ~jobs:4 () in
+      Alcotest.(check string) "byte-identical output" serial parallel)
+
+let test_plan_dedup () =
+  let spec = Plan.stats_specs ~benches:[ "queens" ] ~targets:[ Target.d16 ] in
+  let doubled = Plan.union spec spec in
+  Alcotest.(check int) "union dedups" (List.length spec) (List.length doubled);
+  Alcotest.(check bool) "full plan is nonempty" true (Plan.full () <> [])
+
+let test_pool_error_propagation () =
+  let pool = Pool.create ~jobs:2 in
+  Pool.submit pool (fun () -> failwith "boom");
+  Alcotest.check_raises "worker failure re-raised at wait" (Failure "boom")
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () -> Pool.wait pool))
+
+let test_target_of_name () =
+  (match Target.of_name "d16" with
+  | Ok t -> Alcotest.(check string) "d16" Target.d16.Target.name t.Target.name
+  | Error m -> Alcotest.fail m);
+  (match Target.of_name "dlxe-16-2" with
+  | Ok t -> Alcotest.(check string) "variant" "DLXe/16/2" t.Target.name
+  | Error m -> Alcotest.fail m);
+  (* Full display names resolve too (slug-insensitively). *)
+  (match Target.of_name "DLXe/16/2" with
+  | Ok t -> Alcotest.(check string) "display name" "DLXe/16/2" t.Target.name
+  | Error m -> Alcotest.fail m);
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  (match Target.of_name "z80" with
+  | Ok _ -> Alcotest.fail "z80 resolved"
+  | Error m ->
+    Alcotest.(check bool) "error names the input" true (contains m "z80"));
+  List.iter
+    (fun n ->
+      match Target.of_name n with
+      | Ok _ -> ()
+      | Error m -> Alcotest.fail m)
+    Target.all_names
+
+let tests =
+  [
+    Alcotest.test_case "disk cache round-trip" `Slow test_disk_roundtrip;
+    Alcotest.test_case "store/find round-trip" `Quick test_store_find;
+    Alcotest.test_case "key invalidation" `Quick test_key_invalidation;
+    Alcotest.test_case "parallel = serial output" `Slow
+      test_parallel_determinism;
+    Alcotest.test_case "plan dedup" `Quick test_plan_dedup;
+    Alcotest.test_case "pool error propagation" `Quick
+      test_pool_error_propagation;
+    Alcotest.test_case "Target.of_name" `Quick test_target_of_name;
+  ]

@@ -14,5 +14,6 @@ let () =
       ("regalloc", T_regalloc.tests);
       ("extension", T_extension.tests);
       ("integration", T_integration.tests);
+      ("runs", T_runs.tests);
       ("experiments", T_experiments.tests);
     ]
