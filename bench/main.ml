@@ -5,7 +5,10 @@
    Before timing anything the harness populates the run cache and prints
    every regenerated artifact, so the run doubles as the reproduction
    driver: `dune exec bench/main.exe` both reproduces the paper's tables
-   and figures and reports how long each analysis takes. *)
+   and figures and reports how long each analysis takes.
+
+   [--json PATH] additionally writes the per-test OLS estimates (ns/run)
+   as a flat JSON object, for tracking timings across revisions. *)
 
 open Bechamel
 open Toolkit
@@ -15,6 +18,8 @@ module Compile = Repro_harness.Compile
 module Machine = Repro_sim.Machine
 module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
+module Uarch = Repro_uarch.Uarch
+module Uconfig = Repro_uarch.Uconfig
 
 let experiment_tests =
   List.map
@@ -49,6 +54,24 @@ let substrate_tests =
        (Staged.stage (fun () -> ignore (Memsys.replay_nocache ~bus_bytes:4 r))));
   ]
 
+let uarch_tests =
+  let img = Compile.compile Target.d16 queens in
+  let r = Machine.run ~trace:true img in
+  let tr = Option.get r.Machine.trace in
+  let nocache = Uconfig.nocache ~bus_bytes:4 ~wait_states:1 in
+  let cached =
+    let cfg = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
+    Uconfig.cached ~icache:cfg ~dcache:cfg ~miss_penalty:8
+  in
+  [
+    Test.make ~name:"uarch-replay:nocache:queens"
+      (Staged.stage (fun () -> ignore (Uarch.replay nocache img tr)));
+    Test.make ~name:"uarch-replay:4K:queens"
+      (Staged.stage (fun () -> ignore (Uarch.replay cached img tr)));
+    Test.make ~name:"uarch-stream:queens"
+      (Staged.stage (fun () -> ignore (Uarch.run nocache img)));
+  ]
+
 let benchmark test =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -79,6 +102,30 @@ let jobs =
   in
   find (Array.to_list Sys.argv)
 
+let json_path =
+  let rec find = function
+    | "--json" :: p :: _ -> Some p
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
+(* Flat {"name": ns_per_run, ...} object; OLS estimates that did not
+   converge are null.  Test names are [A-Za-z0-9:-], so OCaml's string
+   escaping coincides with JSON's. *)
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  %S: %s%s\n" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+        (if i = n - 1 then "" else ","))
+    results;
+  output_string oc "}\n";
+  close_out oc
+
 let () =
   (* Phase 1: regenerate and print every artifact (also warms the memo and
      the persistent cache).  Wall-clock is reported so cold vs warm cache
@@ -89,9 +136,18 @@ let () =
   Printf.printf "\nphase 1 (artifacts, jobs=%d): %.2fs wall\n%!" jobs (t1 -. t0);
   (* Phase 2: time each regeneration and the substrates. *)
   Printf.printf "\n================ bench timings ================\n%!";
-  List.iter
-    (fun test ->
-      List.iter
-        (fun (name, ns) -> Printf.printf "%-28s %s\n%!" name (pp_time ns))
-        (List.sort compare (benchmark test)))
-    (experiment_tests @ substrate_tests)
+  let results =
+    List.concat_map
+      (fun test ->
+        let rs = List.sort compare (benchmark test) in
+        List.iter
+          (fun (name, ns) -> Printf.printf "%-28s %s\n%!" name (pp_time ns))
+          rs;
+        rs)
+      (experiment_tests @ substrate_tests @ uarch_tests)
+  in
+  match json_path with
+  | None -> ()
+  | Some path ->
+    write_json path results;
+    Printf.printf "\nwrote %d estimates to %s\n%!" (List.length results) path

@@ -21,7 +21,7 @@ let () =
       prerr_endline msg;
       exit 1
   in
-  (* The compile+trace is the expensive part; the whole profile (header
+  (* The compile+simulate is the expensive part; the whole profile (header
      stats and sorted hot rows) is persisted in the run cache. *)
   let key =
     Repro_harness.Diskcache.key
@@ -36,14 +36,12 @@ let () =
     Repro_harness.Diskcache.memo key (fun () ->
         let b = Repro_workloads.Suite.find bench in
         let img = Repro_harness.Compile.compile target b.source in
-        let r = Machine.run ~trace:true img in
-        let t = Option.get r.Machine.trace in
         let counts = Array.make (Array.length img.Link.insns) 0 in
-        Array.iter
-          (fun a ->
-            let i = Hashtbl.find img.Link.index_of_addr a in
-            counts.(i) <- counts.(i) + 1)
-          t.Machine.iaddr;
+        let on_insn ~iaddr ~dinfo:_ =
+          let i = Hashtbl.find img.Link.index_of_addr iaddr in
+          counts.(i) <- counts.(i) + 1
+        in
+        let r = Machine.run ~trace:false ~on_insn img in
         let funcs =
           Hashtbl.fold (fun s a acc -> (a, s) :: acc) img.Link.symbols []
           |> List.sort compare

@@ -192,15 +192,13 @@ let compute_immediate_frequencies () =
   List.iter
     (fun bench ->
       let img = Runs.image bench target in
-      let r = Runs.run_with_trace bench target in
-      let trace = Option.get r.Machine.trace in
       let counts = Array.make (Array.length img.Link.insns) 0 in
-      Array.iter
-        (fun addr ->
-          match Hashtbl.find_opt img.Link.index_of_addr addr with
-          | Some i -> counts.(i) <- counts.(i) + 1
-          | None -> ())
-        trace.Machine.iaddr;
+      let on_insn ~iaddr ~dinfo:_ =
+        match Hashtbl.find_opt img.Link.index_of_addr iaddr with
+        | Some i -> counts.(i) <- counts.(i) + 1
+        | None -> ()
+      in
+      ignore (Machine.run ~trace:false ~on_insn img);
       Array.iteri
         (fun i n ->
           if n > 0 then begin
@@ -711,6 +709,95 @@ let tab16 () =
   A.make ~caption:"Cache miss rates for latex (Table 16)"
     [ A.table ~header:miss_grid_header (miss_grid "latex") ]
 
+(* ---- Cycle-accurate pipeline-model studies (lib/uarch) ---- *)
+
+module Stalls = Repro_uarch.Stalls
+module Uconfig = Repro_uarch.Uconfig
+
+let uarch_nocache bench target ~bus_bytes ~wait_states =
+  (Runs.uarch bench target (Uconfig.nocache ~bus_bytes ~wait_states))
+    .Repro_uarch.Pipeline.stalls
+
+let uarch_cached bench target ~size =
+  let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
+  (Runs.uarch bench target
+     (Uconfig.cached ~icache:cfg ~dcache:cfg ~miss_penalty:8))
+    .Repro_uarch.Pipeline.stalls
+
+let utab1 () =
+  let header =
+    [
+      "program"; "machine"; "cycles"; "fetch"; "load"; "fp"; "dread"; "dwrite";
+      "CPI";
+    ]
+  in
+  let rows stalls_of =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun (t : Target.t) ->
+            let u : Stalls.t = stalls_of b t in
+            [
+              A.text b;
+              A.text t.Target.name;
+              A.int u.Stalls.cycles;
+              A.int u.Stalls.fetch_stalls;
+              A.int u.Stalls.load_interlocks;
+              A.int u.Stalls.fp_interlocks;
+              A.int u.Stalls.dmiss_stalls;
+              A.int u.Stalls.wmiss_stalls;
+              A.f2 (Stalls.cpi u);
+            ])
+          [ d16; dlxe ])
+      suite_names
+  in
+  A.make
+    ~caption:"EXTENSION: pipeline-model stall breakdown, D16 vs DLXe"
+    ~notes:
+      [
+        "Cacheless dread/dwrite are data bus wait cycles; cached are miss penalties.";
+        "Every row satisfies cycles = IC + fetch + load + fp + dread + dwrite.";
+      ]
+    [
+      A.table ~label:"no cache, 32-bit bus, 1 wait state" ~header
+        (rows (fun b t -> uarch_nocache b t ~bus_bytes:4 ~wait_states:1));
+      A.table ~label:"4K split caches, 32B blocks, 4B sub-blocks, penalty 8"
+        ~header
+        (rows (fun b t -> uarch_cached b t ~size:4096));
+    ]
+
+let ufig1 () =
+  let xs = List.map string_of_int wait_states in
+  let lines (t : Target.t) =
+    let avg component =
+      List.map
+        (fun l ->
+          Stats.mean
+            (List.map
+               (fun b ->
+                 let u = uarch_nocache b t ~bus_bytes:4 ~wait_states:l in
+                 fl (component u) /. fl u.Stalls.ic)
+               suite_names))
+        wait_states
+    in
+    [
+      ("base", avg (fun u -> u.Stalls.ic));
+      ("+fetch", avg (fun u -> u.Stalls.ic + u.Stalls.fetch_stalls));
+      ( "+interlock",
+        avg (fun u -> u.Stalls.ic + u.Stalls.fetch_stalls + Stalls.interlocks u)
+      );
+      ("+data", avg (fun u -> u.Stalls.cycles));
+    ]
+  in
+  A.make
+    ~caption:
+      "EXTENSION: CPI decomposition vs wait states, no cache, 32-bit bus \
+       (cumulative components, suite average)"
+    [
+      A.series ~label:"D16" ~x_label:"wait states" ~xs (lines d16);
+      A.series ~label:"DLXe" ~x_label:"wait states" ~xs (lines dlxe);
+    ]
+
 (* ---- Extensions beyond the paper's published artifacts ---- *)
 
 (* The Section 3.3.3 extension: D16 with an 8-bit compare-equal immediate
@@ -872,6 +959,8 @@ let all =
     { id = "tab16"; title = "Cache miss rates for latex"; artifact = tab16 };
     { id = "xfig1"; title = "EXT: D16x compare-equal-immediate extension"; artifact = xfig1 };
     { id = "xtab1"; title = "EXT: compiler ablation study"; artifact = xtab1 };
+    { id = "utab1"; title = "EXT: pipeline-model stall breakdown"; artifact = utab1 };
+    { id = "ufig1"; title = "EXT: CPI decomposition vs wait states"; artifact = ufig1 };
   ]
 
 let by_id id = List.find (fun e -> e.id = id) all

@@ -1,22 +1,19 @@
 module Target = Repro_core.Target
 module Suite = Repro_workloads.Suite
 
-type spec = { bench : string; target : Target.t; grid : bool }
+type kind = Stats | Grid | Uarch
+type spec = { bench : string; target : Target.t; kind : kind }
 type t = spec list
 
-let stats_specs ~benches ~targets =
+let specs_of kind ~benches ~targets =
   List.concat_map
-    (fun bench ->
-      List.map (fun target -> { bench; target; grid = false }) targets)
+    (fun bench -> List.map (fun target -> { bench; target; kind }) targets)
     benches
 
-let grid_specs ~benches ~targets =
-  List.concat_map
-    (fun bench ->
-      List.map (fun target -> { bench; target; grid = true }) targets)
-    benches
-
-let spec_id s = (s.bench, s.target.Target.name, s.grid)
+let stats_specs ~benches ~targets = specs_of Stats ~benches ~targets
+let grid_specs ~benches ~targets = specs_of Grid ~benches ~targets
+let uarch_specs ~benches ~targets = specs_of Uarch ~benches ~targets
+let spec_id s = (s.bench, s.target.Target.name, s.kind)
 
 let dedup plan =
   let seen = Hashtbl.create 64 in
@@ -34,11 +31,16 @@ let union a b = dedup (a @ b)
 
 let describe s =
   Printf.sprintf "%s on %s%s" s.bench s.target.Target.name
-    (if s.grid then " (cache grid)" else "")
+    (match s.kind with
+    | Stats -> ""
+    | Grid -> " (cache grid)"
+    | Uarch -> " (uarch sweep)")
 
 let execute s =
-  if s.grid then Runs.ensure_grid s.bench s.target
-  else ignore (Runs.stats s.bench s.target)
+  match s.kind with
+  | Stats -> ignore (Runs.stats s.bench s.target)
+  | Grid -> Runs.ensure_grid s.bench s.target
+  | Uarch -> Runs.ensure_uarch s.bench s.target
 
 let suite_names = List.map (fun b -> b.Suite.name) Suite.all
 
@@ -47,13 +49,16 @@ let cache_names =
 
 (* Grid replays are the most expensive units (large traced runs replayed
    over 25 geometries), so they go first: under a parallel pool the long
-   poles start immediately instead of trailing the schedule. *)
+   poles start immediately instead of trailing the schedule.  Uarch sweeps
+   (one execution feeding every pipeline configuration) rank next. *)
 let full () =
   union
     (grid_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
     (union
-       (stats_specs ~benches:suite_names ~targets:Target.all)
-       (stats_specs ~benches:suite_names ~targets:[ Target.d16x ]))
+       (uarch_specs ~benches:suite_names ~targets:[ Target.d16; Target.dlxe ])
+       (union
+          (stats_specs ~benches:suite_names ~targets:Target.all)
+          (stats_specs ~benches:suite_names ~targets:[ Target.d16x ])))
 
 let for_experiment id =
   let cache_pair = [ Target.d16; Target.dlxe ] in
@@ -68,6 +73,8 @@ let for_experiment id =
   | "tab13" -> stats_specs ~benches:cache_names ~targets:cache_pair
   | "xfig1" ->
     stats_specs ~benches:suite_names ~targets:[ Target.d16; Target.d16x ]
+  | "utab1" | "ufig1" ->
+    uarch_specs ~benches:suite_names ~targets:cache_pair
   | "tab4" | "xtab1" ->
     (* These drivers run their own traced/ablated compiles and cache the
        derived numbers directly in {!Diskcache}. *)

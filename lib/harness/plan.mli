@@ -8,20 +8,21 @@
     any experiment later reads: parallel output is byte-identical to
     serial. *)
 
-type spec = {
-  bench : string;
-  target : Repro_core.Target.t;
-  grid : bool;
-      (** [false]: the {!Runs.stats} measurements.  [true]: the standard
-          cache grid ({!Runs.ensure_grid}). *)
-}
+(** The unit of work: the {!Runs.stats} measurements, the standard cache
+    grid ({!Runs.ensure_grid}), or the standard cycle-accurate pipeline
+    sweep ({!Runs.ensure_uarch}). *)
+type kind = Stats | Grid | Uarch
 
+type spec = { bench : string; target : Repro_core.Target.t; kind : kind }
 type t = spec list
 
 val stats_specs :
   benches:string list -> targets:Repro_core.Target.t list -> t
 
 val grid_specs :
+  benches:string list -> targets:Repro_core.Target.t list -> t
+
+val uarch_specs :
   benches:string list -> targets:Repro_core.Target.t list -> t
 
 val union : t -> t -> t
@@ -31,8 +32,9 @@ val dedup : t -> t
 
 val full : unit -> t
 (** Everything {!Experiments.render_all} needs: suite stats on all six
-    targets plus the cache grids for the three cache benchmarks, most
-    expensive units first. *)
+    targets, the cache grids for the three cache benchmarks, and the
+    pipeline-model sweeps for the paper pair, most expensive units
+    first. *)
 
 val for_experiment : string -> t
 (** The plan for one experiment id (empty for the two drivers that manage

@@ -4,6 +4,9 @@ module Machine = Repro_sim.Machine
 module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
 module Runtime_lib = Repro_workloads.Runtime_lib
+module Uconfig = Repro_uarch.Uconfig
+module Upipeline = Repro_uarch.Pipeline
+module Uarch = Repro_uarch.Uarch
 
 type stats = {
   bench : string;
@@ -37,6 +40,25 @@ let standard_grid =
       :: List.map (fun block -> (size, block, min 8 block)) standard_blocks))
     standard_cache_sizes
 
+(* The standard pipeline-model sweep: both fetch-bus widths across wait
+   states 0..3 (the paper's cacheless machines), plus a small and a large
+   cached machine at the figure geometry (32-byte blocks, 4-byte
+   sub-blocks) with the paper's 8-cycle miss penalty. *)
+let standard_uarch_configs =
+  let nocache =
+    List.concat_map
+      (fun bus ->
+        List.map
+          (fun l -> Uconfig.nocache ~bus_bytes:bus ~wait_states:l)
+          [ 0; 1; 2; 3 ])
+      [ 4; 8 ]
+  in
+  let cached size =
+    let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
+    Uconfig.cached ~icache:cfg ~dcache:cfg ~miss_penalty:8
+  in
+  nocache @ [ cached 4096; cached 16384 ]
+
 (* In-process memo tables, shared across domains behind one lock.  Lookups
    and insertions are locked; the compile+simulate work itself runs outside
    the lock, so domains overlap on distinct keys (the {!Pool} scheduler
@@ -51,11 +73,15 @@ let stats_tbl : (string * string, stats) Hashtbl.t = Hashtbl.create 32
 let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
   Hashtbl.create 256
 
+let uarch_tbl : (string * string * string, Upipeline.result) Hashtbl.t =
+  Hashtbl.create 64
+
 let clear_memo () =
   with_lock (fun () ->
       Hashtbl.reset image_tbl;
       Hashtbl.reset stats_tbl;
-      Hashtbl.reset cache_tbl)
+      Hashtbl.reset cache_tbl;
+      Hashtbl.reset uarch_tbl)
 
 (* Disk-cache keys.  Every key digests the benchmark source (runtime
    library included, exactly what the compiler sees), the full target
@@ -88,6 +114,23 @@ let geometry_key bench (target : Target.t) ~size ~block ~sub =
     [
       "cache-one"; Printf.sprintf "%d/%d/%d" size block sub; bench;
       bench_fingerprint bench; Target.describe target; knobs_descr;
+    ]
+
+let uarch_sweep_descr =
+  String.concat "," (List.map Uconfig.describe standard_uarch_configs)
+
+let uarch_sweep_key bench (target : Target.t) =
+  Diskcache.key
+    [
+      "uarch-sweep"; uarch_sweep_descr; bench; bench_fingerprint bench;
+      Target.describe target; knobs_descr;
+    ]
+
+let uarch_one_key bench (target : Target.t) cfg =
+  Diskcache.key
+    [
+      "uarch-one"; Uconfig.describe cfg; bench; bench_fingerprint bench;
+      Target.describe target; knobs_descr;
     ]
 
 let image bench (target : Target.t) =
@@ -201,3 +244,56 @@ let cached bench (target : Target.t) ~size ~block ~sub =
       in
       with_lock (fun () -> Hashtbl.replace cache_tbl key c);
       c)
+
+let uarch_complete bench (target : Target.t) =
+  with_lock (fun () ->
+      List.for_all
+        (fun cfg ->
+          Hashtbl.mem uarch_tbl
+            (bench, target.Target.name, Uconfig.describe cfg))
+        standard_uarch_configs)
+
+let install_uarch bench (target : Target.t) entries =
+  with_lock (fun () ->
+      List.iter
+        (fun (descr, res) ->
+          Hashtbl.replace uarch_tbl (bench, target.Target.name, descr) res)
+        entries)
+
+let ensure_uarch bench (target : Target.t) =
+  if not (uarch_complete bench target) then begin
+    let entries : (string * Upipeline.result) list =
+      match Diskcache.find (uarch_sweep_key bench target) with
+      | Some entries -> entries
+      | None ->
+        (* One architectural execution feeds every configuration. *)
+        let _, results =
+          Uarch.run_many standard_uarch_configs (image bench target)
+        in
+        let entries =
+          List.map2
+            (fun cfg res -> (Uconfig.describe cfg, res))
+            standard_uarch_configs results
+        in
+        Diskcache.store (uarch_sweep_key bench target) entries;
+        entries
+    in
+    install_uarch bench target entries
+  end
+
+let uarch bench (target : Target.t) cfg =
+  let key = (bench, target.Target.name, Uconfig.describe cfg) in
+  match with_lock (fun () -> Hashtbl.find_opt uarch_tbl key) with
+  | Some res -> res
+  | None ->
+    ensure_uarch bench target;
+    (match with_lock (fun () -> Hashtbl.find_opt uarch_tbl key) with
+    | Some res -> res
+    | None ->
+      (* Off-sweep configuration: one dedicated execution. *)
+      let res =
+        Diskcache.memo (uarch_one_key bench target cfg)
+          (fun () -> snd (Uarch.run cfg (image bench target)))
+      in
+      with_lock (fun () -> Hashtbl.replace uarch_tbl key res);
+      res)

@@ -55,6 +55,25 @@ val ensure_grid : string -> Repro_core.Target.t -> unit
 (** Populate the standard cache grid for one (benchmark, target), from disk
     when possible.  The unit of work {!Pool} schedules for cache studies. *)
 
+val uarch :
+  string ->
+  Repro_core.Target.t ->
+  Repro_uarch.Uconfig.t ->
+  Repro_uarch.Pipeline.result
+(** Cycle-accurate pipeline-model result (stall breakdown, cache counters)
+    for one memory configuration.  Memoized; the first request for a
+    (benchmark, target) runs the standard sweep — one architectural
+    execution feeding every configuration in {!standard_uarch_configs}. *)
+
+val ensure_uarch : string -> Repro_core.Target.t -> unit
+(** Populate the standard pipeline-model sweep for one (benchmark, target),
+    from disk when possible.  The unit of work {!Pool} schedules for stall
+    studies. *)
+
+val standard_uarch_configs : Repro_uarch.Uconfig.t list
+(** Cacheless bus 4 and 8 bytes at wait states 0..3, plus 4K and 16K split
+    caches (32-byte blocks, 4-byte sub-blocks) at miss penalty 8. *)
+
 val standard_cache_sizes : int list
 (** 1K, 2K, 4K, 8K, 16K. *)
 
@@ -79,6 +98,7 @@ val clear_memo : unit -> unit
 
 val stats_key : string -> Repro_core.Target.t -> string
 val grid_key : string -> Repro_core.Target.t -> string
+val uarch_sweep_key : string -> Repro_core.Target.t -> string
 
 val bench_fingerprint : string -> string
 (** Digest of runtime library + benchmark source. *)

@@ -52,7 +52,8 @@ let ibuf_push b v =
 
 let ibuf_contents b = Array.sub b.a 0 b.n
 
-let run ?(trace = true) ?(max_steps = 400_000_000) (img : Link.image) =
+let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
+    =
   let t = img.Link.target in
   let zero_r0 = t.Target.zero_r0 in
   let insn_bytes = Target.insn_bytes t in
@@ -337,6 +338,9 @@ let run ?(trace = true) ?(max_steps = 400_000_000) (img : Link.image) =
        | Insn.Nop -> ());
        incr ic;
        incr cycle;
+       (match on_insn with
+       | Some f -> f ~iaddr:addr ~dinfo:!cur_d
+       | None -> ());
        (match (tr_iaddr, tr_dinfo) with
        | Some ia, Some di ->
          ibuf_push ia addr;

@@ -37,8 +37,17 @@ type result = {
 
 exception Runtime_error of string
 
-val run : ?trace:bool -> ?max_steps:int -> Repro_link.Link.image -> result
+val run :
+  ?trace:bool ->
+  ?on_insn:(iaddr:int -> dinfo:int -> unit) ->
+  ?max_steps:int ->
+  Repro_link.Link.image ->
+  result
 (** [trace] (default true) records the reference trace.
+    [on_insn] is called once per retired instruction, in execution order,
+    with its byte address and packed data access (the {!trace} encoding;
+    [0] for none) — the streaming alternative to materializing a trace,
+    used by the {!Repro_uarch} pipeline model and the profiler.
     [max_steps] defaults to 400 million.
     @raise Runtime_error on invalid memory access, unaligned access,
     division issues, or step overrun. *)
@@ -46,3 +55,5 @@ val run : ?trace:bool -> ?max_steps:int -> Repro_link.Link.image -> result
 val fp_latency_add : int
 val fp_latency_mul : int
 val fp_latency_div : int
+val fp_latency_cmp : int
+val load_latency : int

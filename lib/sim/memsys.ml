@@ -53,70 +53,73 @@ let nocache_cycles ~wait_states (r : Machine.result) nc =
 
 (* Direct-mapped sub-blocked cache. ----------------------------------------- *)
 
-type cache = {
-  cfg : cache_config;
-  tags : int array;
-  valid : bool array array;  (* per set, per sub-block *)
-  mutable accesses : int;
-  mutable misses : int;
-  mutable words : int;
-}
-
-let cache_make cfg =
-  let sets = max 1 (cfg.size_bytes / cfg.block_bytes) in
-  let subs = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
-  {
-    cfg;
-    tags = Array.make sets (-1);
-    valid = Array.init sets (fun _ -> Array.make subs false);
-    accesses = 0;
-    misses = 0;
-    words = 0;
+module Cache = struct
+  type t = {
+    cfg : cache_config;
+    tags : int array;
+    valid : bool array array;  (* per set, per sub-block *)
+    mutable accesses : int;
+    mutable misses : int;
+    mutable words : int;
   }
 
-(* One access event covering [addr, addr+bytes); [prefetch] fetches the
-   following sub-block (wrapping within the block) on a read miss. *)
-let cache_access c ~is_read addr bytes =
-  let cfg = c.cfg in
-  let sets = Array.length c.tags in
-  let subs_per_block = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
-  c.accesses <- c.accesses + 1;
-  let missed = ref false in
-  let fetch_sub set sub =
-    if not c.valid.(set).(sub) then begin
-      c.valid.(set).(sub) <- true;
-      c.words <- c.words + (cfg.sub_block_bytes / 4)
-    end
-  in
-  let touch a =
-    let block = a / cfg.block_bytes in
-    let set = block mod sets in
-    let sub = a mod cfg.block_bytes / cfg.sub_block_bytes in
-    if c.tags.(set) <> block then begin
-      c.tags.(set) <- block;
-      Array.fill c.valid.(set) 0 subs_per_block false;
-      missed := true;
-      fetch_sub set sub;
-      if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
-    end
-    else if not c.valid.(set).(sub) then begin
-      missed := true;
-      fetch_sub set sub;
-      if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
-    end
-  in
-  let first = addr in
-  let last = addr + bytes - 1 in
-  let step = cfg.sub_block_bytes in
-  let a = ref (first / step * step) in
-  while !a <= last do
-    touch !a;
-    a := !a + step
-  done;
-  if !missed then c.misses <- c.misses + 1
+  let make cfg =
+    let sets = max 1 (cfg.size_bytes / cfg.block_bytes) in
+    let subs = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
+    {
+      cfg;
+      tags = Array.make sets (-1);
+      valid = Array.init sets (fun _ -> Array.make subs false);
+      accesses = 0;
+      misses = 0;
+      words = 0;
+    }
 
-let stats_of c =
-  { accesses = c.accesses; misses = c.misses; words_transferred = c.words }
+  (* One access event covering [addr, addr+bytes); a read miss prefetches
+     the following sub-block (wrapping within the block). *)
+  let access c ~is_read ~addr ~bytes =
+    let cfg = c.cfg in
+    let sets = Array.length c.tags in
+    let subs_per_block = max 1 (cfg.block_bytes / cfg.sub_block_bytes) in
+    c.accesses <- c.accesses + 1;
+    let missed = ref false in
+    let fetch_sub set sub =
+      if not c.valid.(set).(sub) then begin
+        c.valid.(set).(sub) <- true;
+        c.words <- c.words + (cfg.sub_block_bytes / 4)
+      end
+    in
+    let touch a =
+      let block = a / cfg.block_bytes in
+      let set = block mod sets in
+      let sub = a mod cfg.block_bytes / cfg.sub_block_bytes in
+      if c.tags.(set) <> block then begin
+        c.tags.(set) <- block;
+        Array.fill c.valid.(set) 0 subs_per_block false;
+        missed := true;
+        fetch_sub set sub;
+        if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
+      end
+      else if not c.valid.(set).(sub) then begin
+        missed := true;
+        fetch_sub set sub;
+        if is_read then fetch_sub set ((sub + 1) mod subs_per_block)
+      end
+    in
+    let first = addr in
+    let last = addr + bytes - 1 in
+    let step = cfg.sub_block_bytes in
+    let a = ref (first / step * step) in
+    while !a <= last do
+      touch !a;
+      a := !a + step
+    done;
+    if !missed then c.misses <- c.misses + 1;
+    !missed
+
+  let stats c =
+    { accesses = c.accesses; misses = c.misses; words_transferred = c.words }
+end
 
 type cached = {
   icache : cache_stats;
@@ -126,34 +129,35 @@ type cached = {
 
 let replay_cached ~insn_bytes ~icache ~dcache (r : Machine.result) =
   let t = get_trace r in
-  let ic = cache_make icache in
-  let dc = cache_make dcache in
+  let ic = Cache.make icache in
+  let dc = Cache.make dcache in
   let dreads = ref 0 in
   let dread_miss = ref 0 in
   let dwrites = ref 0 in
   let dwrite_miss = ref 0 in
   let n = Array.length t.Machine.iaddr in
   for i = 0 to n - 1 do
-    cache_access ic ~is_read:true t.Machine.iaddr.(i) insn_bytes;
+    ignore
+      (Cache.access ic ~is_read:true ~addr:t.Machine.iaddr.(i)
+         ~bytes:insn_bytes);
     let d = t.Machine.dinfo.(i) in
     if d <> 0 then begin
       let is_write = d land 1 = 1 in
       let bytes = (d lsr 1) land 0xF in
       let addr = d lsr 5 in
-      let before = dc.misses in
-      cache_access dc ~is_read:(not is_write) addr bytes;
+      let missed = Cache.access dc ~is_read:(not is_write) ~addr ~bytes in
       if is_write then begin
         incr dwrites;
-        if dc.misses > before then incr dwrite_miss
+        if missed then incr dwrite_miss
       end
       else begin
         incr dreads;
-        if dc.misses > before then incr dread_miss
+        if missed then incr dread_miss
       end
     end
   done;
   {
-    icache = stats_of ic;
+    icache = Cache.stats ic;
     dcache_read =
       { accesses = !dreads; misses = !dread_miss; words_transferred = 0 };
     dcache_write =

@@ -29,6 +29,22 @@ type cache_stats = {
 
 val miss_rate : cache_stats -> float
 
+(** The single-access cache model the replays (and the {!Repro_uarch}
+    cycle-accurate pipeline) are built on: direct-mapped, sub-block valid
+    bits, wrap-around prefetch of the following sub-block on read misses,
+    allocate-without-prefetch on writes. *)
+module Cache : sig
+  type t
+
+  val make : cache_config -> t
+
+  val access : t -> is_read:bool -> addr:int -> bytes:int -> bool
+  (** One access event covering [addr, addr + bytes); returns whether it
+      missed (any sub-block of the span invalid or a tag mismatch). *)
+
+  val stats : t -> cache_stats
+end
+
 type nocache = {
   irequests : int;  (** Instruction-fetch bus transactions. *)
   drequests : int;  (** Data bus transactions (doubles = 2 on a 32-bit bus). *)

@@ -1,0 +1,142 @@
+module Memsys = Repro_sim.Memsys
+module Link = Repro_link.Link
+module Target = Repro_core.Target
+
+type dcounts = {
+  mutable reads : int;
+  mutable read_misses : int;
+  mutable writes : int;
+  mutable write_misses : int;
+}
+
+type mem_state =
+  | Mnocache of { bus_bytes : int; wait_states : int; mutable buffer : int }
+  | Mcached of {
+      icache : Memsys.Cache.t;
+      dcache : Memsys.Cache.t;
+      penalty : int;
+      dc : dcounts;
+    }
+
+type t = {
+  descs : (int, Predecode.desc) Hashtbl.t;
+  insn_bytes : int;
+  sb : Scoreboard.t;
+  mem : mem_state;
+  mutable ic : int;
+  mutable fetch_stalls : int;
+  mutable dmiss_stalls : int;
+  mutable wmiss_stalls : int;
+}
+
+type result = { stalls : Stalls.t; caches : Memsys.cached option }
+
+let create (cfg : Uconfig.t) (img : Link.image) =
+  let target = img.Link.target in
+  let mem =
+    match cfg with
+    | Uconfig.Nocache { bus_bytes; wait_states } ->
+      Mnocache { bus_bytes; wait_states; buffer = -1 }
+    | Uconfig.Cached { icache; dcache; miss_penalty } ->
+      Mcached
+        {
+          icache = Memsys.Cache.make icache;
+          dcache = Memsys.Cache.make dcache;
+          penalty = miss_penalty;
+          dc = { reads = 0; read_misses = 0; writes = 0; write_misses = 0 };
+        }
+  in
+  {
+    descs = Predecode.table img;
+    insn_bytes = Target.insn_bytes target;
+    sb =
+      Scoreboard.create ~n_gpr:target.Target.n_gpr ~n_fpr:target.Target.n_fpr;
+    mem;
+    ic = 0;
+    fetch_stalls = 0;
+    dmiss_stalls = 0;
+    wmiss_stalls = 0;
+  }
+
+let step t ~iaddr ~dinfo =
+  (* IF. *)
+  (match t.mem with
+  | Mnocache m ->
+    let block = iaddr / m.bus_bytes in
+    if block <> m.buffer then begin
+      t.fetch_stalls <- t.fetch_stalls + m.wait_states;
+      m.buffer <- block
+    end
+  | Mcached m ->
+    if Memsys.Cache.access m.icache ~is_read:true ~addr:iaddr ~bytes:t.insn_bytes
+    then t.fetch_stalls <- t.fetch_stalls + m.penalty);
+  (* ID/EX. *)
+  Scoreboard.step t.sb (Hashtbl.find t.descs iaddr);
+  (* MEM. *)
+  if dinfo <> 0 then begin
+    let is_write = dinfo land 1 = 1 in
+    let bytes = (dinfo lsr 1) land 0xF in
+    let addr = dinfo lsr 5 in
+    match t.mem with
+    | Mnocache m ->
+      let transactions = (bytes + m.bus_bytes - 1) / m.bus_bytes in
+      let cost = transactions * m.wait_states in
+      if is_write then t.wmiss_stalls <- t.wmiss_stalls + cost
+      else t.dmiss_stalls <- t.dmiss_stalls + cost
+    | Mcached m ->
+      let missed =
+        Memsys.Cache.access m.dcache ~is_read:(not is_write) ~addr ~bytes
+      in
+      if is_write then begin
+        m.dc.writes <- m.dc.writes + 1;
+        if missed then begin
+          m.dc.write_misses <- m.dc.write_misses + 1;
+          t.wmiss_stalls <- t.wmiss_stalls + m.penalty
+        end
+      end
+      else begin
+        m.dc.reads <- m.dc.reads + 1;
+        if missed then begin
+          m.dc.read_misses <- m.dc.read_misses + 1;
+          t.dmiss_stalls <- t.dmiss_stalls + m.penalty
+        end
+      end
+  end;
+  t.ic <- t.ic + 1
+
+let result t =
+  let interlock_clock = Scoreboard.clock t.sb in
+  let stalls =
+    {
+      Stalls.ic = t.ic;
+      cycles =
+        interlock_clock + t.fetch_stalls + t.dmiss_stalls + t.wmiss_stalls;
+      fetch_stalls = t.fetch_stalls;
+      load_interlocks = Scoreboard.load_stalls t.sb;
+      fp_interlocks = Scoreboard.fp_stalls t.sb;
+      dmiss_stalls = t.dmiss_stalls;
+      wmiss_stalls = t.wmiss_stalls;
+    }
+  in
+  let caches =
+    match t.mem with
+    | Mnocache _ -> None
+    | Mcached m ->
+      Some
+        {
+          Memsys.icache = Memsys.Cache.stats m.icache;
+          dcache_read =
+            {
+              Memsys.accesses = m.dc.reads;
+              misses = m.dc.read_misses;
+              words_transferred = 0;
+            };
+          dcache_write =
+            {
+              Memsys.accesses = m.dc.writes;
+              misses = m.dc.write_misses;
+              words_transferred = 0;
+            };
+        }
+  in
+  { stalls; caches }

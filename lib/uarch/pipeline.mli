@@ -1,0 +1,35 @@
+(** The event-stepped five-stage pipeline timing model.
+
+    One {!step} per executed instruction, fed either from
+    {!Repro_sim.Machine.run}'s [on_insn] streaming hook (no trace is ever
+    materialized) or by replaying a recorded trace ({!Uarch.replay}).
+    Each event walks the memory-facing stages:
+
+    - {b IF}: the fetch buffer (cacheless) or the split I-cache; a fetch
+      outside the buffer costs the wait states, an I-miss the miss penalty;
+    - {b ID/EX}: the {!Scoreboard} charges delayed-load and FP interlock
+      bubbles exactly as the architectural simulator does;
+    - {b MEM}: data bus transactions (cacheless) or the D-cache; read and
+      write stalls are charged to separate buckets.
+
+    Branch delay slots need no special handling: the stream already
+    contains the executed slot instruction (the code generator guarantees
+    one after every transfer), so transfers cost exactly their issue
+    cycles, matching the paper's machine. *)
+
+type t
+
+type result = {
+  stalls : Stalls.t;
+  caches : Repro_sim.Memsys.cached option;
+      (** Cache statistics, for cached configurations; the counters match
+          {!Repro_sim.Memsys.replay_cached} field-for-field. *)
+}
+
+val create : Uconfig.t -> Repro_link.Link.image -> t
+
+val step : t -> iaddr:int -> dinfo:int -> unit
+(** One executed instruction: its byte address and its packed data access
+    ([0] for none — the {!Repro_sim.Machine.trace} encoding). *)
+
+val result : t -> result

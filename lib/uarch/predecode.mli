@@ -1,0 +1,34 @@
+(** Static per-instruction descriptors for the timing model.
+
+    The pipeline model never computes values; per executed instruction it
+    only needs to know which registers are read (in the order the
+    architectural simulator reads them), which register is written, with
+    what result latency, and whether a stall on that result is a delayed
+    load or an FP-unit interlock.  Those facts are static, so they are
+    precomputed once per image.
+
+    The read order and the latencies mirror {!Repro_sim.Machine} exactly —
+    including its quirks (DLXe [r0] writes still update the result
+    scoreboard; traps read the argument register except [put_float]) — so
+    that {!Scoreboard} reproduces the architectural interlock count
+    cycle-for-cycle. *)
+
+type rreg =
+  | Rg of int  (** General register read. *)
+  | Rf of int  (** FP register read. *)
+  | Rstatus  (** FP status read ([rdsr]). *)
+
+type wreg = Wg of int | Wf of int | Wstatus
+
+type cause = Load | Fp
+(** What a stall on the written result counts as.  Only meaningful for
+    latencies > 0 (zero-latency results can never stall a consumer). *)
+
+type write = { dst : wreg; latency : int; cause : cause }
+
+type desc = { reads : rreg list; write : write option }
+
+val of_insn : Repro_core.Insn.t -> desc
+
+val table : Repro_link.Link.image -> (int, desc) Hashtbl.t
+(** Descriptor of every static instruction, keyed by byte address. *)

@@ -1,0 +1,24 @@
+type t = {
+  ic : int;
+  cycles : int;
+  fetch_stalls : int;
+  load_interlocks : int;
+  fp_interlocks : int;
+  dmiss_stalls : int;
+  wmiss_stalls : int;
+}
+
+let interlocks t = t.load_interlocks + t.fp_interlocks
+
+let stall_cycles t =
+  t.fetch_stalls + t.load_interlocks + t.fp_interlocks + t.dmiss_stalls
+  + t.wmiss_stalls
+
+let consistent t = t.cycles = t.ic + stall_cycles t
+
+let cpi t = float_of_int t.cycles /. float_of_int t.ic
+
+let to_string t =
+  Printf.sprintf "cycles=%d ic=%d fetch=%d load=%d fp=%d dmiss=%d wmiss=%d"
+    t.cycles t.ic t.fetch_stalls t.load_interlocks t.fp_interlocks
+    t.dmiss_stalls t.wmiss_stalls

@@ -1,0 +1,36 @@
+(** Per-cycle stall accounting of the five-stage pipeline.
+
+    Every cycle of a {!Pipeline} run is attributed to exactly one bucket:
+    the issue cycle of an instruction ([ic]), an instruction-fetch memory
+    stall, a delayed-load or FP-latency interlock bubble, or a data-side
+    memory stall (read or write).  The buckets therefore sum to the total:
+    [cycles = ic + fetch_stalls + load_interlocks + fp_interlocks +
+    dmiss_stalls + wmiss_stalls] — {!consistent} checks exactly that, and
+    the differential suite holds the total equal to the analytical model's
+    {!Repro_sim.Memsys} formulas. *)
+
+type t = {
+  ic : int;  (** Instructions issued (the base cycle each). *)
+  cycles : int;  (** Total cycles, all stalls included. *)
+  fetch_stalls : int;  (** Instruction-fetch wait states / I-miss penalties. *)
+  load_interlocks : int;  (** Delayed-load use bubbles. *)
+  fp_interlocks : int;  (** FP-unit latency bubbles (incl. status reads). *)
+  dmiss_stalls : int;  (** Data-read wait states / D-read-miss penalties. *)
+  wmiss_stalls : int;  (** Data-write wait states / D-write-miss penalties. *)
+}
+
+val interlocks : t -> int
+(** [load_interlocks + fp_interlocks]: the quantity
+    {!Repro_sim.Machine.result.interlocks} reports. *)
+
+val stall_cycles : t -> int
+(** All non-issue cycles. *)
+
+val consistent : t -> bool
+(** The components sum to [cycles]. *)
+
+val cpi : t -> float
+
+val to_string : t -> string
+(** One line, e.g.
+    ["cycles=120 ic=100 fetch=10 load=4 fp=2 dmiss=3 wmiss=1"]. *)

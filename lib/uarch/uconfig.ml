@@ -1,0 +1,32 @@
+module Memsys = Repro_sim.Memsys
+
+type t =
+  | Nocache of { bus_bytes : int; wait_states : int }
+  | Cached of {
+      icache : Memsys.cache_config;
+      dcache : Memsys.cache_config;
+      miss_penalty : int;
+    }
+
+let fail fmt = Printf.ksprintf invalid_arg ("Uconfig: " ^^ fmt)
+
+let nocache ~bus_bytes ~wait_states =
+  if bus_bytes < 2 || bus_bytes land (bus_bytes - 1) <> 0 then
+    fail "bus width %d is not a power of two >= 2" bus_bytes;
+  if wait_states < 0 then fail "negative wait states %d" wait_states;
+  Nocache { bus_bytes; wait_states }
+
+let cached ~icache ~dcache ~miss_penalty =
+  if miss_penalty < 0 then fail "negative miss penalty %d" miss_penalty;
+  Cached { icache; dcache; miss_penalty }
+
+let cfg_descr (c : Memsys.cache_config) =
+  Printf.sprintf "%d/%d/%d" c.Memsys.size_bytes c.Memsys.block_bytes
+    c.Memsys.sub_block_bytes
+
+let describe = function
+  | Nocache { bus_bytes; wait_states } ->
+    Printf.sprintf "nocache:bus=%d,l=%d" bus_bytes wait_states
+  | Cached { icache; dcache; miss_penalty } ->
+    Printf.sprintf "cached:i=%s,d=%s,p=%d" (cfg_descr icache) (cfg_descr dcache)
+      miss_penalty

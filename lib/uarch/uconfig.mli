@@ -1,0 +1,35 @@
+(** Memory-system configuration of the cycle-accurate pipeline model.
+
+    Two shapes, mirroring the paper's Section 4 machines:
+
+    - {e cacheless}: an instruction buffer holds the last fetched bus-width
+      block; every fetch outside it, and every data bus transaction, costs
+      the memory wait states (paper Section 4.2);
+    - {e cached}: split direct-mapped I/D caches (sub-block valid bits,
+      wrap-around prefetch — {!Repro_sim.Memsys.cache_config}), where every
+      miss costs the miss penalty (Section 4.1).
+
+    {!describe} is a stable rendering used in persistent-cache keys: any
+    change to a configuration invalidates entries keyed on it. *)
+
+type t =
+  | Nocache of { bus_bytes : int; wait_states : int }
+  | Cached of {
+      icache : Repro_sim.Memsys.cache_config;
+      dcache : Repro_sim.Memsys.cache_config;
+      miss_penalty : int;
+    }
+
+val nocache : bus_bytes:int -> wait_states:int -> t
+(** @raise Invalid_argument unless [bus_bytes] is a power of two >= 2 and
+    [wait_states >= 0]. *)
+
+val cached :
+  icache:Repro_sim.Memsys.cache_config ->
+  dcache:Repro_sim.Memsys.cache_config ->
+  miss_penalty:int ->
+  t
+(** @raise Invalid_argument when [miss_penalty < 0]. *)
+
+val describe : t -> string
+(** E.g. ["nocache:bus=4,l=2"] or ["cached:i=4096/32/4,d=4096/32/4,p=8"]. *)

@@ -147,6 +147,84 @@ let test_cache_write_no_prefetch () =
   Alcotest.(check int) "read after write still misses" 1
     c.Memsys.dcache_read.Memsys.misses
 
+let test_cache_sub_equals_block () =
+  (* Degenerate sub-blocking: one sub-block per block.  A read miss fills
+     the whole block (the wrap-around prefetch lands on the sub-block just
+     fetched), so a sequential walk misses once per block. *)
+  let iaddrs = Array.init 16 (fun i -> 0x1000 + (4 * i)) in
+  let r = mk_result iaddrs (no_data 16) in
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 32)
+      ~dcache:(icfg 1024 32 32) r
+  in
+  Alcotest.(check int) "one miss per 32B block" 2 c.Memsys.icache.Memsys.misses;
+  (* Each miss transfers exactly one 32-byte sub-block = 8 words: the
+     prefetch of (sub+1) mod 1 = sub must not double-count. *)
+  Alcotest.(check int) "whole-block fills" 16
+    c.Memsys.icache.Memsys.words_transferred
+
+let test_cache_single_set () =
+  (* block == size: a one-set cache.  Any two distinct blocks conflict, so
+     alternating between them misses every time regardless of sub-blocks. *)
+  let a = 0x1000 and b = 0x1040 in
+  let r = mk_result [| a; b; a; b; a; b |] (no_data 6) in
+  let c =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 64 64 8)
+      ~dcache:(icfg 64 64 8) r
+  in
+  Alcotest.(check int) "single set thrashes" 6 c.Memsys.icache.Memsys.misses;
+  (* Staying inside the one block hits after the first fill. *)
+  let r2 = mk_result [| a; a + 8; a + 16; a |] (no_data 4) in
+  let c2 =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 64 64 8)
+      ~dcache:(icfg 64 64 8) r2
+  in
+  Alcotest.(check int) "within-block walk misses per sub-block" 2
+    c2.Memsys.icache.Memsys.misses
+
+let test_prefetch_wraps_to_block_start () =
+  (* A read miss on the LAST sub-block of a block prefetches sub-block 0 of
+     the same block (wrap-around), not the next block. *)
+  let c = Memsys.Cache.make (icfg 1024 32 4) in
+  let missed a = Memsys.Cache.access c ~is_read:true ~addr:a ~bytes:4 in
+  Alcotest.(check bool) "last sub-block misses" true (missed 0x101C);
+  Alcotest.(check bool) "wrapped prefetch makes sub 0 hit" false (missed 0x1000);
+  Alcotest.(check bool) "sub 1 was not prefetched" true (missed 0x1004);
+  let s = Memsys.Cache.stats c in
+  Alcotest.(check int) "accesses" 3 s.Memsys.accesses;
+  Alcotest.(check int) "misses" 2 s.Memsys.misses;
+  (* Two misses, each filling two one-word sub-blocks. *)
+  Alcotest.(check int) "words" 4 s.Memsys.words_transferred
+
+let test_write_miss_heavy () =
+  (* Writes allocate only the touched sub-block: a sequential store sweep
+     misses on every sub-block, where the same sweep of reads would miss
+     every other one thanks to prefetch. *)
+  let n = 8 in
+  let iaddrs = Array.init n (fun i -> 0x1000 + (4 * i)) in
+  let writes =
+    Array.init n (fun i -> Some (true, 0x8000 + (4 * i), 4))
+  in
+  let reads =
+    Array.init n (fun i -> Some (false, 0x8000 + (4 * i), 4))
+  in
+  let cw =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4)
+      (mk_result iaddrs writes)
+  in
+  Alcotest.(check int) "every write misses" n
+    cw.Memsys.dcache_write.Memsys.misses;
+  Alcotest.(check int) "all accesses are writes" n
+    cw.Memsys.dcache_write.Memsys.accesses;
+  let cr =
+    Memsys.replay_cached ~insn_bytes:4 ~icache:(icfg 1024 32 4)
+      ~dcache:(icfg 1024 32 4)
+      (mk_result iaddrs reads)
+  in
+  Alcotest.(check int) "reads miss every other sub-block" (n / 2)
+    cr.Memsys.dcache_read.Memsys.misses
+
 let test_cycle_formulas () =
   let iaddrs = Array.init 10 (fun i -> 0x1000 + (4 * i)) in
   let r = { (mk_result iaddrs (no_data 10)) with Machine.interlocks = 3 } in
@@ -220,6 +298,11 @@ let tests =
     Alcotest.test_case "wrap-around prefetch" `Quick test_cache_prefetch;
     Alcotest.test_case "conflict misses" `Quick test_cache_conflict;
     Alcotest.test_case "writes do not prefetch" `Quick test_cache_write_no_prefetch;
+    Alcotest.test_case "sub-block = block" `Quick test_cache_sub_equals_block;
+    Alcotest.test_case "single-set cache" `Quick test_cache_single_set;
+    Alcotest.test_case "prefetch wraps within block" `Quick
+      test_prefetch_wraps_to_block_start;
+    Alcotest.test_case "write-miss-heavy sweep" `Quick test_write_miss_heavy;
     Alcotest.test_case "cycle formulas" `Quick test_cycle_formulas;
     Alcotest.test_case "formula vs measurement" `Quick test_formula_vs_measurement;
     Alcotest.test_case "interlock counting" `Quick test_interlock_counting;

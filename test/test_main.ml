@@ -10,6 +10,7 @@ let () =
       ("machine", T_machine.tests);
       ("progfuzz", T_progfuzz.tests);
       ("memsys", T_memsys.tests);
+      ("uarch", T_uarch.tests);
       ("link", T_link.tests);
       ("regalloc", T_regalloc.tests);
       ("extension", T_extension.tests);
