@@ -20,6 +20,9 @@ module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
 module Uarch = Repro_uarch.Uarch
 module Uconfig = Repro_uarch.Uconfig
+module Pool = Repro_harness.Pool
+module Trace = Repro_trace.Trace
+module Replay = Repro_trace.Replay
 
 let experiment_tests =
   List.map
@@ -52,6 +55,72 @@ let substrate_tests =
      let r = Machine.run ~trace:true img in
      Test.make ~name:"fetch-replay:queens"
        (Staged.stage (fun () -> ignore (Memsys.replay_nocache ~bus_bytes:4 r))));
+  ]
+
+(* The trace substrate: what a capture costs on top of simulation, what a
+   replay costs instead of re-execution, and the headline comparison — a
+   cold four-configuration cache sweep done by re-running the machine per
+   result set versus replaying one stored trace. *)
+let trace_tests =
+  let img = Compile.compile Target.d16 queens in
+  let path = Filename.temp_file "repro-bench" ".trc" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  let capture () =
+    let w = Trace.Writer.create ~insn_bytes:2 path in
+    let r =
+      Machine.run ~trace:false
+        ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+        img
+    in
+    Trace.Writer.close w;
+    r
+  in
+  ignore (capture ());
+  let rd =
+    match Trace.Reader.open_file path with
+    | Ok rd -> rd
+    | Error e -> failwith e
+  in
+  let sweep_cfgs =
+    List.map
+      (fun size -> Memsys.cache_config ~size ~block:32 ~sub:4)
+      [ 1024; 2048; 4096; 8192 ]
+  in
+  (* One long-lived pool so the parallel test times replay, not
+     Domain.spawn. *)
+  let pool = Pool.create ~jobs:4 in
+  [
+    Test.make ~name:"trace-capture:queens"
+      (Staged.stage (fun () -> ignore (capture ())));
+    Test.make ~name:"trace-cache-replay:4K:queens"
+      (Staged.stage (fun () ->
+           let cfg = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
+           ignore (Replay.cached ~icache:cfg ~dcache:cfg rd)));
+    Test.make ~name:"trace-fetch-seq:queens"
+      (Staged.stage (fun () -> ignore (Replay.nocache rd ~bus_bytes:4)));
+    Test.make ~name:"trace-fetch-par:queens"
+      (Staged.stage (fun () ->
+           ignore
+             (Replay.merge_nocache
+                (Pool.map ~pool
+                   (Replay.nocache_chunk rd ~bus_bytes:4)
+                   (List.init (Trace.Reader.n_chunks rd) Fun.id)))));
+    Test.make ~name:"sweep-direct:4cfg:queens"
+      (Staged.stage (fun () ->
+           let r = Machine.run ~trace:true img in
+           List.iter
+             (fun cfg ->
+               ignore
+                 (Memsys.replay_cached ~insn_bytes:2 ~icache:cfg ~dcache:cfg r))
+             sweep_cfgs));
+    Test.make ~name:"sweep-replay:4cfg:queens"
+      (Staged.stage (fun () ->
+           match Trace.Reader.open_file path with
+           | Error e -> failwith e
+           | Ok rd ->
+             List.iter
+               (fun cfg -> ignore (Replay.cached ~icache:cfg ~dcache:cfg rd))
+               sweep_cfgs));
   ]
 
 let uarch_tests =
@@ -144,7 +213,7 @@ let () =
           (fun (name, ns) -> Printf.printf "%-28s %s\n%!" name (pp_time ns))
           rs;
         rs)
-      (experiment_tests @ substrate_tests @ uarch_tests)
+      (experiment_tests @ substrate_tests @ trace_tests @ uarch_tests)
   in
   match json_path with
   | None -> ()

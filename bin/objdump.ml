@@ -8,6 +8,7 @@
 module Target = Repro_core.Target
 module Insn = Repro_core.Insn
 module Link = Repro_link.Link
+module Cli = Repro_util.Cli
 
 let encode_for (t : Target.t) i =
   match t.Target.isa with
@@ -17,16 +18,17 @@ let encode_for (t : Target.t) i =
   | Target.Dlxe -> Repro_core.Dlxe.encode i
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let cli =
+    Cli.parse ~flags_with_arg:[ "--bench" ]
+      ~usage:"objdump (--bench NAME | FILE) [d16|d16x|dlxe|...]" Sys.argv
+  in
   let source, rest =
-    match args with
-    | "--bench" :: name :: rest ->
+    match (Cli.flag_arg cli "--bench", Cli.positionals cli) with
+    | Some name, rest ->
       ((Repro_workloads.Suite.find name).Repro_workloads.Suite.source, rest)
-    | file :: rest when Sys.file_exists file ->
+    | None, file :: rest when Sys.file_exists file ->
       (In_channel.with_open_text file In_channel.input_all, rest)
-    | _ ->
-      prerr_endline "usage: objdump (--bench NAME | FILE) [d16|d16x|dlxe|...]";
-      exit 1
+    | None, _ -> Cli.usage_exit cli
   in
   let target =
     match rest with
@@ -37,9 +39,7 @@ let () =
       | Error msg ->
         prerr_endline msg;
         exit 1)
-    | _ ->
-      prerr_endline "too many arguments";
-      exit 1
+    | _ -> Cli.usage_exit cli
   in
   let img = Repro_harness.Compile.compile target source in
   let b = Target.insn_bytes target in

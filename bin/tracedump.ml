@@ -1,0 +1,182 @@
+(* tracedump: print, filter, and summarize compressed instruction traces.
+
+   Input is either a stored .trc file or a (benchmark, target) pair — the
+   latter goes through the harness trace store, capturing on a cold miss.
+
+   Usage:
+     dune exec bin/tracedump.exe -- (--bench NAME [TARGET] | FILE.trc)
+       [--summary] [--chunks] [--dump N] [--from PC] [--to PC]
+       [--loads] [--stores] [--working-set] [--traffic] [--jobs N]
+
+   With no mode flags, prints the summary.  --working-set and --traffic
+   replay chunk-parallel over --jobs domains (order-independent counters
+   merged per chunk).                                                     *)
+
+module Target = Repro_core.Target
+module Runs = Repro_harness.Runs
+module Pool = Repro_harness.Pool
+module Cli = Repro_util.Cli
+module Trace = Repro_trace.Trace
+module Replay = Repro_trace.Replay
+module Reader = Repro_trace.Trace.Reader
+
+let usage =
+  "tracedump (--bench NAME [TARGET] | FILE.trc) [--summary] [--chunks]\n\
+  \       [--dump N] [--from PC] [--to PC] [--loads] [--stores]\n\
+  \       [--working-set] [--traffic] [--jobs N]"
+
+let int_arg cli name ~default =
+  match Cli.flag_arg cli name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "%s: not a number: %s\n" name s;
+      exit 1)
+
+let summary rd =
+  Printf.printf
+    "trace: %d records, %d chunks, %d bytes (%.2f bytes/record), insn %d bytes\n"
+    (Reader.n_records rd) (Reader.n_chunks rd) (Reader.byte_size rd)
+    (float_of_int (Reader.byte_size rd)
+    /. float_of_int (max 1 (Reader.n_records rd)))
+    (Reader.insn_bytes rd)
+
+let chunks rd =
+  print_endline "chunk  records      start_pc    offset    bytes";
+  for i = 0 to Reader.n_chunks rd - 1 do
+    let c = Reader.chunk rd i in
+    Printf.printf "%5d  %7d    0x%08x  %8d  %7d\n" i c.Reader.n_records
+      c.Reader.start_pc c.Reader.byte_offset c.Reader.byte_length
+  done
+
+let dump rd ~limit ~from_pc ~to_pc ~loads_only ~stores_only =
+  let printed = ref 0 in
+  (try
+     Reader.iter rd (fun ~pc ~dinfo ->
+         if !printed >= limit then raise Exit;
+         if pc >= from_pc && pc <= to_pc then begin
+           let daccess =
+             match Repro_sim.Machine.decode_daccess dinfo with
+             | None -> None
+             | Some (is_write, _, _) as d ->
+               if (loads_only && is_write) || (stores_only && not is_write)
+               then None
+               else d
+           in
+           let wanted = (not (loads_only || stores_only)) || daccess <> None in
+           if wanted then begin
+             incr printed;
+             match daccess with
+             | Some (is_write, addr, bytes) ->
+               Printf.printf "%08x  %s %db @ %08x\n" pc
+                 (if is_write then "store" else "load ")
+                 bytes addr
+             | None -> Printf.printf "%08x\n" pc
+           end
+         end)
+   with Exit -> ());
+  Printf.printf "(%d records printed)\n" !printed
+
+(* Working set: distinct 32-byte instruction and data blocks, per-chunk
+   sets unioned — set union is order-free, so chunks fan out in
+   parallel. *)
+let working_set rd ~jobs =
+  let granule = 32 in
+  let per_chunk i =
+    let iset = Hashtbl.create 1024 in
+    let dset = Hashtbl.create 1024 in
+    Reader.iter_chunk rd i (fun ~pc ~dinfo ->
+        Hashtbl.replace iset (pc / granule) ();
+        if dinfo <> 0 then Hashtbl.replace dset (dinfo lsr 5 / granule) ());
+    (iset, dset)
+  in
+  let sets =
+    Pool.map ~jobs per_chunk (List.init (Reader.n_chunks rd) Fun.id)
+  in
+  let iall = Hashtbl.create 4096 in
+  let dall = Hashtbl.create 4096 in
+  List.iter
+    (fun (iset, dset) ->
+      Hashtbl.iter (fun k () -> Hashtbl.replace iall k ()) iset;
+      Hashtbl.iter (fun k () -> Hashtbl.replace dall k ()) dset)
+    sets;
+  Printf.printf
+    "working set (%d-byte blocks): insn %d blocks (%d bytes), data %d blocks (%d bytes)\n"
+    granule (Hashtbl.length iall)
+    (granule * Hashtbl.length iall)
+    (Hashtbl.length dall)
+    (granule * Hashtbl.length dall)
+
+(* Fetch-traffic histogram: memory requests of the cacheless machine at
+   each bus width, chunk-parallel with exact boundary merge. *)
+let traffic rd ~jobs =
+  print_endline "bus   irequests   drequests   requests/insn";
+  List.iter
+    (fun bus ->
+      let counts =
+        Pool.map ~jobs
+          (Replay.nocache_chunk rd ~bus_bytes:bus)
+          (List.init (Reader.n_chunks rd) Fun.id)
+      in
+      let nc = Replay.merge_nocache counts in
+      Printf.printf "%3d  %10d  %10d   %13.3f\n" bus
+        nc.Repro_sim.Memsys.irequests nc.Repro_sim.Memsys.drequests
+        (float_of_int
+           (nc.Repro_sim.Memsys.irequests + nc.Repro_sim.Memsys.drequests)
+        /. float_of_int (max 1 (Reader.n_records rd))))
+    [ 2; 4; 8; 16 ]
+
+let () =
+  let cli =
+    Cli.parse
+      ~flags_with_arg:[ "--bench"; "--dump"; "--from"; "--to"; "--jobs" ]
+      ~flags:
+        [ "--summary"; "--chunks"; "--loads"; "--stores"; "--working-set";
+          "--traffic" ]
+      ~usage Sys.argv
+  in
+  let rd =
+    match (Cli.flag_arg cli "--bench", Cli.positionals cli) with
+    | Some bench, rest ->
+      let target =
+        match rest with
+        | [] -> Target.d16
+        | [ name ] -> (
+          match Target.of_name name with
+          | Ok t -> t
+          | Error msg ->
+            prerr_endline msg;
+            exit 1)
+        | _ -> Cli.usage_exit cli
+      in
+      Runs.trace_reader bench target
+    | None, [ file ] -> (
+      match Reader.open_file file with
+      | Ok rd -> rd
+      | Error e ->
+        prerr_endline ("tracedump: " ^ e);
+        exit 1)
+    | None, _ -> Cli.usage_exit cli
+  in
+  let jobs = int_arg cli "--jobs" ~default:(Pool.default_jobs ()) in
+  let any_mode =
+    List.exists (Cli.flag cli)
+      [ "--chunks"; "--working-set"; "--traffic"; "--loads"; "--stores" ]
+    || Cli.flag_arg cli "--dump" <> None
+  in
+  if Cli.flag cli "--summary" || not any_mode then summary rd;
+  if Cli.flag cli "--chunks" then chunks rd;
+  if
+    Cli.flag_arg cli "--dump" <> None
+    || Cli.flag cli "--loads" || Cli.flag cli "--stores"
+  then
+    dump rd
+      ~limit:(int_arg cli "--dump" ~default:max_int)
+      ~from_pc:(int_arg cli "--from" ~default:0)
+      ~to_pc:(int_arg cli "--to" ~default:max_int)
+      ~loads_only:(Cli.flag cli "--loads")
+      ~stores_only:(Cli.flag cli "--stores");
+  if Cli.flag cli "--working-set" then working_set rd ~jobs;
+  if Cli.flag cli "--traffic" then traffic rd ~jobs

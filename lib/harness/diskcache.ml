@@ -7,10 +7,14 @@
    benchmark sources, target descriptions, compiler knobs, or the format
    itself changes the key and invalidates the entry.  Writes go through a
    temporary file and an atomic rename, making concurrent readers (other
-   domains or processes) safe.  Unreadable or truncated entries are
-   treated as misses. *)
+   domains or processes) safe.
 
-let format_version = "repro-runs-cache-v1"
+   Entries are checksummed: each file is a 16-byte MD5 of the marshaled
+   payload followed by the payload.  Unreadable, truncated, or corrupted
+   entries (Marshal would otherwise happily decode flipped bits into
+   garbage values) are treated as misses and silently regenerated. *)
+
+let format_version = "repro-runs-cache-v2"
 
 let default_dir () =
   match Sys.getenv_opt "REPRO_CACHE_DIR" with
@@ -44,6 +48,13 @@ let ensure_dir () =
   if not (Sys.file_exists d) then
     try Sys.mkdir d 0o755 with Sys_error _ -> ()
 
+let subdir name =
+  ensure_dir ();
+  let d = Filename.concat (dir ()) name in
+  if not (Sys.file_exists d) then
+    (try Sys.mkdir d 0o755 with Sys_error _ -> ());
+  d
+
 let find (k : string) : 'a option =
   if not (enabled ()) then None
   else
@@ -51,7 +62,13 @@ let find (k : string) : 'a option =
     let v =
       if Sys.file_exists p then
         try
-          In_channel.with_open_bin p (fun ic -> Some (Marshal.from_channel ic))
+          In_channel.with_open_bin p (fun ic ->
+              let contents = In_channel.input_all ic in
+              if String.length contents < 16 then None
+              else
+                let payload = String.sub contents 16 (String.length contents - 16) in
+                if Digest.string payload <> String.sub contents 0 16 then None
+                else Some (Marshal.from_string payload 0))
         with _ -> None
       else None
     in
@@ -67,7 +84,10 @@ let store (k : string) (v : 'a) =
       Printf.sprintf "%s.tmp.%d" p (Domain.self () :> int)
     in
     try
-      Out_channel.with_open_bin tmp (fun oc -> Marshal.to_channel oc v []);
+      Out_channel.with_open_bin tmp (fun oc ->
+          let payload = Marshal.to_string v [] in
+          Out_channel.output_string oc (Digest.string payload);
+          Out_channel.output_string oc payload);
       Sys.rename tmp p
     with Sys_error _ -> (try Sys.remove tmp with Sys_error _ -> ())
   end
@@ -85,5 +105,16 @@ let clear () =
   if Sys.file_exists d && Sys.is_directory d then
     Array.iter
       (fun f ->
-        try Sys.remove (Filename.concat d f) with Sys_error _ -> ())
+        let p = Filename.concat d f in
+        try
+          if Sys.is_directory p then begin
+            (* One level of subdirectories (the trace store). *)
+            Array.iter
+              (fun g ->
+                try Sys.remove (Filename.concat p g) with Sys_error _ -> ())
+              (Sys.readdir p);
+            Sys.rmdir p
+          end
+          else Sys.remove p
+        with Sys_error _ -> ())
       (Sys.readdir d)

@@ -8,7 +8,10 @@
     description, compiler knobs) and staleness becomes impossible — a
     changed input is a different key, and orphaned entries are just never
     read again.  Writes are atomic (temp file + rename), so concurrent
-    domains and processes are safe; corrupt entries read as misses.
+    domains and processes are safe.  Each entry carries an MD5 checksum
+    of its marshaled payload, so truncated or bit-corrupted files —
+    which [Marshal] alone can silently decode into garbage — read as
+    misses and are regenerated.
 
     Values are stored with [Marshal]; each key namespace must map to a
     single result type (callers prefix keys with a kind tag). *)
@@ -25,11 +28,17 @@ val memo : string -> (unit -> 'a) -> 'a
 
 val dir : unit -> string
 val set_dir : string -> unit
+
+val subdir : string -> string
+(** [subdir name] is [Filename.concat (dir ()) name], created (with
+    {!dir} itself) if missing — the trace store lives in
+    [subdir "traces"]. *)
+
 val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val clear : unit -> unit
-(** Remove every entry in {!dir}. *)
+(** Remove every entry in {!dir}, including stored traces. *)
 
 val hit_count : unit -> int
 (** Disk hits since program start (for tests and diagnostics). *)

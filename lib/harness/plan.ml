@@ -1,7 +1,7 @@
 module Target = Repro_core.Target
 module Suite = Repro_workloads.Suite
 
-type kind = Stats | Grid | Uarch
+type kind = Stats | Grid | Uarch | Trace
 type spec = { bench : string; target : Target.t; kind : kind }
 type t = spec list
 
@@ -13,6 +13,7 @@ let specs_of kind ~benches ~targets =
 let stats_specs ~benches ~targets = specs_of Stats ~benches ~targets
 let grid_specs ~benches ~targets = specs_of Grid ~benches ~targets
 let uarch_specs ~benches ~targets = specs_of Uarch ~benches ~targets
+let trace_specs ~benches ~targets = specs_of Trace ~benches ~targets
 let spec_id s = (s.bench, s.target.Target.name, s.kind)
 
 let dedup plan =
@@ -34,31 +35,37 @@ let describe s =
     (match s.kind with
     | Stats -> ""
     | Grid -> " (cache grid)"
-    | Uarch -> " (uarch sweep)")
+    | Uarch -> " (uarch sweep)"
+    | Trace -> " (trace capture)")
 
 let execute s =
   match s.kind with
   | Stats -> ignore (Runs.stats s.bench s.target)
   | Grid -> Runs.ensure_grid s.bench s.target
   | Uarch -> Runs.ensure_uarch s.bench s.target
+  | Trace -> Runs.ensure_trace s.bench s.target
 
 let suite_names = List.map (fun b -> b.Suite.name) Suite.all
 
 let cache_names =
   List.map (fun b -> b.Suite.name) Suite.cache_benchmarks
 
-(* Grid replays are the most expensive units (large traced runs replayed
-   over 25 geometries), so they go first: under a parallel pool the long
-   poles start immediately instead of trailing the schedule.  Uarch sweeps
-   (one execution feeding every pipeline configuration) rank next. *)
+(* Trace captures go first: they are the only units that execute the
+   machine (everything downstream replays the stored trace), and the
+   cache-benchmark captures are the long poles, so under a parallel pool
+   they start immediately.  Grid replays (25 geometries each) rank next,
+   then uarch sweeps, then stats. *)
 let full () =
   union
-    (grid_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
+    (trace_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
     (union
-       (uarch_specs ~benches:suite_names ~targets:[ Target.d16; Target.dlxe ])
+       (grid_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
        (union
-          (stats_specs ~benches:suite_names ~targets:Target.all)
-          (stats_specs ~benches:suite_names ~targets:[ Target.d16x ])))
+          (uarch_specs ~benches:suite_names
+             ~targets:[ Target.d16; Target.dlxe ])
+          (union
+             (stats_specs ~benches:suite_names ~targets:Target.all)
+             (stats_specs ~benches:suite_names ~targets:[ Target.d16x ]))))
 
 let for_experiment id =
   let cache_pair = [ Target.d16; Target.dlxe ] in

@@ -9,9 +9,11 @@
     serial. *)
 
 (** The unit of work: the {!Runs.stats} measurements, the standard cache
-    grid ({!Runs.ensure_grid}), or the standard cycle-accurate pipeline
-    sweep ({!Runs.ensure_uarch}). *)
-type kind = Stats | Grid | Uarch
+    grid ({!Runs.ensure_grid}), the standard cycle-accurate pipeline
+    sweep ({!Runs.ensure_uarch}), or a trace capture into the store
+    ({!Runs.ensure_trace}) — the only kind that executes the machine;
+    the others replay its output. *)
+type kind = Stats | Grid | Uarch | Trace
 
 type spec = { bench : string; target : Repro_core.Target.t; kind : kind }
 type t = spec list
@@ -25,6 +27,9 @@ val grid_specs :
 val uarch_specs :
   benches:string list -> targets:Repro_core.Target.t list -> t
 
+val trace_specs :
+  benches:string list -> targets:Repro_core.Target.t list -> t
+
 val union : t -> t -> t
 (** Concatenation with first-occurrence dedup. *)
 
@@ -33,8 +38,9 @@ val dedup : t -> t
 val full : unit -> t
 (** Everything {!Experiments.render_all} needs: suite stats on all six
     targets, the cache grids for the three cache benchmarks, and the
-    pipeline-model sweeps for the paper pair, most expensive units
-    first. *)
+    pipeline-model sweeps for the paper pair — trace captures (the only
+    machine executions) scheduled ahead of the replays that consume
+    them, most expensive units first. *)
 
 val for_experiment : string -> t
 (** The plan for one experiment id (empty for the two drivers that manage

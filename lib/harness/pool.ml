@@ -100,6 +100,24 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
+let map_on t f xs =
+  let arr = Array.of_list xs in
+  let out = Array.make (Array.length arr) None in
+  Array.iteri (fun i x -> submit t (fun () -> out.(i) <- Some (f x))) arr;
+  wait t;
+  Array.to_list (Array.map Option.get out)
+
+let map ?pool ?(jobs = 1) f xs =
+  match pool with
+  | Some t -> map_on t f xs
+  | None ->
+    let jobs = max 1 (min jobs (List.length xs)) in
+    if jobs <= 1 then List.map f xs
+    else begin
+      let t = create ~jobs in
+      Fun.protect ~finally:(fun () -> shutdown t) (fun () -> map_on t f xs)
+    end
+
 let default_jobs () =
   match Sys.getenv_opt "REPRO_JOBS" with
   | Some s -> (

@@ -25,6 +25,14 @@ val wait : t -> unit
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Call after {!wait}. *)
 
+val map : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map; the chunk-parallel trace replays
+    distribute per-chunk work with this.  With [?pool] the elements run
+    on that pool's existing workers (the caller keeps ownership and must
+    not be waiting on it concurrently); otherwise a throwaway pool of
+    [jobs] workers is spawned ([jobs] defaults to 1 = plain [List.map]).
+    Re-raises the first exception any element raised. *)
+
 val default_jobs : unit -> int
 
 val run_plan : ?jobs:int -> Plan.t -> unit

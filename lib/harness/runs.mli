@@ -1,9 +1,15 @@
 (** Memoized per-(benchmark, target) measurements.
 
     Compiling and simulating a benchmark is deterministic, so every
-    experiment shares one set of raw numbers.  Traces are large; they are
-    replayed once per (benchmark, target) to derive fetch-buffer request
-    counts and the standard grid of cache statistics, then discarded.
+    experiment shares one set of raw numbers.  The measurement plane is
+    trace-driven, mirroring the paper's dinero methodology: one captured
+    execution per (benchmark, target) lands as a compressed
+    {!Repro_trace.Trace} file in the store under
+    [_runs_cache/traces/], and fetch-request counts, the standard cache
+    grid, and the cycle-accurate pipeline sweeps all {e replay} that
+    trace — sweep cost scales with trace I/O, not architectural work.
+    Corrupt or version-skewed trace files read as misses and are
+    re-captured.
 
     Two memo layers back every accessor:
 
@@ -84,7 +90,24 @@ val standard_grid : (int * int * int) list
 (** Every (size, block, sub) geometry the appendix tables and figures use. *)
 
 val run_with_trace : string -> Repro_core.Target.t -> Repro_sim.Machine.result
-(** A fresh traced run (not memoized — the trace is big). *)
+(** A fresh traced run with the in-memory trace arrays (not memoized —
+    the materialized trace is big).  The differential tests use it to
+    compare direct execution against the trace store. *)
+
+(** {2 Trace store} *)
+
+val trace_reader : string -> Repro_core.Target.t -> Repro_trace.Trace.Reader.t
+(** The stored trace for one (benchmark, target), captured now if the
+    store has no readable current-version file.  Readers are shared (and
+    safe to share) across domains. *)
+
+val ensure_trace : string -> Repro_core.Target.t -> unit
+(** Populate the trace store for one (benchmark, target) — the unit of
+    work {!Pool} schedules ahead of grid and uarch sweeps so replays hit
+    a warm store. *)
+
+val trace_path : string -> Repro_core.Target.t -> string
+(** Where the stored trace lives ([_runs_cache/traces/<key>.trc]). *)
 
 val image : string -> Repro_core.Target.t -> Repro_link.Link.image
 
@@ -99,6 +122,10 @@ val clear_memo : unit -> unit
 val stats_key : string -> Repro_core.Target.t -> string
 val grid_key : string -> Repro_core.Target.t -> string
 val uarch_sweep_key : string -> Repro_core.Target.t -> string
+
+val trace_key : string -> Repro_core.Target.t -> string
+(** Also digests {!Repro_trace.Trace.format_version}: bumping the format
+    re-captures every stored trace. *)
 
 val bench_fingerprint : string -> string
 (** Digest of runtime library + benchmark source. *)

@@ -22,6 +22,28 @@ let miss_rate s =
 
 type nocache = { irequests : int; drequests : int }
 
+(* The cacheless machine's one-block instruction buffer (paper Section
+   4.2), shared by the trace replays and the cycle-accurate pipeline. *)
+module Fetchbuf = struct
+  type t = { bus_bytes : int; mutable block : int; mutable requests : int }
+
+  let make ~bus_bytes = { bus_bytes; block = -1; requests = 0 }
+
+  let fetch b ~addr =
+    let block = addr / b.bus_bytes in
+    if block = b.block then false
+    else begin
+      b.block <- block;
+      b.requests <- b.requests + 1;
+      true
+    end
+
+  let requests b = b.requests
+  let last_block b = b.block
+end
+
+let data_requests ~bus_bytes ~bytes = (bytes + bus_bytes - 1) / bus_bytes
+
 let get_trace (r : Machine.result) =
   match r.Machine.trace with
   | Some t -> t
@@ -29,23 +51,18 @@ let get_trace (r : Machine.result) =
 
 let replay_nocache ~bus_bytes (r : Machine.result) =
   let t = get_trace r in
-  let ireq = ref 0 in
+  let buf = Fetchbuf.make ~bus_bytes in
   let dreq = ref 0 in
-  let buffer = ref (-1) in
   let n = Array.length t.Machine.iaddr in
   for i = 0 to n - 1 do
-    let block = t.Machine.iaddr.(i) / bus_bytes in
-    if block <> !buffer then begin
-      incr ireq;
-      buffer := block
-    end;
+    ignore (Fetchbuf.fetch buf ~addr:t.Machine.iaddr.(i));
     let d = t.Machine.dinfo.(i) in
     if d <> 0 then begin
       let bytes = (d lsr 1) land 0xF in
-      dreq := !dreq + ((bytes + bus_bytes - 1) / bus_bytes)
+      dreq := !dreq + data_requests ~bus_bytes ~bytes
     end
   done;
-  { irequests = !ireq; drequests = !dreq }
+  { irequests = Fetchbuf.requests buf; drequests = !dreq }
 
 let nocache_cycles ~wait_states (r : Machine.result) nc =
   r.Machine.ic + r.Machine.interlocks

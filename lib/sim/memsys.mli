@@ -45,6 +45,27 @@ module Cache : sig
   val stats : t -> cache_stats
 end
 
+(** The cacheless machine's instruction buffer: holds the last fetched
+    bus-width block; a fetch outside it is one memory request.  Exposed so
+    the trace replays ({!Repro_trace.Replay}) and the {!Repro_uarch}
+    pipeline charge fetch traffic through the same model. *)
+module Fetchbuf : sig
+  type t
+
+  val make : bus_bytes:int -> t
+
+  val fetch : t -> addr:int -> bool
+  (** Whether the fetch went to memory (address outside the buffer). *)
+
+  val requests : t -> int
+
+  val last_block : t -> int
+  (** The buffered block number, [-1] before the first fetch. *)
+end
+
+val data_requests : bus_bytes:int -> bytes:int -> int
+(** Bus transactions for one data access of [bytes] bytes. *)
+
 type nocache = {
   irequests : int;  (** Instruction-fetch bus transactions. *)
   drequests : int;  (** Data bus transactions (doubles = 2 on a 32-bit bus). *)

@@ -1,0 +1,89 @@
+module Memsys = Repro_sim.Memsys
+module Pipeline = Repro_uarch.Pipeline
+
+type nocache_chunk = {
+  cold_irequests : int;
+  first_block : int;
+  last_block : int;
+  drequests : int;
+}
+
+let nocache_chunk rd ~bus_bytes i =
+  let buf = Memsys.Fetchbuf.make ~bus_bytes in
+  let first = ref (-1) in
+  let dreq = ref 0 in
+  Trace.Reader.iter_chunk rd i (fun ~pc ~dinfo ->
+      ignore (Memsys.Fetchbuf.fetch buf ~addr:pc);
+      if !first < 0 then first := pc / bus_bytes;
+      if dinfo <> 0 then begin
+        let bytes = (dinfo lsr 1) land 0xF in
+        dreq := !dreq + Memsys.data_requests ~bus_bytes ~bytes
+      end);
+  {
+    cold_irequests = Memsys.Fetchbuf.requests buf;
+    first_block = !first;
+    last_block = Memsys.Fetchbuf.last_block buf;
+    drequests = !dreq;
+  }
+
+let merge_nocache chunks =
+  let ireq = ref 0 in
+  let dreq = ref 0 in
+  let prev = ref (-1) in
+  List.iter
+    (fun c ->
+      dreq := !dreq + c.drequests;
+      if c.first_block >= 0 then begin
+        ireq :=
+          !ireq + c.cold_irequests
+          - (if c.first_block = !prev then 1 else 0);
+        prev := c.last_block
+      end)
+    chunks;
+  { Memsys.irequests = !ireq; drequests = !dreq }
+
+let nocache rd ~bus_bytes =
+  merge_nocache
+    (List.init (Trace.Reader.n_chunks rd) (nocache_chunk rd ~bus_bytes))
+
+let cached ~icache ~dcache rd =
+  let insn_bytes = Trace.Reader.insn_bytes rd in
+  let ic = Memsys.Cache.make icache in
+  let dc = Memsys.Cache.make dcache in
+  let dreads = ref 0 in
+  let dread_miss = ref 0 in
+  let dwrites = ref 0 in
+  let dwrite_miss = ref 0 in
+  Trace.Reader.iter rd (fun ~pc ~dinfo ->
+      ignore (Memsys.Cache.access ic ~is_read:true ~addr:pc ~bytes:insn_bytes);
+      if dinfo <> 0 then begin
+        let is_write = dinfo land 1 = 1 in
+        let bytes = (dinfo lsr 1) land 0xF in
+        let addr = dinfo lsr 5 in
+        let missed = Memsys.Cache.access dc ~is_read:(not is_write) ~addr ~bytes in
+        if is_write then begin
+          incr dwrites;
+          if missed then incr dwrite_miss
+        end
+        else begin
+          incr dreads;
+          if missed then incr dread_miss
+        end
+      end);
+  {
+    Memsys.icache = Memsys.Cache.stats ic;
+    dcache_read =
+      { Memsys.accesses = !dreads; misses = !dread_miss; words_transferred = 0 };
+    dcache_write =
+      {
+        Memsys.accesses = !dwrites;
+        misses = !dwrite_miss;
+        words_transferred = 0;
+      };
+  }
+
+let pipelines rd cfgs img =
+  let pipes = List.map (fun cfg -> Pipeline.create cfg img) cfgs in
+  Trace.Reader.iter rd (fun ~pc ~dinfo ->
+      List.iter (fun p -> Pipeline.step p ~iaddr:pc ~dinfo) pipes);
+  List.map Pipeline.result pipes

@@ -1,0 +1,51 @@
+(** Trace-driven replay: the memory-system models and the cycle-accurate
+    pipeline, fed from a {!Trace.Reader} instead of a live execution.
+
+    Replays are exactly equal to their direct-execution counterparts
+    ({!Repro_sim.Memsys.replay_nocache}, [replay_cached], and
+    {!Repro_uarch.Uarch} runs) — the differential suite in [test/t_trace.ml]
+    gates on byte-identical counters.
+
+    Parallelism: the fetch-buffer counters are order-independent up to one
+    block of boundary state, so {!nocache_chunk} computes any chunk in
+    isolation (as if the buffer were cold) and {!merge_nocache} stitches
+    the per-chunk results into the exact sequential totals by cancelling
+    the one request a warm buffer would have avoided at each boundary.
+    Cache and pipeline state is order-dependent (tags and valid bits
+    persist across every access), so {!cached} and {!pipelines} replay
+    sequentially; parallel sweeps run whole configurations concurrently
+    instead, each over its own cursor of a shared reader. *)
+
+(** Per-chunk fetch-buffer counters, computed cold. *)
+type nocache_chunk = {
+  cold_irequests : int;  (** Fetch requests with an initially-empty buffer. *)
+  first_block : int;  (** Bus block of the chunk's first fetch, [-1] if none. *)
+  last_block : int;  (** Bus block buffered after the chunk. *)
+  drequests : int;  (** Data bus transactions; order-free. *)
+}
+
+val nocache_chunk : Trace.Reader.t -> bus_bytes:int -> int -> nocache_chunk
+
+val merge_nocache : nocache_chunk list -> Repro_sim.Memsys.nocache
+(** In chunk order: a chunk whose first fetch hits the block the previous
+    chunk left buffered did not really issue that request. *)
+
+val nocache : Trace.Reader.t -> bus_bytes:int -> Repro_sim.Memsys.nocache
+(** Sequential convenience: per-chunk counts merged in order. *)
+
+val cached :
+  icache:Repro_sim.Memsys.cache_config ->
+  dcache:Repro_sim.Memsys.cache_config ->
+  Trace.Reader.t ->
+  Repro_sim.Memsys.cached
+(** Split I/D cache replay; instruction fetch width comes from the trace
+    header.  Field-for-field equal to {!Repro_sim.Memsys.replay_cached}. *)
+
+val pipelines :
+  Trace.Reader.t ->
+  Repro_uarch.Uconfig.t list ->
+  Repro_link.Link.image ->
+  Repro_uarch.Pipeline.result list
+(** One sequential pass feeding every configuration's pipeline, in
+    configuration order — the trace-driven twin of
+    {!Repro_uarch.Uarch.run_many}. *)

@@ -1,0 +1,295 @@
+let format_version = 1
+let default_chunk_records = 1 lsl 16
+let magic = "REPROTRC"
+let magic_end = "REPROEND"
+let header_bytes = String.length magic + 2 (* + chunk_records varint *)
+let trailer_bytes = 8 + String.length magic_end
+
+(* LEB128 varints; signed values zigzag-coded (OCaml's 63-bit ints). *)
+
+let put_uvarint buf n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+let put_svarint buf n = put_uvarint buf (zigzag n)
+
+let get_uvarint data pos =
+  let rec go shift acc =
+    if shift > 56 then invalid_arg "varint overflow";
+    let c = Char.code (Bytes.get data !pos) in
+    incr pos;
+    let acc = acc lor ((c land 0x7F) lsl shift) in
+    if c < 0x80 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+module Writer = struct
+  type pending = {
+    start_pc : int;
+    n_records : int;
+    byte_offset : int;
+    digest : string;
+  }
+
+  type t = {
+    path : string;
+    tmp : string;
+    oc : Out_channel.t;
+    chunk_records : int;
+    buf : Buffer.t;  (* current chunk payload *)
+    mutable offset : int;  (* of the next chunk, from file start *)
+    mutable index : pending list;  (* completed chunks, reversed *)
+    mutable cur_n : int;
+    mutable cur_start_pc : int;
+    mutable prev_pc : int;
+    mutable prev_daddr : int;
+    mutable total : int;
+  }
+
+  let create ?(chunk_records = default_chunk_records) ~insn_bytes path =
+    if chunk_records < 1 then
+      invalid_arg "Trace.Writer.create: chunk_records < 1";
+    if insn_bytes <> 2 && insn_bytes <> 4 then
+      invalid_arg "Trace.Writer.create: insn_bytes must be 2 or 4";
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int) in
+    let oc = Out_channel.open_bin tmp in
+    let header = Buffer.create 16 in
+    Buffer.add_string header magic;
+    Buffer.add_char header (Char.chr format_version);
+    Buffer.add_char header (Char.chr insn_bytes);
+    put_uvarint header chunk_records;
+    Out_channel.output_string oc (Buffer.contents header);
+    {
+      path;
+      tmp;
+      oc;
+      chunk_records;
+      buf = Buffer.create (16 * 1024);
+      offset = Buffer.length header;
+      index = [];
+      cur_n = 0;
+      cur_start_pc = 0;
+      prev_pc = 0;
+      prev_daddr = 0;
+      total = 0;
+    }
+
+  let flush_chunk w =
+    if w.cur_n > 0 then begin
+      let payload = Buffer.contents w.buf in
+      w.index <-
+        {
+          start_pc = w.cur_start_pc;
+          n_records = w.cur_n;
+          byte_offset = w.offset;
+          digest = Digest.string payload;
+        }
+        :: w.index;
+      Out_channel.output_string w.oc payload;
+      w.offset <- w.offset + String.length payload;
+      Buffer.clear w.buf;
+      w.cur_n <- 0;
+      (* Each chunk restarts the delta predictors so it decodes alone. *)
+      w.prev_pc <- 0;
+      w.prev_daddr <- 0
+    end
+
+  let step w ~pc ~dinfo =
+    if w.cur_n = 0 then w.cur_start_pc <- pc;
+    put_svarint w.buf (pc - w.prev_pc);
+    w.prev_pc <- pc;
+    if dinfo = 0 then put_uvarint w.buf 0
+    else begin
+      (* dtag = (bytes << 1) | is_write, nonzero because bytes >= 1. *)
+      put_uvarint w.buf (dinfo land 0x1F);
+      let addr = dinfo lsr 5 in
+      put_svarint w.buf (addr - w.prev_daddr);
+      w.prev_daddr <- addr
+    end;
+    w.cur_n <- w.cur_n + 1;
+    w.total <- w.total + 1;
+    if w.cur_n = w.chunk_records then flush_chunk w
+
+  let close w =
+    flush_chunk w;
+    let footer_offset = w.offset in
+    let footer = Buffer.create 256 in
+    let chunks = List.rev w.index in
+    put_uvarint footer (List.length chunks);
+    put_uvarint footer w.total;
+    List.iter
+      (fun c ->
+        put_uvarint footer c.byte_offset;
+        put_uvarint footer c.n_records;
+        put_uvarint footer c.start_pc;
+        Buffer.add_string footer c.digest)
+      chunks;
+    let tl = Bytes.create 8 in
+    Bytes.set_int64_le tl 0 (Int64.of_int footer_offset);
+    Buffer.add_bytes footer tl;
+    Buffer.add_string footer magic_end;
+    Out_channel.output_string w.oc (Buffer.contents footer);
+    Out_channel.close w.oc;
+    Sys.rename w.tmp w.path
+
+  let abort w =
+    Out_channel.close w.oc;
+    try Sys.remove w.tmp with Sys_error _ -> ()
+end
+
+module Reader = struct
+  type chunk = {
+    start_pc : int;
+    n_records : int;
+    byte_offset : int;
+    byte_length : int;
+  }
+
+  type t = {
+    data : bytes;  (* whole validated file; never mutated after open *)
+    insn_bytes : int;
+    total : int;
+    chunks : chunk array;
+  }
+
+  exception Bad of string
+
+  let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+  let validate data =
+    let len = Bytes.length data in
+    if len < header_bytes + trailer_bytes then bad "truncated (%d bytes)" len;
+    if Bytes.sub_string data 0 (String.length magic) <> magic then
+      bad "bad magic";
+    let version = Char.code (Bytes.get data (String.length magic)) in
+    if version <> format_version then
+      bad "format version %d (want %d)" version format_version;
+    let insn_bytes = Char.code (Bytes.get data (String.length magic + 1)) in
+    if insn_bytes <> 2 && insn_bytes <> 4 then
+      bad "bad insn_bytes %d" insn_bytes;
+    let pos = ref header_bytes in
+    let _chunk_records = get_uvarint data pos in
+    let header_end = !pos in
+    if Bytes.sub_string data (len - String.length magic_end)
+         (String.length magic_end)
+       <> magic_end
+    then bad "bad end magic";
+    let footer_offset =
+      Int64.to_int (Bytes.get_int64_le data (len - trailer_bytes))
+    in
+    if footer_offset < header_end || footer_offset > len - trailer_bytes then
+      bad "footer offset out of range";
+    let pos = ref footer_offset in
+    let n_chunks = get_uvarint data pos in
+    let total = get_uvarint data pos in
+    (* Each index entry is >= 19 bytes; a corrupt count cannot pass this,
+       so no giant allocation happens below. *)
+    if n_chunks < 0 || n_chunks * 19 > len - footer_offset then
+      bad "implausible chunk count %d" n_chunks;
+    let chunks =
+      Array.init n_chunks (fun _ ->
+          let byte_offset = get_uvarint data pos in
+          let n_records = get_uvarint data pos in
+          let start_pc = get_uvarint data pos in
+          if !pos + 16 > len then bad "truncated index";
+          let digest = Bytes.sub_string data !pos 16 in
+          pos := !pos + 16;
+          (byte_offset, n_records, start_pc, digest))
+    in
+    if !pos <> len - trailer_bytes then bad "index size mismatch";
+    let sum = ref 0 in
+    let chunks =
+      Array.mapi
+        (fun i (byte_offset, n_records, start_pc, digest) ->
+          let next =
+            if i + 1 < n_chunks then
+              let o, _, _, _ = chunks.(i + 1) in
+              o
+            else footer_offset
+          in
+          if byte_offset < header_end || next < byte_offset then
+            bad "chunk %d offsets out of order" i;
+          if n_records < 1 then bad "chunk %d empty" i;
+          let byte_length = next - byte_offset in
+          if Digest.subbytes data byte_offset byte_length <> digest then
+            bad "chunk %d checksum mismatch" i;
+          sum := !sum + n_records;
+          { start_pc; n_records; byte_offset; byte_length })
+        chunks
+    in
+    if !sum <> total then bad "record count mismatch";
+    { data; insn_bytes; total; chunks }
+
+  let open_file path =
+    match
+      In_channel.with_open_bin path (fun ic -> In_channel.input_all ic)
+    with
+    | exception Sys_error e -> Error e
+    | contents -> (
+      (* The string is ours alone; avoid a second copy of a large trace. *)
+      match validate (Bytes.unsafe_of_string contents) with
+      | t -> Ok t
+      | exception Bad reason -> Error (path ^ ": " ^ reason)
+      | exception Invalid_argument _ -> Error (path ^ ": truncated"))
+
+  let insn_bytes t = t.insn_bytes
+  let n_records t = t.total
+  let n_chunks t = Array.length t.chunks
+  let byte_size t = Bytes.length t.data
+  let chunk t i = t.chunks.(i)
+
+  let iter_chunk t i f =
+    let c = t.chunks.(i) in
+    let data = t.data in
+    (* Replay is the hot loop, so decode with unchecked reads and a
+       single-byte fast path: the chunk checksum was verified at open, so
+       the payload is byte-identical to what the writer emitted and the
+       decoder cannot run past it. *)
+    let pos = ref c.byte_offset in
+    let uvarint () =
+      let b = Char.code (Bytes.unsafe_get data !pos) in
+      incr pos;
+      if b < 0x80 then b
+      else begin
+        let acc = ref (b land 0x7F) in
+        let shift = ref 7 in
+        let cont = ref true in
+        while !cont do
+          if !shift > 56 then invalid_arg "varint overflow";
+          let b = Char.code (Bytes.unsafe_get data !pos) in
+          incr pos;
+          acc := !acc lor ((b land 0x7F) lsl !shift);
+          shift := !shift + 7;
+          cont := b >= 0x80
+        done;
+        !acc
+      end
+    in
+    let pc = ref 0 in
+    let daddr = ref 0 in
+    for _ = 1 to c.n_records do
+      pc := !pc + unzigzag (uvarint ());
+      let dtag = uvarint () in
+      let dinfo =
+        if dtag = 0 then 0
+        else begin
+          daddr := !daddr + unzigzag (uvarint ());
+          (!daddr lsl 5) lor dtag
+        end
+      in
+      f ~pc:!pc ~dinfo
+    done
+
+  let iter t f =
+    for i = 0 to Array.length t.chunks - 1 do
+      iter_chunk t i f
+    done
+end

@@ -1,0 +1,88 @@
+(** Compressed binary architectural traces (the paper's dinero
+    methodology, persisted).
+
+    A trace records one entry per retired instruction — byte address and
+    packed data access, exactly the stream {!Repro_sim.Machine.run}'s
+    [on_insn] hook delivers — delta+varint encoded into fixed-record-count
+    chunks.  Each chunk restarts its delta predictors, so any chunk
+    decodes independently of the others; a footer index (per-chunk start
+    pc, record count, byte offset, MD5 checksum) makes traces seekable
+    and corruption-detectable.  One captured execution then drives
+    arbitrarily many memory-system configurations at replay speed
+    ({!Replay}), chunk-parallel where the counters permit.
+
+    File layout (all integers LEB128 varints unless noted; signed values
+    zigzag-coded):
+
+    {v
+    header   "REPROTRC" | version u8 | insn_bytes u8 | chunk_records
+    chunks   per record: Δpc | dtag ((bytes<<1)|is_write, 0 = no access)
+                       | Δdaddr (only when dtag <> 0)
+    footer   n_chunks | n_records
+             per chunk: byte_offset | n_records | start_pc | MD5 (16 raw)
+    trailer  footer_offset u64 LE | "REPROEND"
+    v} *)
+
+val format_version : int
+(** Bumping it orphans every stored trace (readers treat other versions
+    as corrupt, so stores regenerate).  Mirrored in the CI cache key. *)
+
+val default_chunk_records : int
+
+(** Streaming encoder.  Writes to [path ^ ".tmp.<domain>"] and renames on
+    {!Writer.close}, so a crash mid-capture never leaves a half-written
+    trace at the target path and concurrent captures of the same key are
+    safe (last rename wins, both files valid). *)
+module Writer : sig
+  type t
+
+  val create : ?chunk_records:int -> insn_bytes:int -> string -> t
+  (** @raise Invalid_argument if [chunk_records < 1] or [insn_bytes]
+      is not 2 or 4. *)
+
+  val step : t -> pc:int -> dinfo:int -> unit
+  (** One retired instruction: byte address and packed data access in the
+      {!Repro_sim.Machine.trace} encoding ([0] for none) — the signature
+      of [Machine.run]'s [on_insn] hook. *)
+
+  val close : t -> unit
+  (** Flush, write footer and trailer, rename into place. *)
+
+  val abort : t -> unit
+  (** Close and remove the temporary file. *)
+end
+
+(** Decoder over a fully-validated in-memory image of the file: magic,
+    version, index structure and every chunk checksum are verified at
+    {!Reader.open_file}, so a reader that opens successfully cannot fail
+    mid-iteration, and concurrent domains may share one reader (decoding
+    is per-cursor, the underlying bytes are never mutated). *)
+module Reader : sig
+  type t
+
+  val open_file : string -> (t, string) result
+  (** [Error reason] for anything but a well-formed current-version trace:
+      missing file, truncation, bit corruption, foreign or future format.
+      Callers treat it as a cache miss and re-capture. *)
+
+  val insn_bytes : t -> int
+  val n_records : t -> int
+  val n_chunks : t -> int
+  val byte_size : t -> int
+
+  type chunk = {
+    start_pc : int;  (** pc of the chunk's first record. *)
+    n_records : int;
+    byte_offset : int;
+    byte_length : int;
+  }
+
+  val chunk : t -> int -> chunk
+
+  val iter : t -> (pc:int -> dinfo:int -> unit) -> unit
+  (** All records in execution order. *)
+
+  val iter_chunk : t -> int -> (pc:int -> dinfo:int -> unit) -> unit
+  (** The per-chunk cursor: records of chunk [i] only.  Independent of
+      every other chunk — this is what chunk-parallel replay runs on. *)
+end

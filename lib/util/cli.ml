@@ -1,0 +1,38 @@
+type t = {
+  flags : (string, string option) Hashtbl.t;
+  positionals : string list;
+  usage : string;
+}
+
+let usage_of usage = "usage: " ^ usage
+
+let parse ?(flags_with_arg = []) ?(flags = []) ~usage argv =
+  let tbl = Hashtbl.create 8 in
+  let fail () =
+    prerr_endline (usage_of usage);
+    exit 1
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | w :: rest when List.mem w flags_with_arg -> (
+      match rest with
+      | arg :: rest ->
+        Hashtbl.replace tbl w (Some arg);
+        go acc rest
+      | [] -> fail ())
+    | w :: rest when List.mem w flags ->
+      Hashtbl.replace tbl w None;
+      go acc rest
+    | w :: _ when String.length w >= 2 && String.sub w 0 2 = "--" -> fail ()
+    | w :: rest -> go (w :: acc) rest
+  in
+  let positionals = go [] (List.tl (Array.to_list argv)) in
+  { flags = tbl; positionals; usage }
+
+let flag t name = Hashtbl.mem t.flags name
+let flag_arg t name = Option.join (Hashtbl.find_opt t.flags name)
+let positionals t = t.positionals
+
+let usage_exit t =
+  prerr_endline (usage_of t.usage);
+  exit 1

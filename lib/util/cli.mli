@@ -1,0 +1,33 @@
+(** Minimal argv parsing shared by the inspection tools (objdump,
+    tracedump).
+
+    Both tools take an input spec — [--bench NAME] or a file path — an
+    optional target name, plus tool-specific flags.  [parse] splits argv
+    into flags (with or without an argument) and positionals in one pass;
+    unknown [--]-prefixed words are reported through [usage_exit] so the
+    tools cannot silently ignore a typo. *)
+
+type t
+
+val parse :
+  ?flags_with_arg:string list ->
+  ?flags:string list ->
+  usage:string ->
+  string array ->
+  t
+(** [parse ~flags_with_arg ~flags ~usage argv] consumes [argv] (program
+    name included, as [Sys.argv]).  Words in [flags_with_arg] take the
+    following word as argument; words in [flags] stand alone; anything
+    else starting with ["--"] prints [usage] to stderr and exits 1.
+    Remaining words are positionals, in order. *)
+
+val flag : t -> string -> bool
+(** The bare flag was present. *)
+
+val flag_arg : t -> string -> string option
+(** The argument of a [flags_with_arg] flag, when present. *)
+
+val positionals : t -> string list
+
+val usage_exit : t -> 'a
+(** Print the usage string to stderr and exit 1. *)

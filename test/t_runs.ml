@@ -51,6 +51,66 @@ let test_store_find () =
         (Some (42, "payload"))
         (Diskcache.find key))
 
+(* Corrupt cache entries must read as misses, never as garbage values:
+   Marshal alone would happily decode a flipped bit, so the checksum
+   envelope is what stands between a cosmic ray and a wrong figure. *)
+let test_corrupt_entry_is_miss () =
+  with_temp_cache (fun () ->
+      let key = Diskcache.key [ "t_runs"; "corrupt" ] in
+      Diskcache.store key (1234, "payload");
+      let file =
+        match
+          Array.to_list (Sys.readdir (Diskcache.dir ()))
+          |> List.filter (fun f -> Filename.check_suffix f ".bin")
+        with
+        | [ f ] -> Filename.concat (Diskcache.dir ()) f
+        | fs -> Alcotest.fail (Printf.sprintf "expected 1 entry, got %d" (List.length fs))
+      in
+      let mangle f =
+        let b =
+          In_channel.with_open_bin file In_channel.input_all |> Bytes.of_string
+        in
+        let b = f b in
+        Out_channel.with_open_bin file (fun oc -> Out_channel.output_bytes oc b)
+      in
+      (* Bit flip inside the marshaled payload. *)
+      mangle (fun b ->
+          let i = Bytes.length b - 3 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+          b);
+      Alcotest.(check bool) "bit flip reads as miss" true
+        ((Diskcache.find key : (int * string) option) = None);
+      (* Truncation. *)
+      Diskcache.store key (1234, "payload");
+      mangle (fun b -> Bytes.sub b 0 (Bytes.length b / 2));
+      Alcotest.(check bool) "truncation reads as miss" true
+        ((Diskcache.find key : (int * string) option) = None);
+      (* Regeneration through memo works after corruption. *)
+      Alcotest.(check (pair int string))
+        "memo regenerates"
+        (5678, "fresh")
+        (Diskcache.memo key (fun () -> (5678, "fresh"))))
+
+(* Same policy for the trace store: a truncated stored trace is a miss
+   and the next reader request re-captures it. *)
+let test_trace_store_regenerates () =
+  with_temp_cache (fun () ->
+      Runs.clear_memo ();
+      let s = Runs.stats "queens" Target.d16 in
+      let path = Runs.trace_path "queens" Target.d16 in
+      Alcotest.(check bool) "capture landed in the store" true
+        (Sys.file_exists path);
+      (* Truncate the stored trace, drop in-process readers. *)
+      let b =
+        In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc (Bytes.sub b 0 (Bytes.length b / 3)));
+      Runs.clear_memo ();
+      let rd = Runs.trace_reader "queens" Target.d16 in
+      Alcotest.(check int) "re-captured trace has ic records" s.Runs.ic
+        (Repro_trace.Trace.Reader.n_records rd))
+
 let test_key_invalidation () =
   (* Changing the target description must change the key: a cache entry
      written for one machine can never answer for another. *)
@@ -122,6 +182,10 @@ let tests =
   [
     Alcotest.test_case "disk cache round-trip" `Slow test_disk_roundtrip;
     Alcotest.test_case "store/find round-trip" `Quick test_store_find;
+    Alcotest.test_case "corrupt entry is a miss" `Quick
+      test_corrupt_entry_is_miss;
+    Alcotest.test_case "trace store regenerates" `Slow
+      test_trace_store_regenerates;
     Alcotest.test_case "key invalidation" `Quick test_key_invalidation;
     Alcotest.test_case "parallel = serial output" `Slow
       test_parallel_determinism;

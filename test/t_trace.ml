@@ -1,0 +1,276 @@
+(* The trace subsystem (lib/trace): property-style roundtrips of the
+   delta+varint chunked encoding, corruption detection, and the
+   differential gate — trace-replayed memory-system counters and pipeline
+   cycle totals must be EXACTLY equal to direct execution on every suite
+   benchmark and both paper machines, with chunk-parallel replay equal to
+   sequential replay. *)
+
+module Machine = Repro_sim.Machine
+module Memsys = Repro_sim.Memsys
+module Target = Repro_core.Target
+module Suite = Repro_workloads.Suite
+module Compile = Repro_harness.Compile
+module Pool = Repro_harness.Pool
+module Uarch = Repro_uarch.Uarch
+module Uconfig = Repro_uarch.Uconfig
+module Pipeline = Repro_uarch.Pipeline
+module Stalls = Repro_uarch.Stalls
+module Trace = Repro_trace.Trace
+module Replay = Repro_trace.Replay
+module Reader = Repro_trace.Trace.Reader
+
+let temp_path () = Filename.temp_file "repro-t-trace" ".trc"
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Write the record stream and read it back. *)
+let roundtrip ?chunk_records ?(insn_bytes = 2) records path =
+  let w = Trace.Writer.create ?chunk_records ~insn_bytes path in
+  List.iter (fun (pc, dinfo) -> Trace.Writer.step w ~pc ~dinfo) records;
+  Trace.Writer.close w;
+  match Reader.open_file path with
+  | Error e -> Alcotest.fail e
+  | Ok rd ->
+    let out = ref [] in
+    Reader.iter rd (fun ~pc ~dinfo -> out := (pc, dinfo) :: !out);
+    (rd, List.rev !out)
+
+(* Synthetic streams: arbitrary non-monotonic pcs and data refs, so the
+   zigzag deltas see negative jumps; tiny chunks force many boundaries. *)
+let gen_record =
+  let open QCheck.Gen in
+  let* pc = int_bound 0xFF_FFFF in
+  let* dinfo =
+    frequency
+      [
+        (2, return 0);
+        ( 3,
+          let* addr = int_bound 0xF_FFFF in
+          let* bytes = oneofl [ 1; 2; 4; 8 ] in
+          let* w = bool in
+          return ((addr lsl 5) lor (bytes lsl 1) lor Bool.to_int w) );
+      ]
+  in
+  return (pc, dinfo)
+
+let synthetic_roundtrip =
+  QCheck.Test.make ~name:"synthetic streams roundtrip across chunk boundaries"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (int_bound 200) gen_record))
+    (fun records ->
+      with_temp (fun path ->
+          let rd, out = roundtrip ~chunk_records:7 records path in
+          let n = List.length records in
+          out = records
+          && Reader.n_records rd = n
+          && Reader.n_chunks rd = ((n + 6) / 7)
+          && (n = 0
+             || (Reader.chunk rd 0).Reader.start_pc = fst (List.hd records))))
+
+(* Real compiled programs, via the statement fuzzer's generator. *)
+let progfuzz_roundtrip () =
+  let progs =
+    QCheck.Gen.generate ~n:6 ~rand:(Random.State.make [| 42 |])
+      T_progfuzz.gen_stmts
+  in
+  List.iter
+    (fun stmts ->
+      let src = T_progfuzz.program_c stmts in
+      List.iter
+        (fun t ->
+          let _, r = Compile.compile_and_run ~trace:true t src in
+          let tr = Option.get r.Machine.trace in
+          let records =
+            Array.to_list
+              (Array.mapi (fun i a -> (a, tr.Machine.dinfo.(i))) tr.Machine.iaddr)
+          in
+          with_temp (fun path ->
+              let _, out =
+                roundtrip ~chunk_records:512
+                  ~insn_bytes:(Target.insn_bytes t) records path
+              in
+              Alcotest.(check int)
+                (t.Target.name ^ " record count")
+                (List.length records) (List.length out);
+              Alcotest.(check bool) (t.Target.name ^ " identity") true
+                (out = records)))
+        [ Target.d16; Target.dlxe ])
+    progs
+
+let test_empty_trace () =
+  with_temp (fun path ->
+      let rd, out = roundtrip [] path in
+      Alcotest.(check int) "no records" 0 (Reader.n_records rd);
+      Alcotest.(check int) "no chunks" 0 (Reader.n_chunks rd);
+      Alcotest.(check bool) "empty" true (out = []))
+
+let test_writer_validation () =
+  let rejects name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | w ->
+      Trace.Writer.abort w;
+      Alcotest.fail (name ^ " accepted")
+  in
+  with_temp (fun path ->
+      rejects "chunk_records 0" (fun () ->
+          Trace.Writer.create ~chunk_records:0 ~insn_bytes:2 path);
+      rejects "insn_bytes 3" (fun () -> Trace.Writer.create ~insn_bytes:3 path))
+
+(* Corruption: any tampering must read as an error, never as records. *)
+let test_corruption () =
+  let records = List.init 1000 (fun i -> ((i * 2) land 0xFFFF, 0)) in
+  let mangle path f =
+    let contents =
+      In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string
+    in
+    let contents = f contents in
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_bytes oc contents)
+  in
+  let expect_error name path =
+    match Reader.open_file path with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (name ^ ": corrupt trace opened")
+  in
+  with_temp (fun path ->
+      let _ = roundtrip ~chunk_records:64 records path in
+      (* Baseline sanity: pristine file opens. *)
+      (match Reader.open_file path with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      (* Bit flip in the middle of the chunk data. *)
+      mangle path (fun b ->
+          let i = Bytes.length b / 2 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+          b);
+      expect_error "bit flip" path;
+      (* Truncation. *)
+      let _ = roundtrip ~chunk_records:64 records path in
+      mangle path (fun b -> Bytes.sub b 0 (Bytes.length b / 2));
+      expect_error "truncation" path;
+      (* Version skew. *)
+      let _ = roundtrip ~chunk_records:64 records path in
+      mangle path (fun b ->
+          Bytes.set b 8 (Char.chr (Trace.format_version + 1));
+          b);
+      expect_error "future version" path;
+      expect_error "missing file" (path ^ ".does-not-exist"))
+
+(* The differential gate (acceptance criterion): replayed Memsys counters
+   and pipeline totals exactly equal direct execution, chunk-parallel
+   equals sequential. *)
+
+let cache_points = [ (1024, 32, 4, 8); (4096, 64, 8, 12) ]
+
+let differential bench (t : Target.t) =
+  let src = (Suite.find bench).Suite.source in
+  let img = Compile.compile t src in
+  with_temp (fun path ->
+      (* One execution: materialized arrays for the direct path and a
+         streamed capture for the trace path. *)
+      let w =
+        Trace.Writer.create ~chunk_records:10_000
+          ~insn_bytes:(Target.insn_bytes t) path
+      in
+      let r =
+        Machine.run ~trace:true
+          ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+          img
+      in
+      Trace.Writer.close w;
+      let rd =
+        match Reader.open_file path with
+        | Ok rd -> rd
+        | Error e -> Alcotest.fail e
+      in
+      let name fmt =
+        Printf.ksprintf (fun s -> bench ^ " " ^ t.Target.name ^ " " ^ s) fmt
+      in
+      Alcotest.(check int) (name "records = ic") r.Machine.ic
+        (Reader.n_records rd);
+      (* Fetch-buffer counters: sequential and chunk-parallel replays both
+         equal direct execution. *)
+      List.iter
+        (fun bus ->
+          let direct = Memsys.replay_nocache ~bus_bytes:bus r in
+          let seq = Replay.nocache rd ~bus_bytes:bus in
+          let par =
+            Replay.merge_nocache
+              (Pool.map ~jobs:3
+                 (Replay.nocache_chunk rd ~bus_bytes:bus)
+                 (List.init (Reader.n_chunks rd) Fun.id))
+          in
+          Alcotest.(check int)
+            (name "bus=%d ireq seq" bus)
+            direct.Memsys.irequests seq.Memsys.irequests;
+          Alcotest.(check int)
+            (name "bus=%d dreq seq" bus)
+            direct.Memsys.drequests seq.Memsys.drequests;
+          Alcotest.(check int)
+            (name "bus=%d ireq par" bus)
+            direct.Memsys.irequests par.Memsys.irequests;
+          Alcotest.(check int)
+            (name "bus=%d dreq par" bus)
+            direct.Memsys.drequests par.Memsys.drequests)
+        [ 4; 8 ];
+      (* Cache replay: counters field-for-field, cycles via the paper's
+         formula. *)
+      List.iter
+        (fun (size, block, sub, penalty) ->
+          let cfg = Memsys.cache_config ~size ~block ~sub in
+          let direct =
+            Memsys.replay_cached
+              ~insn_bytes:(Target.insn_bytes t)
+              ~icache:cfg ~dcache:cfg r
+          in
+          let replayed = Replay.cached ~icache:cfg ~dcache:cfg rd in
+          let geo = Printf.sprintf "%d/%d/%d" size block sub in
+          Alcotest.(check bool) (name "%s cached equal" geo) true
+            (direct = replayed);
+          Alcotest.(check int)
+            (name "%s cycles" geo)
+            (Memsys.cached_cycles ~miss_penalty:penalty r direct)
+            (Memsys.cached_cycles ~miss_penalty:penalty r replayed))
+        cache_points;
+      (* Pipeline model: trace-driven replay equals the streamed run. *)
+      let cfgs =
+        [
+          Uconfig.nocache ~bus_bytes:4 ~wait_states:2;
+          (let c = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
+           Uconfig.cached ~icache:c ~dcache:c ~miss_penalty:8);
+        ]
+      in
+      let _, streamed = Uarch.run_many cfgs img in
+      let replayed = Replay.pipelines rd cfgs img in
+      List.iter2
+        (fun (s : Pipeline.result) (p : Pipeline.result) ->
+          Alcotest.(check int) (name "uarch cycles") s.Pipeline.stalls.Stalls.cycles
+            p.Pipeline.stalls.Stalls.cycles;
+          Alcotest.(check string) (name "uarch stalls")
+            (Stalls.to_string s.Pipeline.stalls)
+            (Stalls.to_string p.Pipeline.stalls);
+          Alcotest.(check bool) (name "uarch caches") true
+            (s.Pipeline.caches = p.Pipeline.caches))
+        streamed replayed)
+
+let differential_case bench =
+  Alcotest.test_case ("differential " ^ bench) `Slow (fun () ->
+      List.iter (differential bench) [ Target.d16; Target.dlxe ])
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest synthetic_roundtrip;
+    Alcotest.test_case "compiled programs roundtrip" `Slow progfuzz_roundtrip;
+    Alcotest.test_case "empty trace" `Quick test_empty_trace;
+    Alcotest.test_case "writer validation" `Quick test_writer_validation;
+    Alcotest.test_case "corruption detected" `Quick test_corruption;
+  ]
+  @ List.map
+      (fun (b : Suite.benchmark) -> differential_case b.Suite.name)
+      Suite.all

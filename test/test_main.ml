@@ -11,6 +11,7 @@ let () =
       ("progfuzz", T_progfuzz.tests);
       ("memsys", T_memsys.tests);
       ("uarch", T_uarch.tests);
+      ("trace", T_trace.tests);
       ("link", T_link.tests);
       ("regalloc", T_regalloc.tests);
       ("extension", T_extension.tests);
