@@ -86,6 +86,28 @@ let trace_tests =
       (fun size -> Memsys.cache_config ~size ~block:32 ~sub:4)
       [ 1024; 2048; 4096; 8192 ]
   in
+  let grid_spec cfg = { Replay.Grid.icache = cfg; dcache = cfg } in
+  (* 16 distinct geometries; grid-replay:Ncfg takes a prefix, so the three
+     substrates share their fixed cost (open + checksum + one decode) and
+     differ only in automata count — the sublinearity the engine claims. *)
+  let grid_cfgs =
+    List.concat_map
+      (fun size ->
+        List.concat_map
+          (fun block ->
+            List.map
+              (fun sub -> Memsys.cache_config ~size ~block ~sub)
+              [ 4; 8 ])
+          [ 8; 16; 32; 64 ])
+      [ 1024; 2048 ]
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let grid_replay n () =
+    match Trace.Reader.open_file path with
+    | Error e -> failwith e
+    | Ok rd ->
+      ignore (Replay.Grid.run rd (List.map grid_spec (take n grid_cfgs)))
+  in
   (* One long-lived pool so the parallel test times replay, not
      Domain.spawn. *)
   let pool = Pool.create ~jobs:4 in
@@ -118,9 +140,10 @@ let trace_tests =
            match Trace.Reader.open_file path with
            | Error e -> failwith e
            | Ok rd ->
-             List.iter
-               (fun cfg -> ignore (Replay.cached ~icache:cfg ~dcache:cfg rd))
-               sweep_cfgs));
+             ignore (Replay.Grid.run rd (List.map grid_spec sweep_cfgs))));
+    Test.make ~name:"grid-replay:4cfg:queens" (Staged.stage (grid_replay 4));
+    Test.make ~name:"grid-replay:8cfg:queens" (Staged.stage (grid_replay 8));
+    Test.make ~name:"grid-replay:16cfg:queens" (Staged.stage (grid_replay 16));
   ]
 
 let uarch_tests =
@@ -179,6 +202,11 @@ let json_path =
   in
   find (Array.to_list Sys.argv)
 
+(* [--smoke]: substrates only — skip artifact regeneration (phase 1) and
+   the per-experiment timings, which need the full run cache.  CI uses
+   this to track substrate timings on every push. *)
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
+
 (* Flat {"name": ns_per_run, ...} object; OLS estimates that did not
    converge are null.  Test names are [A-Za-z0-9:-], so OCaml's string
    escaping coincides with JSON's. *)
@@ -199,12 +227,19 @@ let () =
   (* Phase 1: regenerate and print every artifact (also warms the memo and
      the persistent cache).  Wall-clock is reported so cold vs warm cache
      behavior is visible. *)
-  let t0 = Unix.gettimeofday () in
-  print_endline (Experiments.render_all ~jobs ());
-  let t1 = Unix.gettimeofday () in
-  Printf.printf "\nphase 1 (artifacts, jobs=%d): %.2fs wall\n%!" jobs (t1 -. t0);
+  if not smoke then begin
+    let t0 = Unix.gettimeofday () in
+    print_endline (Experiments.render_all ~jobs ());
+    let t1 = Unix.gettimeofday () in
+    Printf.printf "\nphase 1 (artifacts, jobs=%d): %.2fs wall\n%!" jobs
+      (t1 -. t0)
+  end;
   (* Phase 2: time each regeneration and the substrates. *)
   Printf.printf "\n================ bench timings ================\n%!";
+  let tests =
+    if smoke then substrate_tests @ trace_tests @ uarch_tests
+    else experiment_tests @ substrate_tests @ trace_tests @ uarch_tests
+  in
   let results =
     List.concat_map
       (fun test ->
@@ -213,7 +248,7 @@ let () =
           (fun (name, ns) -> Printf.printf "%-28s %s\n%!" name (pp_time ns))
           rs;
         rs)
-      (experiment_tests @ substrate_tests @ trace_tests @ uarch_tests)
+      tests
   in
   match json_path with
   | None -> ()

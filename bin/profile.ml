@@ -38,7 +38,7 @@ let () =
         let img = Repro_harness.Compile.compile target b.source in
         let counts = Array.make (Array.length img.Link.insns) 0 in
         let on_insn ~iaddr ~dinfo:_ =
-          let i = Hashtbl.find img.Link.index_of_addr iaddr in
+          let i = Link.index_at img iaddr in
           counts.(i) <- counts.(i) + 1
         in
         let r = Machine.run ~trace:false ~on_insn img in

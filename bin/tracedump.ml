@@ -6,11 +6,12 @@
    Usage:
      dune exec bin/tracedump.exe -- (--bench NAME [TARGET] | FILE.trc)
        [--summary] [--chunks] [--dump N] [--from PC] [--to PC]
-       [--loads] [--stores] [--working-set] [--traffic] [--jobs N]
+       [--loads] [--stores] [--working-set] [--traffic] [--grid] [--jobs N]
 
-   With no mode flags, prints the summary.  --working-set and --traffic
-   replay chunk-parallel over --jobs domains (order-independent counters
-   merged per chunk).                                                     *)
+   With no mode flags, prints the summary.  --working-set, --traffic and
+   --grid replay chunk-parallel over --jobs domains (--working-set and
+   --traffic merge order-free counters; --grid reconciles per-chunk cache
+   automata exactly, see Replay.Grid).                                    *)
 
 module Target = Repro_core.Target
 module Runs = Repro_harness.Runs
@@ -23,7 +24,7 @@ module Reader = Repro_trace.Trace.Reader
 let usage =
   "tracedump (--bench NAME [TARGET] | FILE.trc) [--summary] [--chunks]\n\
   \       [--dump N] [--from PC] [--to PC] [--loads] [--stores]\n\
-  \       [--working-set] [--traffic] [--jobs N]"
+  \       [--working-set] [--traffic] [--grid] [--jobs N]"
 
 let int_arg cli name ~default =
   match Cli.flag_arg cli name with
@@ -128,13 +129,40 @@ let traffic rd ~jobs =
         /. float_of_int (max 1 (Reader.n_records rd))))
     [ 2; 4; 8; 16 ]
 
+(* Miss rates for the standard cache grid, every geometry fed by one
+   decode of the trace ([Replay.Grid]): chunks fan out across domains,
+   per-chunk automaton states reconcile exactly at the merge. *)
+let grid rd ~jobs =
+  let geometries = Runs.standard_grid in
+  let specs =
+    List.map
+      (fun (size, block, sub) ->
+        let cfg = Repro_sim.Memsys.cache_config ~size ~block ~sub in
+        { Replay.Grid.icache = cfg; dcache = cfg })
+      geometries
+  in
+  let results = Replay.Grid.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd specs in
+  print_endline "  size  block  sub   imiss%   dmiss%   fetch words";
+  List.iter2
+    (fun (size, block, sub) (c : Repro_sim.Memsys.cached) ->
+      let pct (s : Repro_sim.Memsys.cache_stats) =
+        100.0 *. float_of_int s.misses /. float_of_int (max 1 s.accesses)
+      in
+      let dacc = c.dcache_read.accesses + c.dcache_write.accesses in
+      let dmiss = c.dcache_read.misses + c.dcache_write.misses in
+      Printf.printf "%6d  %5d  %3d  %6.3f  %6.3f  %12d\n" size block sub
+        (pct c.icache)
+        (100.0 *. float_of_int dmiss /. float_of_int (max 1 dacc))
+        c.icache.words_transferred)
+    geometries results
+
 let () =
   let cli =
     Cli.parse
       ~flags_with_arg:[ "--bench"; "--dump"; "--from"; "--to"; "--jobs" ]
       ~flags:
         [ "--summary"; "--chunks"; "--loads"; "--stores"; "--working-set";
-          "--traffic" ]
+          "--traffic"; "--grid" ]
       ~usage Sys.argv
   in
   let rd =
@@ -163,7 +191,8 @@ let () =
   let jobs = int_arg cli "--jobs" ~default:(Pool.default_jobs ()) in
   let any_mode =
     List.exists (Cli.flag cli)
-      [ "--chunks"; "--working-set"; "--traffic"; "--loads"; "--stores" ]
+      [ "--chunks"; "--working-set"; "--traffic"; "--grid"; "--loads";
+        "--stores" ]
     || Cli.flag_arg cli "--dump" <> None
   in
   if Cli.flag cli "--summary" || not any_mode then summary rd;
@@ -179,4 +208,5 @@ let () =
       ~loads_only:(Cli.flag cli "--loads")
       ~stores_only:(Cli.flag cli "--stores");
   if Cli.flag cli "--working-set" then working_set rd ~jobs;
-  if Cli.flag cli "--traffic" then traffic rd ~jobs
+  if Cli.flag cli "--traffic" then traffic rd ~jobs;
+  if Cli.flag cli "--grid" then grid rd ~jobs

@@ -3,6 +3,11 @@
    given miss penalty — Figures 16 and 17 for one workload, plus the
    headline observation that a D16 cache holds twice the instructions.
 
+   The sweep uses the single-pass grid engine: each target executes once
+   (streaming its trace to a temp file), then one decode of that trace
+   feeds every cache size simultaneously (Replay.Grid) — no re-execution
+   and no per-size replay.
+
    Run with:  dune exec examples/cache_study.exe [benchmark] [penalty]
    (defaults: latex, 8 cycles)                                           *)
 
@@ -12,6 +17,10 @@ module Machine = Repro_sim.Machine
 module Memsys = Repro_sim.Memsys
 module Suite = Repro_workloads.Suite
 module Table = Repro_util.Table
+module Trace = Repro_trace.Trace
+module Replay = Repro_trace.Replay
+
+let sizes = [ 512; 1024; 2048; 4096; 8192; 16384 ]
 
 let () =
   let bench = if Array.length Sys.argv > 1 then Sys.argv.(1) else "latex" in
@@ -23,18 +32,42 @@ let () =
     "Cache study for '%s' (split I/D, direct-mapped, 32B blocks, 4B sub-blocks,\n\
      wrap-around prefetch, miss penalty %d cycles)\n\n"
     bench penalty;
-  let run target = snd (Compile.compile_and_run ~trace:true target source) in
-  let r16 = run Target.d16 in
-  let r32 = run Target.dlxe in
-  let caches r insn_bytes size =
-    let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
-    Memsys.replay_cached ~insn_bytes ~icache:cfg ~dcache:cfg r
+  (* One execution per target, streamed to a trace; one decode of that
+     trace drives the whole size sweep. *)
+  let run_grid target =
+    let img = Compile.compile target source in
+    let path = Filename.temp_file "repro-cache-study" ".trc" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let w =
+          Trace.Writer.create ~insn_bytes:(Target.insn_bytes target) path
+        in
+        let r =
+          Machine.run ~trace:false
+            ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+            img
+        in
+        Trace.Writer.close w;
+        let rd =
+          match Trace.Reader.open_file path with
+          | Ok rd -> rd
+          | Error e -> failwith e
+        in
+        let specs =
+          List.map
+            (fun size ->
+              let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
+              { Replay.Grid.icache = cfg; dcache = cfg })
+            sizes
+        in
+        (r, Replay.Grid.run rd specs))
   in
+  let r16, grid16 = run_grid Target.d16 in
+  let r32, grid32 = run_grid Target.dlxe in
   let rows =
-    List.map
-      (fun size ->
-        let c16 = caches r16 2 size in
-        let c32 = caches r32 4 size in
+    List.map2
+      (fun size (c16, c32) ->
         let cpi r c =
           Memsys.cpi
             ~cycles:(Memsys.cached_cycles ~miss_penalty:penalty r c)
@@ -53,7 +86,8 @@ let () =
           Table.fmt2 (cpi r32 c32);
           Table.fmt2 norm16;
         ])
-      [ 512; 1024; 2048; 4096; 8192; 16384 ]
+      sizes
+      (List.combine grid16 grid32)
   in
   print_string
     (Table.render

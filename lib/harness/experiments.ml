@@ -194,9 +194,8 @@ let compute_immediate_frequencies () =
       let img = Runs.image bench target in
       let counts = Array.make (Array.length img.Link.insns) 0 in
       let on_insn ~iaddr ~dinfo:_ =
-        match Hashtbl.find_opt img.Link.index_of_addr iaddr with
-        | Some i -> counts.(i) <- counts.(i) + 1
-        | None -> ()
+        let i = Link.index_at img iaddr in
+        if i >= 0 then counts.(i) <- counts.(i) + 1
       in
       ignore (Machine.run ~trace:false ~on_insn img);
       Array.iteri

@@ -46,8 +46,17 @@ val for_experiment : string -> t
 (** The plan for one experiment id (empty for the two drivers that manage
     their own derived caches). *)
 
-val execute : spec -> unit
-(** Run one spec to completion through {!Runs} (memo + disk cache). *)
+val execute :
+  ?grid_map:
+    ((int -> Repro_trace.Replay.Grid.chunk_result) ->
+    int list ->
+    Repro_trace.Replay.Grid.chunk_result list) ->
+  spec ->
+  unit
+(** Run one spec to completion through {!Runs} (memo + disk cache).
+    [?grid_map] is forwarded to {!Runs.ensure_grid} so a scheduler with
+    spare capacity can spread a grid replay's trace chunks across domains
+    on top of the across-spec parallelism (chunks × benchmarks). *)
 
 val describe : spec -> string
 

@@ -131,9 +131,19 @@ let run_plan ?jobs plan =
   let jobs =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
+  (* Capacity left over after one domain per spec goes to chunk-level
+     parallelism inside each grid replay (a throwaway pool per replay —
+     workers must not [wait] on their own pool).  With enough specs to
+     saturate, grids run their chunks sequentially. *)
+  let spare = jobs / max 1 (List.length specs) in
+  let grid_map =
+    if spare > 1 then Some (fun f xs -> map ~jobs:spare f xs) else None
+  in
   let t = create ~jobs:(min jobs (max 1 (List.length specs))) in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
-      List.iter (fun s -> submit t (fun () -> Plan.execute s)) specs;
+      List.iter
+        (fun s -> submit t (fun () -> Plan.execute ?grid_map s))
+        specs;
       wait t)

@@ -302,19 +302,26 @@ let replay_one rd (size, block, sub) =
   let cfg = Memsys.cache_config ~size ~block ~sub in
   Replay.cached ~icache:cfg ~dcache:cfg rd
 
-let ensure_grid bench (target : Target.t) =
+let grid_spec (size, block, sub) =
+  let cfg = Memsys.cache_config ~size ~block ~sub in
+  { Replay.Grid.icache = cfg; dcache = cfg }
+
+let ensure_grid ?map bench (target : Target.t) =
   if not (grid_complete bench target) then begin
     let entries
         : ((int * int * int) * Memsys.cached) list =
       match Diskcache.find (grid_key bench target) with
       | Some entries -> entries
       | None ->
-        (* Trace-driven, as in the paper's dinero study: the stored trace
-           replays once per geometry, no re-execution. *)
+        (* Trace-driven, as in the paper's dinero study — but single-pass:
+           one decode of the stored trace feeds every geometry's automaton
+           simultaneously ({!Replay.Grid}), instead of one full replay per
+           geometry. *)
         let rd = trace_reader bench target in
-        let entries =
-          List.map (fun g -> (g, replay_one rd g)) standard_grid
+        let results =
+          Replay.Grid.run ?map rd (List.map grid_spec standard_grid)
         in
+        let entries = List.combine standard_grid results in
         Diskcache.store (grid_key bench target) entries;
         entries
     in

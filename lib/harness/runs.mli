@@ -57,9 +57,21 @@ val cached :
     a (benchmark, target) runs the trace once and replays the whole standard
     grid. *)
 
-val ensure_grid : string -> Repro_core.Target.t -> unit
+val ensure_grid :
+  ?map:
+    ((int -> Repro_trace.Replay.Grid.chunk_result) ->
+    int list ->
+    Repro_trace.Replay.Grid.chunk_result list) ->
+  string ->
+  Repro_core.Target.t ->
+  unit
 (** Populate the standard cache grid for one (benchmark, target), from disk
-    when possible.  The unit of work {!Pool} schedules for cache studies. *)
+    when possible: one decode of the stored trace drives all 25 geometries
+    ({!Repro_trace.Replay.Grid}).  The unit of work {!Pool} schedules for
+    cache studies.  [?map] lets a caller spread the trace's chunks across
+    domains (pass [Pool.map ~jobs] or [Pool.map ~pool]); the default is
+    sequential.  This module cannot depend on {!Pool} — injection keeps the
+    dependency one-way. *)
 
 val uarch :
   string ->

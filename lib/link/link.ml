@@ -13,7 +13,9 @@ type image = {
   target : Target.t;
   insns : Insn.t array;
   addr_of : int array;
-  index_of_addr : (int, int) Hashtbl.t;
+  addr_index : int array;
+  addr_shift : int;
+  branch_target : int array;
   entry_index : int;
   text_base : int;
   text_bytes : int;
@@ -24,6 +26,16 @@ type image = {
   mem_size : int;
   sp_init : int;
 }
+
+let index_at img addr =
+  let off = addr - img.text_base in
+  let i = off lsr img.addr_shift in
+  if
+    off < 0
+    || i >= Array.length img.addr_index
+    || off land ((1 lsl img.addr_shift) - 1) <> 0
+  then -1
+  else Array.unsafe_get img.addr_index i
 
 let text_base = 0x1000
 
@@ -372,8 +384,34 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
     lfrags;
   let insns = Array.of_list (List.rev !insns) in
   let addr_of = Array.of_list (List.rev !addrs) in
-  let index_of_addr = Hashtbl.create (Array.length insns) in
-  Array.iteri (fun i a -> Hashtbl.replace index_of_addr a i) addr_of;
+  (* Dense address-to-index map over the text segment: instructions sit at
+     insn_bytes-aligned offsets from text_base (D16 literal-pool words
+     occupy 4-aligned gaps and stay -1). *)
+  let insn_b = Target.insn_bytes target in
+  let addr_shift = if insn_b = 2 then 1 else 2 in
+  let n_slots = (text_end - text_base + insn_b - 1) lsr addr_shift in
+  let addr_index = Array.make (max n_slots 1) (-1) in
+  Array.iteri
+    (fun i a -> addr_index.((a - text_base) lsr addr_shift) <- i)
+    addr_of;
+  let lookup addr =
+    let off = addr - text_base in
+    let i = off lsr addr_shift in
+    if off < 0 || i >= Array.length addr_index || off land (insn_b - 1) <> 0
+    then -1
+    else addr_index.(i)
+  in
+  (* PC-relative branch targets resolve now: the interpreter's taken-branch
+     path indexes this array instead of hashing the target address. *)
+  let branch_target =
+    Array.mapi
+      (fun i insn ->
+        match (insn : Insn.t) with
+        | Insn.Br off | Insn.Bz (_, off) | Insn.Bnz (_, off) | Insn.Brl off ->
+          lookup (addr_of.(i) + off)
+        | _ -> -1)
+      insns
+  in
   let data_init =
     List.map
       (fun (d : Lower.data_item) -> (Hashtbl.find data_symbols d.dsym, d.dbytes))
@@ -383,15 +421,17 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
   Hashtbl.iter (fun s a -> Hashtbl.replace symbols s a) fn_addr;
   Hashtbl.iter (fun s a -> Hashtbl.replace symbols s a) data_symbols;
   let entry_index =
-    match Hashtbl.find_opt index_of_addr (Hashtbl.find fn_addr "_start") with
-    | Some i -> i
-    | None -> fail "no entry instruction"
+    match lookup (Hashtbl.find fn_addr "_start") with
+    | -1 -> fail "no entry instruction"
+    | i -> i
   in
   {
     target;
     insns;
     addr_of;
-    index_of_addr;
+    addr_index;
+    addr_shift;
+    branch_target;
     entry_index;
     text_base;
     text_bytes = text_end - text_base;

@@ -15,7 +15,16 @@ type image = {
   target : Repro_core.Target.t;
   insns : Repro_core.Insn.t array;  (** In address order. *)
   addr_of : int array;  (** Byte address of each instruction. *)
-  index_of_addr : (int, int) Hashtbl.t;
+  addr_index : int array;
+      (** Dense text-segment map: slot [(addr - text_base) lsr addr_shift]
+          holds the instruction index at [addr], or [-1] (D16 literal-pool
+          words, padding).  Use {!index_at}. *)
+  addr_shift : int;  (** log2 of the instruction granule (1 or 2). *)
+  branch_target : int array;
+      (** Per instruction: the link-resolved target {e index} of a
+          PC-relative branch ([br]/[bz]/[bnz]/[brl]), [-1] for other
+          instructions or unresolvable targets.  Spares the interpreter a
+          hash lookup on every taken branch. *)
   entry_index : int;
   text_base : int;
   text_bytes : int;  (** Includes literal pools and padding. *)
@@ -41,3 +50,9 @@ val link :
 
 val size_bytes : image -> int
 (** text + data, the code-density measure. *)
+
+val index_at : image -> int -> int
+(** The instruction index at a byte address, [-1] if the address is not an
+    instruction boundary (out of text, misaligned, or a literal-pool
+    word).  Constant-time array lookup — the register-jump and profiling
+    paths use it instead of a hashtable. *)

@@ -182,6 +182,7 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
   let idx = ref img.Link.entry_index in
   let pending = ref (-1) in
   let steps = ref 0 in
+  let branch_target = img.Link.branch_target in
   (try
      while !exit_code = None do
        if !idx < 0 || !idx >= n_insns then err "pc out of text (index %d)" !idx;
@@ -191,13 +192,16 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
        let addr = addr_of.(!idx) in
        cur_d := 0;
        let just_branched = ref false in
-       let branch_to target =
+       let branch_idx ti target =
          if !pending >= 0 then err "branch in delay slot at 0x%x" addr;
-         (match Hashtbl.find_opt img.Link.index_of_addr target with
-         | Some ti -> pending := ti
-         | None -> err "branch to non-instruction address 0x%x" target);
+         if ti < 0 then err "branch to non-instruction address 0x%x" target;
+         pending := ti;
          just_branched := true
        in
+       (* Register jumps resolve dynamically; PC-relative branches were
+          resolved to instruction indices at link time. *)
+       let branch_to target = branch_idx (Link.index_at img target) target in
+       let branch_static off = branch_idx branch_target.(!idx) (addr + off) in
        (match i with
        | Insn.Load (w, rd, base, off) ->
          let a = Bitops.add32 (useg base) off in
@@ -279,12 +283,12 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
          setg_lat rd (if eval_cond c va vb then 1 else 0) 0
        | Insn.Cmpi (c, rd, ra, imm) ->
          setg_lat rd (if eval_cond c (useg ra) imm then 1 else 0) 0
-       | Insn.Br off -> branch_to (addr + off)
-       | Insn.Bz (r, off) -> if useg r = 0 then branch_to (addr + off)
-       | Insn.Bnz (r, off) -> if useg r <> 0 then branch_to (addr + off)
+       | Insn.Br off -> branch_static off
+       | Insn.Bz (r, off) -> if useg r = 0 then branch_static off
+       | Insn.Bnz (r, off) -> if useg r <> 0 then branch_static off
        | Insn.Brl off ->
          setg_lat Regs.link (addr + (2 * insn_bytes)) 0;
-         branch_to (addr + off)
+         branch_static off
        | Insn.J r -> branch_to (useg r)
        | Insn.Jz (rt, rd) ->
          let target = useg rd in

@@ -32,7 +32,11 @@ val miss_rate : cache_stats -> float
 (** The single-access cache model the replays (and the {!Repro_uarch}
     cycle-accurate pipeline) are built on: direct-mapped, sub-block valid
     bits, wrap-around prefetch of the following sub-block on read misses,
-    allocate-without-prefetch on writes. *)
+    allocate-without-prefetch on writes.
+
+    Addressing is specialized for the power-of-two geometry invariants:
+    precomputed shifts and masks, one flat valid bitset, and a fast path
+    for accesses inside a single sub-block. *)
 module Cache : sig
   type t
 
@@ -43,6 +47,57 @@ module Cache : sig
       missed (any sub-block of the span invalid or a tag mismatch). *)
 
   val stats : t -> cache_stats
+
+  (** {2 Chunk-parallel engine}
+
+      A chunk {!auto} simulates a slice of the access stream with unknown
+      incoming cache state (cold tags, cleared valid bits) and records a
+      compact prefix log of just the events whose outcome could depend on
+      the carried-in state.  A sequential {!absorb} pass then replays only
+      those logs against the true carried state, in chunk order, and the
+      resulting {!carry_totals} are byte-equal to a sequential replay of
+      the whole stream (gated by the differential suite in
+      [test/t_trace.ml]; the reconciliation argument is in DESIGN.md). *)
+
+  type auto
+  (** One chunk's cold automaton plus its prefix log. *)
+
+  val chunk_start : cache_config -> auto
+
+  val chunk_access : auto -> is_read:bool -> addr:int -> bytes:int -> unit
+  (** Cold-simulate one access event of the chunk's slice, in order. *)
+
+  val chunk_iread_run : auto -> addr:int -> count:int -> unit
+  (** [count] consecutive instruction reads inside the 4-byte granule at
+      [addr] (which must be 4-byte aligned): the first access decides
+      hit/miss, the rest are guaranteed hits.  Only valid when
+      [sub_block_bytes >= 4], so the granule lies in one sub-block. *)
+
+  type summary
+  (** Immutable chunk result: cold counters, prefix log, and the cold end
+      state of every settled set.  Safe to move across domains. *)
+
+  val chunk_finish : auto -> summary
+
+  type carry
+  (** Sequential merge state: the true cache state carried across chunk
+      boundaries plus the accumulated totals. *)
+
+  val carry_start : cache_config -> carry
+
+  val absorb : carry -> summary -> unit
+  (** Fold the next chunk's summary (chunks must be absorbed in stream
+      order) into the carried state and totals. *)
+
+  type totals = {
+    reads : int;
+    read_misses : int;
+    writes : int;
+    write_misses : int;
+    fetch_words : int;  (** Sub-blocks fetched from memory, in words. *)
+  }
+
+  val carry_totals : carry -> totals
 end
 
 (** The cacheless machine's instruction buffer: holds the last fetched

@@ -83,7 +83,131 @@ let cached ~icache ~dcache rd =
   }
 
 let pipelines rd cfgs img =
-  let pipes = List.map (fun cfg -> Pipeline.create cfg img) cfgs in
+  let pipes = Array.of_list (List.map (fun cfg -> Pipeline.create cfg img) cfgs) in
+  let n = Array.length pipes in
   Trace.Reader.iter rd (fun ~pc ~dinfo ->
-      List.iter (fun p -> Pipeline.step p ~iaddr:pc ~dinfo) pipes);
-  List.map Pipeline.result pipes
+      for k = 0 to n - 1 do
+        Pipeline.step (Array.unsafe_get pipes k) ~iaddr:pc ~dinfo
+      done);
+  Array.to_list (Array.map Pipeline.result pipes)
+
+(* Single-pass, chunk-parallel cache grid. ---------------------------------- *)
+
+module Grid = struct
+  module Cache = Memsys.Cache
+
+  type spec = {
+    icache : Memsys.cache_config;
+    dcache : Memsys.cache_config;
+  }
+
+  type chunk_result = (Cache.summary * Cache.summary) array
+
+  (* One decode feeds every geometry.  The i-stream is run-length
+     compressed at 4-byte granularity first: consecutive fetches inside
+     the same granule are one event plus a repeat count, and since every
+     standard geometry has sub-blocks of at least 4 bytes the whole run
+     lands in one sub-block of every automaton — the first access decides,
+     the rest are guaranteed hits.  Geometries with smaller sub-blocks
+     (or traces with fetches straddling a granule) replay the raw pc
+     stream instead. *)
+  let chunk rd (specs : spec array) i =
+    let insn_bytes = Trace.Reader.insn_bytes rd in
+    let info = Trace.Reader.chunk rd i in
+    let n = info.Trace.Reader.n_records in
+    let gran = Array.make (max n 1) 0 in
+    let cnt = Array.make (max n 1) 0 in
+    let pcs = Array.make (max n 1) 0 in
+    let dinfos = Array.make (max n 1) 0 in
+    let ng = ref 0 in
+    let nd = ref 0 in
+    let np = ref 0 in
+    let prev = ref min_int in
+    let aligned = ref true in
+    Trace.Reader.iter_chunk rd i (fun ~pc ~dinfo ->
+        pcs.(!np) <- pc;
+        incr np;
+        if pc land 3 + insn_bytes > 4 then aligned := false;
+        let g = pc lsr 2 in
+        if g = !prev then cnt.(!ng - 1) <- cnt.(!ng - 1) + 1
+        else begin
+          gran.(!ng) <- g;
+          cnt.(!ng) <- 1;
+          incr ng;
+          prev := g
+        end;
+        if dinfo <> 0 then begin
+          dinfos.(!nd) <- dinfo;
+          incr nd
+        end);
+    Array.map
+      (fun (s : spec) ->
+        let ia = Cache.chunk_start s.icache in
+        let da = Cache.chunk_start s.dcache in
+        if !aligned && s.icache.Memsys.sub_block_bytes >= 4 then
+          for k = 0 to !ng - 1 do
+            Cache.chunk_iread_run ia
+              ~addr:(Array.unsafe_get gran k lsl 2)
+              ~count:(Array.unsafe_get cnt k)
+          done
+        else
+          for k = 0 to !np - 1 do
+            Cache.chunk_access ia ~is_read:true ~addr:(Array.unsafe_get pcs k)
+              ~bytes:insn_bytes
+          done;
+        for k = 0 to !nd - 1 do
+          let d = Array.unsafe_get dinfos k in
+          Cache.chunk_access da
+            ~is_read:(d land 1 = 0)
+            ~addr:(d lsr 5)
+            ~bytes:((d lsr 1) land 0xF)
+        done;
+        (Cache.chunk_finish ia, Cache.chunk_finish da))
+      specs
+
+  let merge (specs : spec array) (chunks : chunk_result list) =
+    Array.to_list
+      (Array.mapi
+         (fun j (s : spec) ->
+           let icar = Cache.carry_start s.icache in
+           let dcar = Cache.carry_start s.dcache in
+           List.iter
+             (fun (r : chunk_result) ->
+               let si, sd = r.(j) in
+               Cache.absorb icar si;
+               Cache.absorb dcar sd)
+             chunks;
+           let it = Cache.carry_totals icar in
+           let dt = Cache.carry_totals dcar in
+           {
+             Memsys.icache =
+               {
+                 Memsys.accesses = it.Cache.reads + it.Cache.writes;
+                 misses = it.Cache.read_misses + it.Cache.write_misses;
+                 words_transferred = it.Cache.fetch_words;
+               };
+             dcache_read =
+               {
+                 Memsys.accesses = dt.Cache.reads;
+                 misses = dt.Cache.read_misses;
+                 words_transferred = 0;
+               };
+             dcache_write =
+               {
+                 Memsys.accesses = dt.Cache.writes;
+                 misses = dt.Cache.write_misses;
+                 words_transferred = 0;
+               };
+           })
+         specs)
+
+  let run ?map rd (specs : spec list) =
+    let sa = Array.of_list specs in
+    let ids = List.init (Trace.Reader.n_chunks rd) Fun.id in
+    let results =
+      match map with
+      | Some m -> m (chunk rd sa) ids
+      | None -> List.map (chunk rd sa) ids
+    in
+    merge sa results
+end

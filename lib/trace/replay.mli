@@ -49,3 +49,37 @@ val pipelines :
 (** One sequential pass feeding every configuration's pipeline, in
     configuration order — the trace-driven twin of
     {!Repro_uarch.Uarch.run_many}. *)
+
+(** Single-pass, chunk-parallel cache grid: decode each chunk once and
+    feed every geometry's cold chunk automaton from the same decoded
+    (and run-length compressed) record stream, then merge the per-chunk
+    summaries sequentially per geometry
+    ({!Repro_sim.Memsys.Cache.absorb}).  Results are byte-equal to one
+    {!cached} pass per geometry — the differential suite gates on it. *)
+module Grid : sig
+  type spec = {
+    icache : Repro_sim.Memsys.cache_config;
+    dcache : Repro_sim.Memsys.cache_config;
+  }
+
+  type chunk_result
+  (** Per-spec (icache, dcache) chunk summaries for one chunk. *)
+
+  val chunk : Trace.Reader.t -> spec array -> int -> chunk_result
+  (** Decode chunk [i] once and cold-simulate every spec over it.
+      Independent of every other chunk — safe to fan out across
+      domains. *)
+
+  val merge :
+    spec array -> chunk_result list -> Repro_sim.Memsys.cached list
+  (** Sequential reconciliation, in chunk order, per spec. *)
+
+  val run :
+    ?map:((int -> chunk_result) -> int list -> chunk_result list) ->
+    Trace.Reader.t ->
+    spec list ->
+    Repro_sim.Memsys.cached list
+  (** The whole grid from one reader.  [map] distributes the per-chunk
+      work (default [List.map]); pass [Repro_harness.Pool.map ~pool] or
+      [~jobs] to fan chunks out across domains. *)
+end

@@ -19,7 +19,8 @@ type mem_state =
     }
 
 type t = {
-  descs : (int, Predecode.desc) Hashtbl.t;
+  img : Link.image;
+  descs : Predecode.desc array;  (* by instruction index, via Link.index_at *)
   insn_bytes : int;
   sb : Scoreboard.t;
   mem : mem_state;
@@ -47,6 +48,7 @@ let create (cfg : Uconfig.t) (img : Link.image) =
         }
   in
   {
+    img;
     descs = Predecode.table img;
     insn_bytes = Target.insn_bytes target;
     sb =
@@ -71,7 +73,7 @@ let step t ~iaddr ~dinfo =
     if Memsys.Cache.access m.icache ~is_read:true ~addr:iaddr ~bytes:t.insn_bytes
     then t.fetch_stalls <- t.fetch_stalls + m.penalty);
   (* ID/EX. *)
-  Scoreboard.step t.sb (Hashtbl.find t.descs iaddr);
+  Scoreboard.step t.sb t.descs.(Link.index_at t.img iaddr);
   (* MEM. *)
   if dinfo <> 0 then begin
     let is_write = dinfo land 1 = 1 in

@@ -73,9 +73,4 @@ let of_insn (i : Insn.t) =
   | Insn.Nop -> { reads = []; write = None }
 
 let table (img : Repro_link.Link.image) =
-  let tbl = Hashtbl.create (Array.length img.Repro_link.Link.insns) in
-  Array.iteri
-    (fun i insn ->
-      Hashtbl.replace tbl img.Repro_link.Link.addr_of.(i) (of_insn insn))
-    img.Repro_link.Link.insns;
-  tbl
+  Array.map of_insn img.Repro_link.Link.insns

@@ -30,5 +30,8 @@ type desc = { reads : rreg list; write : write option }
 
 val of_insn : Repro_core.Insn.t -> desc
 
-val table : Repro_link.Link.image -> (int, desc) Hashtbl.t
-(** Descriptor of every static instruction, keyed by byte address. *)
+val table : Repro_link.Link.image -> desc array
+(** Descriptor of every static instruction, in instruction-index order;
+    map a trace address to its index with
+    {!Repro_link.Link.index_at} — a constant-time array lookup on the
+    pipeline's per-record path. *)

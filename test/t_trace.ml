@@ -72,6 +72,40 @@ let synthetic_roundtrip =
           && (n = 0
              || (Reader.chunk rd 0).Reader.start_pc = fst (List.hd records))))
 
+(* The grid engine on synthetic streams: non-monotonic, unaligned pcs
+   (forcing the raw i-stream path), tiny chunks forcing many
+   reconciliation boundaries, and a sub-block smaller than a word.
+   Sequential and chunk-parallel grid replay must both equal N
+   independent per-geometry replays. *)
+let grid_spec (size, block, sub) =
+  let cfg = Memsys.cache_config ~size ~block ~sub in
+  { Replay.Grid.icache = cfg; dcache = cfg }
+
+let grid_equals_cached rd geometries ~jobs =
+  let specs = List.map grid_spec geometries in
+  let expect =
+    List.map
+      (fun (s : Replay.Grid.spec) ->
+        Replay.cached ~icache:s.Replay.Grid.icache ~dcache:s.Replay.Grid.dcache
+          rd)
+      specs
+  in
+  let seq = Replay.Grid.run rd specs in
+  let par = Replay.Grid.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd specs in
+  (seq = expect, par = expect)
+
+let synthetic_grid =
+  let geometries = [ (32, 4, 2); (64, 8, 8); (256, 16, 4); (1024, 32, 32) ] in
+  QCheck.Test.make
+    ~name:"grid replay equals per-geometry replay on synthetic streams"
+    ~count:40
+    (QCheck.make QCheck.Gen.(list_size (int_bound 300) gen_record))
+    (fun records ->
+      with_temp (fun path ->
+          let rd, _ = roundtrip ~chunk_records:16 records path in
+          let seq_ok, par_ok = grid_equals_cached rd geometries ~jobs:3 in
+          seq_ok && par_ok))
+
 (* Real compiled programs, via the statement fuzzer's generator. *)
 let progfuzz_roundtrip () =
   let progs =
@@ -238,6 +272,20 @@ let differential bench (t : Target.t) =
             (Memsys.cached_cycles ~miss_penalty:penalty r direct)
             (Memsys.cached_cycles ~miss_penalty:penalty r replayed))
         cache_points;
+      (* Grid engine: one decode feeding every geometry — sequential and
+         chunk-parallel both equal to independent per-geometry replays.
+         The list stresses the automaton's edges: sub == block (whole-block
+         fills), a single-set cache, a sub-block smaller than a word
+         (raw i-stream path), and tiny blocks. *)
+      let grid_geos =
+        [
+          (1024, 32, 4); (4096, 64, 8); (1024, 32, 32); (64, 64, 8);
+          (64, 64, 64); (128, 8, 4); (64, 4, 2);
+        ]
+      in
+      let seq_ok, par_ok = grid_equals_cached rd grid_geos ~jobs:3 in
+      Alcotest.(check bool) (name "grid sequential equal") true seq_ok;
+      Alcotest.(check bool) (name "grid parallel equal") true par_ok;
       (* Pipeline model: trace-driven replay equals the streamed run. *)
       let cfgs =
         [
@@ -266,6 +314,7 @@ let differential_case bench =
 let tests =
   [
     QCheck_alcotest.to_alcotest synthetic_roundtrip;
+    QCheck_alcotest.to_alcotest synthetic_grid;
     Alcotest.test_case "compiled programs roundtrip" `Slow progfuzz_roundtrip;
     Alcotest.test_case "empty trace" `Quick test_empty_trace;
     Alcotest.test_case "writer validation" `Quick test_writer_validation;
