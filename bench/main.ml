@@ -109,8 +109,12 @@ let trace_tests =
       ignore (Replay.Grid.run rd (List.map grid_spec (take n grid_cfgs)))
   in
   (* One long-lived pool so the parallel test times replay, not
-     Domain.spawn. *)
-  let pool = Pool.create ~jobs:4 in
+     Domain.spawn — created lazily at the test's first run, because even
+     idle worker domains tax every other measurement through
+     stop-the-world collector synchronization (on a single-CPU box the
+     experiment renders measure ~1.7x slower with four idle domains
+     alive). *)
+  let pool = lazy (Pool.create ~jobs:4) in
   [
     Test.make ~name:"trace-capture:queens"
       (Staged.stage (fun () -> ignore (capture ())));
@@ -124,7 +128,7 @@ let trace_tests =
       (Staged.stage (fun () ->
            ignore
              (Replay.merge_nocache
-                (Pool.map ~pool
+                (Pool.map ~pool:(Lazy.force pool)
                    (Replay.nocache_chunk rd ~bus_bytes:4)
                    (List.init (Trace.Reader.n_chunks rd) Fun.id)))));
     Test.make ~name:"sweep-direct:4cfg:queens"
@@ -155,6 +159,42 @@ let uarch_tests =
     let cfg = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
     Uconfig.cached ~icache:cfg ~dcache:cfg ~miss_penalty:8
   in
+  (* Multi-config pipeline grid over a stored trace: one decode feeds
+     every configuration, memory automata deduplicated by behaviour
+     class.  uarch-grid:8cfg extends the 4cfg prefix with two more cache
+     geometries and two wait-state variants that dedup into already-paid
+     classes, so cost must grow far sublinearly in configuration count
+     (CI tracks 8cfg < 1.6x 4cfg).  The reader reopens per run, like
+     grid-replay, so the fixed open+checksum cost is shared apples to
+     apples across the pair. *)
+  let path = Filename.temp_file "repro-bench-uarch" ".trc" in
+  at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+  let w = Trace.Writer.create ~insn_bytes:2 path in
+  ignore
+    (Machine.run ~trace:false
+       ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+       img);
+  Trace.Writer.close w;
+  let ucached size penalty =
+    let cfg = Memsys.cache_config ~size ~block:32 ~sub:4 in
+    Uconfig.cached ~icache:cfg ~dcache:cfg ~miss_penalty:penalty
+  in
+  let grid_cfgs =
+    [
+      Uconfig.nocache ~bus_bytes:4 ~wait_states:1;
+      Uconfig.nocache ~bus_bytes:8 ~wait_states:1;
+      ucached 1024 8; ucached 4096 8;
+      Uconfig.nocache ~bus_bytes:4 ~wait_states:3;
+      Uconfig.nocache ~bus_bytes:8 ~wait_states:3;
+      ucached 2048 8; ucached 8192 8;
+    ]
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let uarch_grid n () =
+    match Trace.Reader.open_file path with
+    | Error e -> failwith e
+    | Ok rd -> ignore (Replay.Upipelines.run rd (take n grid_cfgs) img)
+  in
   [
     Test.make ~name:"uarch-replay:nocache:queens"
       (Staged.stage (fun () -> ignore (Uarch.replay nocache img tr)));
@@ -162,6 +202,8 @@ let uarch_tests =
       (Staged.stage (fun () -> ignore (Uarch.replay cached img tr)));
     Test.make ~name:"uarch-stream:queens"
       (Staged.stage (fun () -> ignore (Uarch.run nocache img)));
+    Test.make ~name:"uarch-grid:4cfg:queens" (Staged.stage (uarch_grid 4));
+    Test.make ~name:"uarch-grid:8cfg:queens" (Staged.stage (uarch_grid 8));
   ]
 
 let benchmark test =

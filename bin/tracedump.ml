@@ -6,12 +6,15 @@
    Usage:
      dune exec bin/tracedump.exe -- (--bench NAME [TARGET] | FILE.trc)
        [--summary] [--chunks] [--dump N] [--from PC] [--to PC]
-       [--loads] [--stores] [--working-set] [--traffic] [--grid] [--jobs N]
+       [--loads] [--stores] [--working-set] [--traffic] [--grid] [--cpi]
+       [--jobs N]
 
-   With no mode flags, prints the summary.  --working-set, --traffic and
-   --grid replay chunk-parallel over --jobs domains (--working-set and
-   --traffic merge order-free counters; --grid reconciles per-chunk cache
-   automata exactly, see Replay.Grid).                                    *)
+   With no mode flags, prints the summary.  --working-set, --traffic,
+   --grid and --cpi replay chunk-parallel over --jobs domains
+   (--working-set and --traffic merge order-free counters; --grid and
+   --cpi reconcile per-chunk automata exactly, see Replay.Grid and
+   Replay.Upipelines).  --cpi needs --bench (the pipeline model reads
+   the image's instruction descriptors).                                  *)
 
 module Target = Repro_core.Target
 module Runs = Repro_harness.Runs
@@ -24,7 +27,7 @@ module Reader = Repro_trace.Trace.Reader
 let usage =
   "tracedump (--bench NAME [TARGET] | FILE.trc) [--summary] [--chunks]\n\
   \       [--dump N] [--from PC] [--to PC] [--loads] [--stores]\n\
-  \       [--working-set] [--traffic] [--grid] [--jobs N]"
+  \       [--working-set] [--traffic] [--grid] [--cpi] [--jobs N]"
 
 let int_arg cli name ~default =
   match Cli.flag_arg cli name with
@@ -156,16 +159,40 @@ let grid rd ~jobs =
         c.icache.words_transferred)
     geometries results
 
+(* Per-configuration CPI and stall breakdown over the standard pipeline
+   sweep, all configurations fed by one decode of the trace
+   ([Replay.Upipelines]): a shared scoreboard automaton plus memory
+   automatons deduplicated by behaviour class, chunk-parallel with exact
+   convergence-checked reconciliation.  Needs the image for the
+   instruction descriptors, so it is only available with --bench. *)
+let cpi rd img ~jobs =
+  let cfgs = Runs.standard_uarch_configs in
+  let results =
+    Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd cfgs img
+  in
+  print_endline
+    "config                                    cpi      fetch       load  \
+    \      fp      dmiss      wmiss";
+  List.iter2
+    (fun cfg (r : Repro_uarch.Pipeline.result) ->
+      let s = r.Repro_uarch.Pipeline.stalls in
+      Printf.printf "%-36s  %7.3f  %9d  %9d  %9d  %9d  %9d\n"
+        (Repro_uarch.Uconfig.describe cfg)
+        (Repro_uarch.Stalls.cpi s) s.Repro_uarch.Stalls.fetch_stalls
+        s.Repro_uarch.Stalls.load_interlocks s.Repro_uarch.Stalls.fp_interlocks
+        s.Repro_uarch.Stalls.dmiss_stalls s.Repro_uarch.Stalls.wmiss_stalls)
+    cfgs results
+
 let () =
   let cli =
     Cli.parse
       ~flags_with_arg:[ "--bench"; "--dump"; "--from"; "--to"; "--jobs" ]
       ~flags:
         [ "--summary"; "--chunks"; "--loads"; "--stores"; "--working-set";
-          "--traffic"; "--grid" ]
+          "--traffic"; "--grid"; "--cpi" ]
       ~usage Sys.argv
   in
-  let rd =
+  let rd, img =
     match (Cli.flag_arg cli "--bench", Cli.positionals cli) with
     | Some bench, rest ->
       let target =
@@ -179,10 +206,10 @@ let () =
             exit 1)
         | _ -> Cli.usage_exit cli
       in
-      Runs.trace_reader bench target
+      (Runs.trace_reader bench target, Some (Runs.image bench target))
     | None, [ file ] -> (
       match Reader.open_file file with
-      | Ok rd -> rd
+      | Ok rd -> (rd, None)
       | Error e ->
         prerr_endline ("tracedump: " ^ e);
         exit 1)
@@ -191,8 +218,8 @@ let () =
   let jobs = int_arg cli "--jobs" ~default:(Pool.default_jobs ()) in
   let any_mode =
     List.exists (Cli.flag cli)
-      [ "--chunks"; "--working-set"; "--traffic"; "--grid"; "--loads";
-        "--stores" ]
+      [ "--chunks"; "--working-set"; "--traffic"; "--grid"; "--cpi";
+        "--loads"; "--stores" ]
     || Cli.flag_arg cli "--dump" <> None
   in
   if Cli.flag cli "--summary" || not any_mode then summary rd;
@@ -209,4 +236,11 @@ let () =
       ~stores_only:(Cli.flag cli "--stores");
   if Cli.flag cli "--working-set" then working_set rd ~jobs;
   if Cli.flag cli "--traffic" then traffic rd ~jobs;
-  if Cli.flag cli "--grid" then grid rd ~jobs
+  if Cli.flag cli "--grid" then grid rd ~jobs;
+  if Cli.flag cli "--cpi" then
+    match img with
+    | Some img -> cpi rd img ~jobs
+    | None ->
+      prerr_endline
+        "tracedump: --cpi needs the program image; use --bench NAME [TARGET]";
+      exit 1

@@ -13,13 +13,30 @@ let f3 v = Float { v; decimals = 3 }
 let pct1 v = Percent { v; decimals = 1; signed = false }
 let spct2 v = Percent { v; decimals = 2; signed = true }
 
+(* The runtime primitive behind [Printf]'s [%f] conversion
+   (CamlinternalFormat calls the same C function), invoked directly with a
+   pre-built format string: identical bytes, none of the per-call format
+   interpretation.  Rendering a table is ~80% float formatting. *)
+external format_float : string -> float -> string = "caml_format_float"
+
+let plain_fmt = [| "%.0f"; "%.1f"; "%.2f"; "%.3f"; "%.4f"; "%.5f"; "%.6f" |]
+
+let signed_fmt =
+  [| "%+.0f"; "%+.1f"; "%+.2f"; "%+.3f"; "%+.4f"; "%+.5f"; "%+.6f" |]
+
+let float_to_string ~signed ~decimals v =
+  let fmts = if signed then signed_fmt else plain_fmt in
+  if decimals >= 0 && decimals < Array.length fmts then
+    format_float fmts.(decimals) v
+  else if signed then Printf.sprintf "%+.*f" decimals v
+  else Printf.sprintf "%.*f" decimals v
+
 let cell_to_string = function
   | Text s -> s
   | Int n -> string_of_int n
-  | Float { v; decimals } -> Printf.sprintf "%.*f" decimals v
+  | Float { v; decimals } -> float_to_string ~signed:false ~decimals v
   | Percent { v; decimals; signed } ->
-    if signed then Printf.sprintf "%+.*f%%" decimals v
-    else Printf.sprintf "%.*f%%" decimals v
+    float_to_string ~signed ~decimals v ^ "%"
 
 let number = function
   | Text _ -> None

@@ -38,11 +38,11 @@ let describe s =
     | Uarch -> " (uarch sweep)"
     | Trace -> " (trace capture)")
 
-let execute ?grid_map s =
+let execute ?grid_map ?uarch_map s =
   match s.kind with
   | Stats -> ignore (Runs.stats s.bench s.target)
   | Grid -> Runs.ensure_grid ?map:grid_map s.bench s.target
-  | Uarch -> Runs.ensure_uarch s.bench s.target
+  | Uarch -> Runs.ensure_uarch ?map:uarch_map s.bench s.target
   | Trace -> Runs.ensure_trace s.bench s.target
 
 let suite_names = List.map (fun b -> b.Suite.name) Suite.all

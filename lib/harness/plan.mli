@@ -51,12 +51,17 @@ val execute :
     ((int -> Repro_trace.Replay.Grid.chunk_result) ->
     int list ->
     Repro_trace.Replay.Grid.chunk_result list) ->
+  ?uarch_map:
+    ((int -> Repro_trace.Replay.Upipelines.chunk_result) ->
+    int list ->
+    Repro_trace.Replay.Upipelines.chunk_result list) ->
   spec ->
   unit
 (** Run one spec to completion through {!Runs} (memo + disk cache).
-    [?grid_map] is forwarded to {!Runs.ensure_grid} so a scheduler with
-    spare capacity can spread a grid replay's trace chunks across domains
-    on top of the across-spec parallelism (chunks × benchmarks). *)
+    [?grid_map] / [?uarch_map] are forwarded to {!Runs.ensure_grid} /
+    {!Runs.ensure_uarch} so a scheduler with spare capacity can spread a
+    replay's trace chunks across domains on top of the across-spec
+    parallelism (chunks × benchmarks). *)
 
 val describe : spec -> string
 

@@ -139,11 +139,14 @@ let run_plan ?jobs plan =
   let grid_map =
     if spare > 1 then Some (fun f xs -> map ~jobs:spare f xs) else None
   in
+  let uarch_map =
+    if spare > 1 then Some (fun f xs -> map ~jobs:spare f xs) else None
+  in
   let t = create ~jobs:(min jobs (max 1 (List.length specs))) in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
       List.iter
-        (fun s -> submit t (fun () -> Plan.execute ?grid_map s))
+        (fun s -> submit t (fun () -> Plan.execute ?grid_map ?uarch_map s))
         specs;
       wait t)

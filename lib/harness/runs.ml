@@ -90,7 +90,10 @@ let trace_lock key =
 let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
   Hashtbl.create 256
 
-let uarch_tbl : (string * string * string, Upipeline.result) Hashtbl.t =
+(* Keyed structurally on the configuration itself: the hot render paths
+   (utab1/ufig1) look configurations up hundreds of times, and hashing the
+   variant beats formatting a describe string per probe. *)
+let uarch_tbl : (string * string * Uconfig.t, Upipeline.result) Hashtbl.t =
   Hashtbl.create 64
 
 let clear_memo () =
@@ -349,27 +352,29 @@ let cached bench (target : Target.t) ~size ~block ~sub =
 let uarch_complete bench (target : Target.t) =
   with_lock (fun () ->
       List.for_all
-        (fun cfg ->
-          Hashtbl.mem uarch_tbl
-            (bench, target.Target.name, Uconfig.describe cfg))
+        (fun cfg -> Hashtbl.mem uarch_tbl (bench, target.Target.name, cfg))
         standard_uarch_configs)
 
 let install_uarch bench (target : Target.t) entries =
   with_lock (fun () ->
       List.iter
-        (fun (descr, res) ->
-          Hashtbl.replace uarch_tbl (bench, target.Target.name, descr) res)
+        (fun (cfg, res) ->
+          Hashtbl.replace uarch_tbl (bench, target.Target.name, cfg) res)
         entries)
 
-let ensure_uarch bench (target : Target.t) =
+let ensure_uarch ?map bench (target : Target.t) =
   if not (uarch_complete bench target) then begin
+    (* The disk format stays describe-keyed (it predates the structural
+       memo keys), so existing cache entries remain valid. *)
     let entries : (string * Upipeline.result) list =
       match Diskcache.find (uarch_sweep_key bench target) with
       | Some entries -> entries
       | None ->
-        (* One stored trace feeds every configuration's pipeline. *)
+        (* One decode of the stored trace feeds every configuration:
+           a shared scoreboard plus deduplicated memory automatons,
+           chunk-parallel when [map] fans out ({!Replay.Upipelines}). *)
         let results =
-          Replay.pipelines
+          Replay.Upipelines.run ?map
             (trace_reader bench target)
             standard_uarch_configs (image bench target)
         in
@@ -381,11 +386,14 @@ let ensure_uarch bench (target : Target.t) =
         Diskcache.store (uarch_sweep_key bench target) entries;
         entries
     in
-    install_uarch bench target entries
+    install_uarch bench target
+      (List.map
+         (fun cfg -> (cfg, List.assoc (Uconfig.describe cfg) entries))
+         standard_uarch_configs)
   end
 
 let uarch bench (target : Target.t) cfg =
-  let key = (bench, target.Target.name, Uconfig.describe cfg) in
+  let key = (bench, target.Target.name, cfg) in
   match with_lock (fun () -> Hashtbl.find_opt uarch_tbl key) with
   | Some res -> res
   | None ->

@@ -79,14 +79,26 @@ val uarch :
   Repro_uarch.Uconfig.t ->
   Repro_uarch.Pipeline.result
 (** Cycle-accurate pipeline-model result (stall breakdown, cache counters)
-    for one memory configuration.  Memoized; the first request for a
-    (benchmark, target) runs the standard sweep — one architectural
-    execution feeding every configuration in {!standard_uarch_configs}. *)
+    for one memory configuration.  Memoized (keyed structurally on the
+    configuration — the render paths probe hundreds of times); the first
+    request for a (benchmark, target) runs the standard sweep — one decode
+    of the stored trace feeding every configuration in
+    {!standard_uarch_configs}. *)
 
-val ensure_uarch : string -> Repro_core.Target.t -> unit
+val ensure_uarch :
+  ?map:
+    ((int -> Repro_trace.Replay.Upipelines.chunk_result) ->
+    int list ->
+    Repro_trace.Replay.Upipelines.chunk_result list) ->
+  string ->
+  Repro_core.Target.t ->
+  unit
 (** Populate the standard pipeline-model sweep for one (benchmark, target),
-    from disk when possible.  The unit of work {!Pool} schedules for stall
-    studies. *)
+    from disk when possible: one decode of the stored trace drives every
+    configuration through a shared scoreboard and deduplicated memory
+    automatons ({!Repro_trace.Replay.Upipelines}).  The unit of work
+    {!Pool} schedules for stall studies.  [?map] fans the trace's chunks
+    out across domains, like {!ensure_grid}'s. *)
 
 val standard_uarch_configs : Repro_uarch.Uconfig.t list
 (** Cacheless bus 4 and 8 bytes at wait states 0..3, plus 4K and 16K split

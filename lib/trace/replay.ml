@@ -91,6 +91,66 @@ let pipelines rd cfgs img =
       done);
   Array.to_list (Array.map Pipeline.result pipes)
 
+(* Shared chunk decode. ------------------------------------------------------
+
+   One decode per chunk feeds every automaton (caches, fetch buffers,
+   scoreboards).  The i-stream is additionally run-length compressed at
+   4-byte granularity: consecutive fetches inside the same granule become
+   one event plus a repeat count, which any automaton whose hit/miss
+   outcome is constant across a granule (cache sub-blocks >= 4 bytes on
+   aligned traces; any fetch buffer with a bus >= 4 bytes) replays in one
+   step — the first access decides, the rest are guaranteed hits. *)
+type decoded = {
+  pcs : int array;  (* every record's fetch address, in order *)
+  np : int;
+  dinfos : int array;  (* the nonzero packed data records, in order *)
+  nd : int;
+  gran : int array;  (* run-length compressed i-stream: 4-byte granules *)
+  cnt : int array;
+  ng : int;
+  aligned : bool;  (* no fetch straddles a granule *)
+}
+
+let decode rd i =
+  let insn_bytes = Trace.Reader.insn_bytes rd in
+  let info = Trace.Reader.chunk rd i in
+  let n = info.Trace.Reader.n_records in
+  let gran = Array.make (max n 1) 0 in
+  let cnt = Array.make (max n 1) 0 in
+  let pcs = Array.make (max n 1) 0 in
+  let dinfos = Array.make (max n 1) 0 in
+  let ng = ref 0 in
+  let nd = ref 0 in
+  let np = ref 0 in
+  let prev = ref min_int in
+  let aligned = ref true in
+  Trace.Reader.iter_chunk rd i (fun ~pc ~dinfo ->
+      pcs.(!np) <- pc;
+      incr np;
+      if pc land 3 + insn_bytes > 4 then aligned := false;
+      let g = pc lsr 2 in
+      if g = !prev then cnt.(!ng - 1) <- cnt.(!ng - 1) + 1
+      else begin
+        gran.(!ng) <- g;
+        cnt.(!ng) <- 1;
+        incr ng;
+        prev := g
+      end;
+      if dinfo <> 0 then begin
+        dinfos.(!nd) <- dinfo;
+        incr nd
+      end);
+  {
+    pcs;
+    np = !np;
+    dinfos;
+    nd = !nd;
+    gran;
+    cnt;
+    ng = !ng;
+    aligned = !aligned;
+  }
+
 (* Single-pass, chunk-parallel cache grid. ---------------------------------- *)
 
 module Grid = struct
@@ -103,64 +163,31 @@ module Grid = struct
 
   type chunk_result = (Cache.summary * Cache.summary) array
 
-  (* One decode feeds every geometry.  The i-stream is run-length
-     compressed at 4-byte granularity first: consecutive fetches inside
-     the same granule are one event plus a repeat count, and since every
-     standard geometry has sub-blocks of at least 4 bytes the whole run
-     lands in one sub-block of every automaton — the first access decides,
-     the rest are guaranteed hits.  Geometries with smaller sub-blocks
-     (or traces with fetches straddling a granule) replay the raw pc
-     stream instead. *)
   let chunk rd (specs : spec array) i =
     let insn_bytes = Trace.Reader.insn_bytes rd in
-    let info = Trace.Reader.chunk rd i in
-    let n = info.Trace.Reader.n_records in
-    let gran = Array.make (max n 1) 0 in
-    let cnt = Array.make (max n 1) 0 in
-    let pcs = Array.make (max n 1) 0 in
-    let dinfos = Array.make (max n 1) 0 in
-    let ng = ref 0 in
-    let nd = ref 0 in
-    let np = ref 0 in
-    let prev = ref min_int in
-    let aligned = ref true in
-    Trace.Reader.iter_chunk rd i (fun ~pc ~dinfo ->
-        pcs.(!np) <- pc;
-        incr np;
-        if pc land 3 + insn_bytes > 4 then aligned := false;
-        let g = pc lsr 2 in
-        if g = !prev then cnt.(!ng - 1) <- cnt.(!ng - 1) + 1
-        else begin
-          gran.(!ng) <- g;
-          cnt.(!ng) <- 1;
-          incr ng;
-          prev := g
-        end;
-        if dinfo <> 0 then begin
-          dinfos.(!nd) <- dinfo;
-          incr nd
-        end);
+    let d = decode rd i in
     Array.map
       (fun (s : spec) ->
         let ia = Cache.chunk_start s.icache in
         let da = Cache.chunk_start s.dcache in
-        if !aligned && s.icache.Memsys.sub_block_bytes >= 4 then
-          for k = 0 to !ng - 1 do
+        if d.aligned && s.icache.Memsys.sub_block_bytes >= 4 then
+          for k = 0 to d.ng - 1 do
             Cache.chunk_iread_run ia
-              ~addr:(Array.unsafe_get gran k lsl 2)
-              ~count:(Array.unsafe_get cnt k)
+              ~addr:(Array.unsafe_get d.gran k lsl 2)
+              ~count:(Array.unsafe_get d.cnt k)
           done
         else
-          for k = 0 to !np - 1 do
-            Cache.chunk_access ia ~is_read:true ~addr:(Array.unsafe_get pcs k)
+          for k = 0 to d.np - 1 do
+            Cache.chunk_access ia ~is_read:true
+              ~addr:(Array.unsafe_get d.pcs k)
               ~bytes:insn_bytes
           done;
-        for k = 0 to !nd - 1 do
-          let d = Array.unsafe_get dinfos k in
+        for k = 0 to d.nd - 1 do
+          let v = Array.unsafe_get d.dinfos k in
           Cache.chunk_access da
-            ~is_read:(d land 1 = 0)
-            ~addr:(d lsr 5)
-            ~bytes:((d lsr 1) land 0xF)
+            ~is_read:(v land 1 = 0)
+            ~addr:(v lsr 5)
+            ~bytes:((v lsr 1) land 0xF)
         done;
         (Cache.chunk_finish ia, Cache.chunk_finish da))
       specs
@@ -210,4 +237,115 @@ module Grid = struct
       | None -> List.map (chunk rd sa) ids
     in
     merge sa results
+end
+
+(* Single-pass, chunk-parallel pipeline-timing grid. ------------------------ *)
+
+module Upipelines = struct
+  module Uconfig = Repro_uarch.Uconfig
+  module Scoreboard = Repro_uarch.Scoreboard
+  module Predecode = Repro_uarch.Predecode
+  module Mem = Pipeline.Mem
+  module Link = Repro_link.Link
+  module Target = Repro_core.Target
+
+  (* Distinct memory-behaviour classes in first-appearance order, plus
+     each configuration's class index.  The scoreboard is shared by ALL
+     configurations (interlocks depend only on the instruction stream),
+     so a chunk runs one scoreboard automaton plus one memory automaton
+     per distinct class — the standard ten-configuration sweep needs
+     four, not ten. *)
+  let dedup cfgs =
+    let seen = ref [] in
+    let of_cfg =
+      List.map
+        (fun cfg ->
+          let k = Mem.key cfg in
+          match List.assoc_opt k !seen with
+          | Some j -> j
+          | None ->
+            let j = List.length !seen in
+            seen := (k, j) :: !seen;
+            j)
+        cfgs
+    in
+    let keys = Array.make (List.length !seen) (Mem.key (List.hd cfgs)) in
+    List.iter (fun (k, j) -> keys.(j) <- k) !seen;
+    (keys, Array.of_list of_cfg)
+
+  type chunk_result = {
+    u_sb : Scoreboard.summary;
+    u_mems : Mem.summary array;  (* per distinct memory class, key order *)
+  }
+
+  let chunk rd descs (img : Link.image) keys i =
+    let insn_bytes = Trace.Reader.insn_bytes rd in
+    let target = img.Link.target in
+    let d = decode rd i in
+    let sb =
+      Scoreboard.chunk_start ~n_gpr:target.Target.n_gpr
+        ~n_fpr:target.Target.n_fpr
+    in
+    for k = 0 to d.np - 1 do
+      let idx = Link.index_at img (Array.unsafe_get d.pcs k) in
+      Scoreboard.chunk_step sb ~index:idx (Array.unsafe_get descs idx)
+    done;
+    let u_mems =
+      Array.map
+        (fun key ->
+          let a = Mem.chunk_start ~insn_bytes key in
+          if Mem.fetch_run_ok ~aligned:d.aligned key then
+            for k = 0 to d.ng - 1 do
+              Mem.fetch_run a
+                ~addr:(Array.unsafe_get d.gran k lsl 2)
+                ~count:(Array.unsafe_get d.cnt k)
+            done
+          else
+            for k = 0 to d.np - 1 do
+              Mem.fetch a ~addr:(Array.unsafe_get d.pcs k)
+            done;
+          for k = 0 to d.nd - 1 do
+            Mem.data a ~dinfo:(Array.unsafe_get d.dinfos k)
+          done;
+          Mem.chunk_finish a)
+        keys
+    in
+    { u_sb = Scoreboard.chunk_finish sb; u_mems }
+
+  let run ?map rd cfgs (img : Link.image) =
+    if cfgs = [] then []
+    else begin
+      let descs = Predecode.table img in
+      let keys, of_cfg = dedup cfgs in
+      let ids = List.init (Trace.Reader.n_chunks rd) Fun.id in
+      let results =
+        match map with
+        | Some m -> m (chunk rd descs img keys) ids
+        | None -> List.map (chunk rd descs img keys) ids
+      in
+      (* Sequential reconciliation, in chunk order: re-step each chunk's
+         scoreboard prefix from the true carried-in state (adopting the
+         cold suffix at the convergence point), and stitch the memory
+         summaries through their own carry logic. *)
+      let target = img.Link.target in
+      let sb =
+        Scoreboard.create ~n_gpr:target.Target.n_gpr
+          ~n_fpr:target.Target.n_fpr
+      in
+      let carries = Array.map Mem.carry_start keys in
+      List.iter
+        (fun r ->
+          Scoreboard.absorb sb descs r.u_sb;
+          Array.iteri (fun j s -> Mem.absorb carries.(j) s) r.u_mems)
+        results;
+      let ic = Trace.Reader.n_records rd in
+      let interlock_clock = Scoreboard.clock sb in
+      let load_interlocks = Scoreboard.load_stalls sb in
+      let fp_interlocks = Scoreboard.fp_stalls sb in
+      List.mapi
+        (fun j cfg ->
+          Mem.charge carries.(of_cfg.(j)) cfg ~ic ~interlock_clock
+            ~load_interlocks ~fp_interlocks)
+        cfgs
+    end
 end

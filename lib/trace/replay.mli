@@ -83,3 +83,31 @@ module Grid : sig
       work (default [List.map]); pass [Repro_harness.Pool.map ~pool] or
       [~jobs] to fan chunks out across domains. *)
 end
+
+(** Single-pass, chunk-parallel pipeline-timing grid: the {!Grid} recipe
+    applied to the cycle-accurate five-stage model.  Each chunk is
+    decoded once; one cold {!Repro_uarch.Scoreboard} chunk automaton
+    (shared by every configuration — interlocks depend only on the
+    instruction stream) and one cold {!Repro_uarch.Pipeline.Mem}
+    automaton per distinct memory-behaviour class are fed from the same
+    decoded stream, in parallel across chunks.  A sequential merge
+    re-steps only each chunk's pre-convergence scoreboard prefix from the
+    true carried-in state (falling back to re-stepping the whole chunk if
+    convergence was never detected), reconciles the memory summaries, and
+    scales per configuration.  Results are integer-equal to
+    {!pipelines} and to {!Repro_uarch.Uarch.run_many} — the differential
+    suite gates on it. *)
+module Upipelines : sig
+  type chunk_result
+  (** One chunk's scoreboard summary plus per-memory-class summaries. *)
+
+  val run :
+    ?map:((int -> chunk_result) -> int list -> chunk_result list) ->
+    Trace.Reader.t ->
+    Repro_uarch.Uconfig.t list ->
+    Repro_link.Link.image ->
+    Repro_uarch.Pipeline.result list
+  (** Every configuration's pipeline result, in configuration order —
+      the chunk-parallel twin of {!pipelines}.  [map] distributes the
+      per-chunk work (default [List.map]). *)
+end

@@ -107,18 +107,11 @@ let step t ~iaddr ~dinfo =
   t.ic <- t.ic + 1
 
 let result t =
-  let interlock_clock = Scoreboard.clock t.sb in
   let stalls =
-    {
-      Stalls.ic = t.ic;
-      cycles =
-        interlock_clock + t.fetch_stalls + t.dmiss_stalls + t.wmiss_stalls;
-      fetch_stalls = t.fetch_stalls;
-      load_interlocks = Scoreboard.load_stalls t.sb;
-      fp_interlocks = Scoreboard.fp_stalls t.sb;
-      dmiss_stalls = t.dmiss_stalls;
-      wmiss_stalls = t.wmiss_stalls;
-    }
+    Stalls.of_parts ~ic:t.ic ~interlock_clock:(Scoreboard.clock t.sb)
+      ~load_interlocks:(Scoreboard.load_stalls t.sb)
+      ~fp_interlocks:(Scoreboard.fp_stalls t.sb) ~fetch_stalls:t.fetch_stalls
+      ~dmiss_stalls:t.dmiss_stalls ~wmiss_stalls:t.wmiss_stalls
   in
   let caches =
     match t.mem with
@@ -142,3 +135,193 @@ let result t =
         }
   in
   { stalls; caches }
+
+(* Memory-side chunk engine. ------------------------------------------------
+
+   The memory-facing stages depend on the configuration only through a
+   coarser equivalence class: a cacheless machine's fetch buffer and bus
+   transaction counts depend on the bus width alone (the wait states just
+   scale the counts at result time), and a cached machine's miss counts
+   depend on the two cache geometries alone (the miss penalty likewise
+   scales).  [Mem.key] names the class, so a sweep deduplicates its
+   memory automatons: the standard ten-configuration sweep runs two
+   fetch-buffer passes and one I/D cache-pair automaton pair per distinct
+   geometry instead of ten full pipelines. *)
+
+module Mem = struct
+  module Cache = Memsys.Cache
+  module Fetchbuf = Memsys.Fetchbuf
+
+  type key =
+    | Knocache of { bus_bytes : int }
+    | Kcached of { icache : Memsys.cache_config; dcache : Memsys.cache_config }
+
+  let key (cfg : Uconfig.t) =
+    match cfg with
+    | Uconfig.Nocache { bus_bytes; _ } -> Knocache { bus_bytes }
+    | Uconfig.Cached { icache; dcache; _ } -> Kcached { icache; dcache }
+
+  (* Whether a run of consecutive fetches inside one 4-byte granule may be
+     fed as a single event plus a count.  Cacheless: only the start
+     address matters (block = addr / bus), and a granule lies in one block
+     whenever the bus is at least granule-sized — alignment is irrelevant.
+     Cached: the whole [addr, addr + insn_bytes) span is accessed, so the
+     trace must be granule-aligned and the sub-block at least
+     granule-sized (the same gate as [Replay.Grid]). *)
+  let fetch_run_ok ~aligned = function
+    | Knocache { bus_bytes } -> bus_bytes >= 4
+    | Kcached { icache; _ } -> aligned && icache.Memsys.sub_block_bytes >= 4
+
+  type auto =
+    | Anocache of {
+        buf : Fetchbuf.t;
+        bus_bytes : int;
+        mutable first_block : int;
+        mutable dread : int;  (* data bus transactions; state-free *)
+        mutable dwrite : int;
+      }
+    | Acached of { ia : Cache.auto; da : Cache.auto; insn_bytes : int }
+
+  let chunk_start ~insn_bytes = function
+    | Knocache { bus_bytes } ->
+      Anocache
+        {
+          buf = Fetchbuf.make ~bus_bytes;
+          bus_bytes;
+          first_block = -1;
+          dread = 0;
+          dwrite = 0;
+        }
+    | Kcached { icache; dcache } ->
+      Acached
+        { ia = Cache.chunk_start icache; da = Cache.chunk_start dcache;
+          insn_bytes }
+
+  let fetch a ~addr =
+    match a with
+    | Anocache m ->
+      ignore (Fetchbuf.fetch m.buf ~addr);
+      if m.first_block < 0 then m.first_block <- addr / m.bus_bytes
+    | Acached m ->
+      Cache.chunk_access m.ia ~is_read:true ~addr ~bytes:m.insn_bytes
+
+  let fetch_run a ~addr ~count =
+    match a with
+    | Anocache _ -> fetch a ~addr  (* one block: the first fetch decides *)
+    | Acached m -> Cache.chunk_iread_run m.ia ~addr ~count
+
+  let data a ~dinfo =
+    let is_write = dinfo land 1 = 1 in
+    let bytes = (dinfo lsr 1) land 0xF in
+    match a with
+    | Anocache m ->
+      let requests = Memsys.data_requests ~bus_bytes:m.bus_bytes ~bytes in
+      if is_write then m.dwrite <- m.dwrite + requests
+      else m.dread <- m.dread + requests
+    | Acached m ->
+      Cache.chunk_access m.da ~is_read:(not is_write) ~addr:(dinfo lsr 5)
+        ~bytes
+
+  type summary =
+    | Snocache of {
+        cold_irequests : int;
+        first_block : int;
+        last_block : int;
+        dread : int;
+        dwrite : int;
+      }
+    | Scached of { ic : Cache.summary; dc : Cache.summary }
+
+  let chunk_finish = function
+    | Anocache m ->
+      Snocache
+        {
+          cold_irequests = Fetchbuf.requests m.buf;
+          first_block = m.first_block;
+          last_block = Fetchbuf.last_block m.buf;
+          dread = m.dread;
+          dwrite = m.dwrite;
+        }
+    | Acached m ->
+      Scached { ic = Cache.chunk_finish m.ia; dc = Cache.chunk_finish m.da }
+
+  type carry =
+    | Cnocache of {
+        mutable irequests : int;
+        mutable block : int;
+        mutable dread : int;
+        mutable dwrite : int;
+      }
+    | Ccached of { icar : Cache.carry; dcar : Cache.carry }
+
+  let carry_start = function
+    | Knocache _ -> Cnocache { irequests = 0; block = -1; dread = 0; dwrite = 0 }
+    | Kcached { icache; dcache } ->
+      Ccached { icar = Cache.carry_start icache; dcar = Cache.carry_start dcache }
+
+  let absorb c s =
+    match (c, s) with
+    | Cnocache c, Snocache s ->
+      c.dread <- c.dread + s.dread;
+      c.dwrite <- c.dwrite + s.dwrite;
+      (* Only the chunk's first fetch is boundary-sensitive: cold, it
+         always misses the (empty) buffer; warm, it hits iff the carried
+         buffer already holds its block. *)
+      if s.first_block >= 0 then begin
+        c.irequests <-
+          c.irequests + s.cold_irequests
+          - (if s.first_block = c.block then 1 else 0);
+        c.block <- s.last_block
+      end
+    | Ccached c, Scached s ->
+      Cache.absorb c.icar s.ic;
+      Cache.absorb c.dcar s.dc
+    | _ -> invalid_arg "Pipeline.Mem.absorb: summary from a different key"
+
+  let charge c (cfg : Uconfig.t) ~ic ~interlock_clock ~load_interlocks
+      ~fp_interlocks =
+    match (c, cfg) with
+    | Cnocache c, Uconfig.Nocache { wait_states; _ } ->
+      let stalls =
+        Stalls.of_parts ~ic ~interlock_clock ~load_interlocks ~fp_interlocks
+          ~fetch_stalls:(wait_states * c.irequests)
+          ~dmiss_stalls:(wait_states * c.dread)
+          ~wmiss_stalls:(wait_states * c.dwrite)
+      in
+      { stalls; caches = None }
+    | Ccached c, Uconfig.Cached { miss_penalty; _ } ->
+      let it = Cache.carry_totals c.icar in
+      let dt = Cache.carry_totals c.dcar in
+      let imisses = it.Cache.read_misses + it.Cache.write_misses in
+      let stalls =
+        Stalls.of_parts ~ic ~interlock_clock ~load_interlocks ~fp_interlocks
+          ~fetch_stalls:(miss_penalty * imisses)
+          ~dmiss_stalls:(miss_penalty * dt.Cache.read_misses)
+          ~wmiss_stalls:(miss_penalty * dt.Cache.write_misses)
+      in
+      let caches =
+        Some
+          {
+            Memsys.icache =
+              {
+                Memsys.accesses = it.Cache.reads + it.Cache.writes;
+                misses = imisses;
+                words_transferred = it.Cache.fetch_words;
+              };
+            dcache_read =
+              {
+                Memsys.accesses = dt.Cache.reads;
+                misses = dt.Cache.read_misses;
+                words_transferred = 0;
+              };
+            dcache_write =
+              {
+                Memsys.accesses = dt.Cache.writes;
+                misses = dt.Cache.write_misses;
+                words_transferred = 0;
+              };
+          }
+      in
+      { stalls; caches }
+    | _ -> invalid_arg "Pipeline.Mem.charge: carry from a different key"
+end

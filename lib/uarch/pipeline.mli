@@ -33,3 +33,69 @@ val step : t -> iaddr:int -> dinfo:int -> unit
     ([0] for none — the {!Repro_sim.Machine.trace} encoding). *)
 
 val result : t -> result
+
+(** {1 Memory-side chunk engine}
+
+    The memory-facing stages see the configuration only through a coarser
+    equivalence class — the bus width (cacheless; wait states merely scale
+    the request counts) or the two cache geometries (cached; the miss
+    penalty merely scales the miss counts) — so a multi-configuration
+    sweep deduplicates its memory automatons by {!Mem.key} and scales at
+    {!Mem.charge} time.  Chunks are simulated cold in parallel
+    ({!Mem.chunk_start}/{!Mem.fetch}/{!Mem.data}) and reconciled exactly
+    by a sequential {!Mem.absorb} pass: the fetch buffer's only
+    boundary-sensitive event is the chunk's first fetch, and the caches
+    reuse {!Repro_sim.Memsys.Cache}'s prefix-log reconciliation. *)
+module Mem : sig
+  type key
+  (** Memory-behaviour class of a {!Uconfig.t}; structural equality
+      dedups. *)
+
+  val key : Uconfig.t -> key
+
+  val fetch_run_ok : aligned:bool -> key -> bool
+  (** Whether consecutive fetches inside one 4-byte granule may be fed as
+      a single {!fetch_run} event ([aligned]: no fetch in the trace
+      straddles a granule).  Cacheless machines only need the bus to be at
+      least granule-sized; caches also need granule-aligned spans and
+      sub-blocks at least granule-sized. *)
+
+  type auto
+  (** One chunk's cold memory automaton. *)
+
+  val chunk_start : insn_bytes:int -> key -> auto
+  val fetch : auto -> addr:int -> unit
+
+  val fetch_run : auto -> addr:int -> count:int -> unit
+  (** [count] consecutive fetches inside the (4-byte-aligned) granule at
+      [addr]; only valid when {!fetch_run_ok} holds for the key. *)
+
+  val data : auto -> dinfo:int -> unit
+  (** One packed nonzero data-access record. *)
+
+  type summary
+
+  val chunk_finish : auto -> summary
+
+  type carry
+
+  val carry_start : key -> carry
+
+  val absorb : carry -> summary -> unit
+  (** Fold the next chunk's summary, in stream order.
+      @raise Invalid_argument if the summary came from a different key. *)
+
+  val charge :
+    carry ->
+    Uconfig.t ->
+    ic:int ->
+    interlock_clock:int ->
+    load_interlocks:int ->
+    fp_interlocks:int ->
+    result
+  (** Scale the carried request/miss totals by the configuration's wait
+      states or miss penalty and assemble the full result around the
+      scoreboard counters.  The configuration must belong to the carry's
+      key class.
+      @raise Invalid_argument otherwise. *)
+end

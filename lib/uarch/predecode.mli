@@ -34,4 +34,9 @@ val table : Repro_link.Link.image -> desc array
 (** Descriptor of every static instruction, in instruction-index order;
     map a trace address to its index with
     {!Repro_link.Link.index_at} — a constant-time array lookup on the
-    pipeline's per-record path. *)
+    pipeline's per-record path.
+
+    Memoized per image (physical identity, domain-safe): the table is
+    immutable and a pure function of the program, so every configuration,
+    chunk automaton, and domain replaying the same image shares one
+    array.  Do not mutate the result. *)

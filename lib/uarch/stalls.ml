@@ -8,6 +8,18 @@ type t = {
   wmiss_stalls : int;
 }
 
+let of_parts ~ic ~interlock_clock ~load_interlocks ~fp_interlocks
+    ~fetch_stalls ~dmiss_stalls ~wmiss_stalls =
+  {
+    ic;
+    cycles = interlock_clock + fetch_stalls + dmiss_stalls + wmiss_stalls;
+    fetch_stalls;
+    load_interlocks;
+    fp_interlocks;
+    dmiss_stalls;
+    wmiss_stalls;
+  }
+
 let interlocks t = t.load_interlocks + t.fp_interlocks
 
 let stall_cycles t =

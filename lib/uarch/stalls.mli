@@ -19,6 +19,20 @@ type t = {
   wmiss_stalls : int;  (** Data-write wait states / D-write-miss penalties. *)
 }
 
+val of_parts :
+  ic:int ->
+  interlock_clock:int ->
+  load_interlocks:int ->
+  fp_interlocks:int ->
+  fetch_stalls:int ->
+  dmiss_stalls:int ->
+  wmiss_stalls:int ->
+  t
+(** Assemble a breakdown from the {!Scoreboard}'s interlock clock
+    ([ic + interlocks] — the cycle count before memory stalls) and the
+    memory-side stall buckets; the two families compose additively because
+    the modelled machine freezes the whole pipeline on a memory wait. *)
+
 val interlocks : t -> int
 (** [load_interlocks + fp_interlocks]: the quantity
     {!Repro_sim.Machine.result.interlocks} reports. *)

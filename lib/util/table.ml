@@ -12,30 +12,52 @@ let render ?align header rows =
   let ncols = List.length header in
   let aligns =
     match align with
-    | Some a when List.length a = ncols -> a
-    | Some _ | None -> Left :: List.init (max 0 (ncols - 1)) (fun _ -> Right)
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
   in
-  let all = header :: rows in
-  let widths =
-    List.init ncols (fun i ->
-        List.fold_left
-          (fun acc row ->
-            match List.nth_opt row i with
-            | Some cell -> max acc (String.length cell)
-            | None -> acc)
-          0 all)
+  let header = Array.of_list header in
+  let rows = List.map Array.of_list rows in
+  let widths = Array.make (max ncols 1) 0 in
+  let widen row =
+    Array.iteri
+      (fun i cell ->
+        if i < ncols then begin
+          let n = String.length cell in
+          if n > widths.(i) then widths.(i) <- n
+        end)
+      row
+  in
+  widen header;
+  List.iter widen rows;
+  let buf = Buffer.create 1024 in
+  let pad_into align width s =
+    let n = width - String.length s in
+    if n <= 0 then Buffer.add_string buf s
+    else
+      match align with
+      | Left ->
+        Buffer.add_string buf s;
+        for _ = 1 to n do Buffer.add_char buf ' ' done
+      | Right ->
+        for _ = 1 to n do Buffer.add_char buf ' ' done;
+        Buffer.add_string buf s
   in
   let line row =
-    String.concat "  "
-      (List.mapi
-         (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell)
-         row)
+    Array.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        pad_into aligns.(i) widths.(i) cell)
+      row;
+    Buffer.add_char buf '\n'
   in
-  let rule =
-    String.concat "  " (List.map (fun w -> String.make w '-') widths)
-  in
-  let body = List.map line rows in
-  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+  line header;
+  for i = 0 to ncols - 1 do
+    if i > 0 then Buffer.add_string buf "  ";
+    for _ = 1 to widths.(i) do Buffer.add_char buf '-' done
+  done;
+  Buffer.add_char buf '\n';
+  List.iter line rows;
+  Buffer.contents buf
 
 let bar_chart ?(width = 40) ?max_value entries =
   let data_max =

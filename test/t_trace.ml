@@ -18,6 +18,8 @@ module Stalls = Repro_uarch.Stalls
 module Trace = Repro_trace.Trace
 module Replay = Repro_trace.Replay
 module Reader = Repro_trace.Trace.Reader
+module Link = Repro_link.Link
+module Runs = Repro_harness.Runs
 
 let temp_path () = Filename.temp_file "repro-t-trace" ".trc"
 
@@ -105,6 +107,58 @@ let synthetic_grid =
           let rd, _ = roundtrip ~chunk_records:16 records path in
           let seq_ok, par_ok = grid_equals_cached rd geometries ~jobs:3 in
           seq_ok && par_ok))
+
+(* The pipeline grid on synthetic traces: pcs are real instruction
+   addresses of a compiled image (so descriptors exist) but in arbitrary
+   generated order, and the chunk length (5) sits below the scoreboard's
+   drain horizon, so no chunk can ever converge — every boundary takes
+   the provably-exact sequential re-step fallback.  The config list
+   stresses the raw fetch paths (2-byte bus, sub-word sub-blocks)
+   alongside the run-length ones. *)
+let synthetic_upipelines =
+  let images =
+    lazy
+      (List.map
+         (fun t -> (t, Compile.compile t (Suite.find "towers").Suite.source))
+         [ Target.d16; Target.dlxe ])
+  in
+  let cfgs =
+    [
+      Uconfig.nocache ~bus_bytes:2 ~wait_states:3;
+      Uconfig.nocache ~bus_bytes:8 ~wait_states:1;
+      (let c = Memsys.cache_config ~size:256 ~block:16 ~sub:2 in
+       Uconfig.cached ~icache:c ~dcache:c ~miss_penalty:5);
+      (let c = Memsys.cache_config ~size:1024 ~block:32 ~sub:4 in
+       Uconfig.cached ~icache:c ~dcache:c ~miss_penalty:8);
+    ]
+  in
+  QCheck.Test.make
+    ~name:"pipeline grid equals sequential replay on synthetic traces"
+    ~count:25
+    (QCheck.make QCheck.Gen.(list_size (int_bound 150) gen_record))
+    (fun records ->
+      List.for_all
+        (fun ((t : Target.t), (img : Link.image)) ->
+          let n = Array.length img.Link.addr_of in
+          let records =
+            List.map
+              (fun (raw, dinfo) -> (img.Link.addr_of.(raw mod n), dinfo))
+              records
+          in
+          with_temp (fun path ->
+              let rd, _ =
+                roundtrip ~chunk_records:5 ~insn_bytes:(Target.insn_bytes t)
+                  records path
+              in
+              let expect = Replay.pipelines rd cfgs img in
+              let seq = Replay.Upipelines.run rd cfgs img in
+              let par =
+                Replay.Upipelines.run
+                  ~map:(fun f xs -> Pool.map ~jobs:3 f xs)
+                  rd cfgs img
+              in
+              seq = expect && par = expect))
+        (Lazy.force images))
 
 (* Real compiled programs, via the statement fuzzer's generator. *)
 let progfuzz_roundtrip () =
@@ -286,26 +340,34 @@ let differential bench (t : Target.t) =
       let seq_ok, par_ok = grid_equals_cached rd grid_geos ~jobs:3 in
       Alcotest.(check bool) (name "grid sequential equal") true seq_ok;
       Alcotest.(check bool) (name "grid parallel equal") true par_ok;
-      (* Pipeline model: trace-driven replay equals the streamed run. *)
-      let cfgs =
-        [
-          Uconfig.nocache ~bus_bytes:4 ~wait_states:2;
-          (let c = Memsys.cache_config ~size:4096 ~block:32 ~sub:4 in
-           Uconfig.cached ~icache:c ~dcache:c ~miss_penalty:8);
-        ]
-      in
+      (* Pipeline model: the streamed run, the sequential per-config trace
+         replay and the multi-config grid engine (sequential and
+         chunk-parallel) all integer-equal on the standard sweep. *)
+      let cfgs = Runs.standard_uarch_configs in
       let _, streamed = Uarch.run_many cfgs img in
       let replayed = Replay.pipelines rd cfgs img in
-      List.iter2
-        (fun (s : Pipeline.result) (p : Pipeline.result) ->
-          Alcotest.(check int) (name "uarch cycles") s.Pipeline.stalls.Stalls.cycles
-            p.Pipeline.stalls.Stalls.cycles;
-          Alcotest.(check string) (name "uarch stalls")
-            (Stalls.to_string s.Pipeline.stalls)
-            (Stalls.to_string p.Pipeline.stalls);
-          Alcotest.(check bool) (name "uarch caches") true
-            (s.Pipeline.caches = p.Pipeline.caches))
-        streamed replayed)
+      let useq = Replay.Upipelines.run rd cfgs img in
+      let upar =
+        Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs:3 f xs) rd cfgs
+          img
+      in
+      List.iteri
+        (fun i (s : Pipeline.result) ->
+          let d = Uconfig.describe (List.nth cfgs i) in
+          let against what (p : Pipeline.result) =
+            Alcotest.(check string)
+              (name "%s %s stalls" d what)
+              (Stalls.to_string s.Pipeline.stalls)
+              (Stalls.to_string p.Pipeline.stalls);
+            Alcotest.(check bool)
+              (name "%s %s caches" d what)
+              true
+              (s.Pipeline.caches = p.Pipeline.caches)
+          in
+          against "replay" (List.nth replayed i);
+          against "grid seq" (List.nth useq i);
+          against "grid par" (List.nth upar i))
+        streamed)
 
 let differential_case bench =
   Alcotest.test_case ("differential " ^ bench) `Slow (fun () ->
@@ -315,6 +377,7 @@ let tests =
   [
     QCheck_alcotest.to_alcotest synthetic_roundtrip;
     QCheck_alcotest.to_alcotest synthetic_grid;
+    QCheck_alcotest.to_alcotest synthetic_upipelines;
     Alcotest.test_case "compiled programs roundtrip" `Slow progfuzz_roundtrip;
     Alcotest.test_case "empty trace" `Quick test_empty_trace;
     Alcotest.test_case "writer validation" `Quick test_writer_validation;

@@ -15,6 +15,13 @@ module Uarch = Repro_uarch.Uarch
 module Uconfig = Repro_uarch.Uconfig
 module Pipeline = Repro_uarch.Pipeline
 module Stalls = Repro_uarch.Stalls
+module Predecode = Repro_uarch.Predecode
+module Scoreboard = Repro_uarch.Scoreboard
+module Trace = Repro_trace.Trace
+module Replay = Repro_trace.Replay
+module Reader = Repro_trace.Trace.Reader
+module Pool = Repro_harness.Pool
+module Runs = Repro_harness.Runs
 
 let bus_widths = [ 2; 4; 8 ]
 let wait_states = [ 0; 1; 2; 3 ]
@@ -190,6 +197,176 @@ let test_attribution_fetch () =
   Alcotest.(check int) "DLXe fetch stalls = l * ic"
     (2 * dlxe.Stalls.ic) dlxe.Stalls.fetch_stalls
 
+(* Handwritten descriptor streams for the scoreboard chunk engine: one
+   that drains (convergence must be detected, cold suffix adopted
+   verbatim) and one shorter than the horizon (no convergence, absorb
+   must take the full re-step fallback) — both exactly equal to direct
+   warm stepping. *)
+let d_alu d a =
+  {
+    Predecode.reads = [ Predecode.Rg a ];
+    write =
+      Some { Predecode.dst = Predecode.Wg d; latency = 0; cause = Predecode.Load };
+  }
+
+let d_load d a =
+  {
+    Predecode.reads = [ Predecode.Rg a ];
+    write =
+      Some
+        {
+          Predecode.dst = Predecode.Wg d;
+          latency = Machine.load_latency;
+          cause = Predecode.Load;
+        };
+  }
+
+let d_div d a =
+  {
+    Predecode.reads = [ Predecode.Rf a ];
+    write =
+      Some
+        {
+          Predecode.dst = Predecode.Wf d;
+          latency = Machine.fp_latency_div;
+          cause = Predecode.Fp;
+        };
+  }
+
+let test_scoreboard_chunks () =
+  let descs =
+    [|
+      d_div 1 0; d_load 2 0; d_alu 3 2; d_div 4 1; d_alu 5 0; d_alu 6 5;
+      d_alu 7 6; d_alu 1 7; d_alu 2 1; d_alu 3 2; d_alu 4 3; d_alu 5 4;
+    |]
+  in
+  let n = Array.length descs in
+  (* Carried-in state at the boundary: two FP divides in flight. *)
+  let mk () =
+    let sb = Scoreboard.create ~n_gpr:8 ~n_fpr:8 in
+    Scoreboard.step sb descs.(0);
+    Scoreboard.step sb descs.(3);
+    sb
+  in
+  let counters sb =
+    (Scoreboard.clock sb, Scoreboard.load_stalls sb, Scoreboard.fp_stalls sb)
+  in
+  let run_chunk len =
+    let direct = mk () in
+    for i = 0 to len - 1 do
+      Scoreboard.step direct descs.(i)
+    done;
+    let ch = Scoreboard.chunk_start ~n_gpr:8 ~n_fpr:8 in
+    for i = 0 to len - 1 do
+      Scoreboard.chunk_step ch ~index:i descs.(i)
+    done;
+    let sb = mk () in
+    Scoreboard.absorb sb descs (Scoreboard.chunk_finish ch);
+    (direct, ch, sb)
+  in
+  let check_equal what direct sb =
+    Alcotest.(check (triple int int int))
+      (what ^ " counters") (counters direct) (counters sb);
+    Alcotest.(check bool) (what ^ " end state") true
+      (Scoreboard.snapshot_equal (Scoreboard.snapshot direct)
+         (Scoreboard.snapshot sb))
+  in
+  (* Long chunk: drains well past the horizon. *)
+  let direct, ch, sb = run_chunk n in
+  Alcotest.(check bool) "long chunk converges" true
+    (Scoreboard.convergence ch <> None);
+  check_equal "long chunk" direct sb;
+  Alcotest.(check bool) "long chunk drains" true (Scoreboard.drained sb);
+  (* Short chunk: ends before the horizon, falls back to full re-step. *)
+  let direct, ch, sb = run_chunk 3 in
+  Alcotest.(check bool) "short chunk does not converge" true
+    (Scoreboard.convergence ch = None);
+  check_equal "short chunk" direct sb;
+  Alcotest.(check bool) "short chunk carries busy registers" true
+    (not (Scoreboard.drained sb));
+  (* Normalized state round-trip: restore after unrelated stepping. *)
+  let saved = Scoreboard.snapshot direct in
+  let other = Scoreboard.create ~n_gpr:8 ~n_fpr:8 in
+  for i = 0 to n - 1 do
+    Scoreboard.step other descs.(i)
+  done;
+  Scoreboard.restore other saved;
+  Alcotest.(check bool) "restore reproduces the snapshot" true
+    (Scoreboard.snapshot_equal saved (Scoreboard.snapshot other))
+
+let test_predecode_shared () =
+  (* The descriptor table is built once per image and shared (physical
+     equality), but never leaks across distinct images of the same
+     program. *)
+  let src = (Suite.find "towers").Suite.source in
+  let img = Compile.compile Target.d16 src in
+  Alcotest.(check bool) "one table per image" true
+    (Predecode.table img == Predecode.table img);
+  let img' = Compile.compile Target.d16 src in
+  Alcotest.(check bool) "distinct images, distinct tables" true
+    (Predecode.table img' != Predecode.table img)
+
+(* The multi-config grid engine against the streamed run, with chunks far
+   smaller than production (77 records — boundaries land everywhere,
+   including mid-drain) and configurations beyond the standard sweep that
+   force the raw i-stream paths (2-byte bus, sub-word sub-blocks). *)
+let test_grid_equals_streamed () =
+  let cfgs =
+    Runs.standard_uarch_configs
+    @ [
+        Uconfig.nocache ~bus_bytes:2 ~wait_states:1;
+        (let c = Memsys.cache_config ~size:256 ~block:16 ~sub:2 in
+         Uconfig.cached ~icache:c ~dcache:c ~miss_penalty:5);
+      ]
+  in
+  let src = (Suite.find "queens").Suite.source in
+  List.iter
+    (fun (t : Target.t) ->
+      let img = Compile.compile t src in
+      let path = Filename.temp_file "repro-t-uarch" ".trc" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let w =
+            Trace.Writer.create ~chunk_records:77
+              ~insn_bytes:(Target.insn_bytes t) path
+          in
+          let _ =
+            Machine.run ~trace:false
+              ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+              img
+          in
+          Trace.Writer.close w;
+          let rd =
+            match Reader.open_file path with
+            | Ok rd -> rd
+            | Error e -> Alcotest.fail e
+          in
+          let _, streamed = Uarch.run_many cfgs img in
+          let seq = Replay.Upipelines.run rd cfgs img in
+          let par =
+            Replay.Upipelines.run
+              ~map:(fun f xs -> Pool.map ~jobs:3 f xs)
+              rd cfgs img
+          in
+          List.iteri
+            (fun i (s : Pipeline.result) ->
+              let d = t.Target.name ^ " " ^ Uconfig.describe (List.nth cfgs i) in
+              let against what (p : Pipeline.result) =
+                Alcotest.(check string)
+                  (d ^ " " ^ what ^ " stalls")
+                  (Stalls.to_string s.Pipeline.stalls)
+                  (Stalls.to_string p.Pipeline.stalls);
+                Alcotest.(check bool)
+                  (d ^ " " ^ what ^ " caches")
+                  true
+                  (s.Pipeline.caches = p.Pipeline.caches)
+              in
+              against "grid seq" (List.nth seq i);
+              against "grid par" (List.nth par i))
+            streamed))
+    [ Target.d16; Target.dlxe ]
+
 let test_config_validation () =
   let rejects name f =
     match f () with
@@ -215,6 +392,10 @@ let tests =
     Alcotest.test_case "attribution: load" `Quick test_attribution_load;
     Alcotest.test_case "attribution: fp" `Quick test_attribution_fp;
     Alcotest.test_case "attribution: fetch" `Quick test_attribution_fetch;
+    Alcotest.test_case "scoreboard chunk engine" `Quick test_scoreboard_chunks;
+    Alcotest.test_case "predecode table shared" `Quick test_predecode_shared;
     Alcotest.test_case "stream = replay" `Slow test_stream_equals_replay;
+    Alcotest.test_case "grid = streamed, adversarial chunks" `Slow
+      test_grid_equals_streamed;
   ]
   @ List.map (fun (b : Suite.benchmark) -> differential_case b.Suite.name) Suite.all
