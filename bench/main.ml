@@ -113,8 +113,11 @@ let trace_tests =
      idle worker domains tax every other measurement through
      stop-the-world collector synchronization (on a single-CPU box the
      experiment renders measure ~1.7x slower with four idle domains
-     alive). *)
-  let pool = lazy (Pool.create ~jobs:4) in
+     alive).  Sized like the harness sizes its own pools
+     (REPRO_JOBS / recommended_domain_count) so the measurement reflects
+     what `Pool.run_plan` would actually do on this machine rather than
+     a fixed worker count that oversubscribes small boxes. *)
+  let pool = lazy (Pool.create ~jobs:(Pool.default_jobs ())) in
   [
     Test.make ~name:"trace-capture:queens"
       (Staged.stage (fun () -> ignore (capture ())));
@@ -127,10 +130,9 @@ let trace_tests =
     Test.make ~name:"trace-fetch-par:queens"
       (Staged.stage (fun () ->
            ignore
-             (Replay.merge_nocache
-                (Pool.map ~pool:(Lazy.force pool)
-                   (Replay.nocache_chunk rd ~bus_bytes:4)
-                   (List.init (Trace.Reader.n_chunks rd) Fun.id)))));
+             (Replay.nocache
+                ~map:(fun f xs -> Pool.map ~pool:(Lazy.force pool) f xs)
+                rd ~bus_bytes:4)));
     Test.make ~name:"sweep-direct:4cfg:queens"
       (Staged.stage (fun () ->
            let r = Machine.run ~trace:true img in
@@ -195,6 +197,33 @@ let uarch_tests =
     | Error e -> failwith e
     | Ok rd -> ignore (Replay.Upipelines.run rd (take n grid_cfgs) img)
   in
+  (* Fused cross product: the same 8 cache geometries grid-replay:8cfg
+     times plus the same 4 pipeline configurations uarch-grid:4cfg times,
+     all from ONE reopen + decode of the trace.  CI tracks fused:8x4 <
+     grid-replay:8cfg + uarch-grid:4cfg — the sublinearity the fused
+     engine exists for. *)
+  let fused_caches =
+    List.concat_map
+      (fun block ->
+        List.map
+          (fun sub ->
+            let cfg = Memsys.cache_config ~size:1024 ~block ~sub in
+            { Replay.Grid.icache = cfg; dcache = cfg })
+          [ 4; 8 ])
+      [ 8; 16; 32; 64 ]
+  in
+  let fused () =
+    match Trace.Reader.open_file path with
+    | Error e -> failwith e
+    | Ok rd ->
+      ignore
+        (Replay.Fused.run ~img rd
+           {
+             Replay.Fused.buses = [];
+             caches = fused_caches;
+             pipelines = take 4 grid_cfgs;
+           })
+  in
   [
     Test.make ~name:"uarch-replay:nocache:queens"
       (Staged.stage (fun () -> ignore (Uarch.replay nocache img tr)));
@@ -204,6 +233,7 @@ let uarch_tests =
       (Staged.stage (fun () -> ignore (Uarch.run nocache img)));
     Test.make ~name:"uarch-grid:4cfg:queens" (Staged.stage (uarch_grid 4));
     Test.make ~name:"uarch-grid:8cfg:queens" (Staged.stage (uarch_grid 8));
+    Test.make ~name:"fused:8x4:queens" (Staged.stage fused);
   ]
 
 let benchmark test =

@@ -7,14 +7,17 @@
      dune exec bin/tracedump.exe -- (--bench NAME [TARGET] | FILE.trc)
        [--summary] [--chunks] [--dump N] [--from PC] [--to PC]
        [--loads] [--stores] [--working-set] [--traffic] [--grid] [--cpi]
-       [--jobs N]
+       [--fused] [--jobs N]
 
    With no mode flags, prints the summary.  --working-set, --traffic,
-   --grid and --cpi replay chunk-parallel over --jobs domains
-   (--working-set and --traffic merge order-free counters; --grid and
-   --cpi reconcile per-chunk automata exactly, see Replay.Grid and
-   Replay.Upipelines).  --cpi needs --bench (the pipeline model reads
-   the image's instruction descriptors).                                  *)
+   --grid, --cpi and --fused replay chunk-parallel over --jobs domains
+   (--working-set merges order-free counters; the rest run Replay's
+   unified automaton with exact per-chunk reconciliation).  --cpi and
+   --fused need --bench (the pipeline model reads the image's
+   instruction descriptors).  --fused runs the whole cross product —
+   bus widths x the standard cache grid x the standard pipeline sweep —
+   from one decode of the trace (Replay.Fused) and prints every
+   section.                                                              *)
 
 module Target = Repro_core.Target
 module Runs = Repro_harness.Runs
@@ -27,7 +30,7 @@ module Reader = Repro_trace.Trace.Reader
 let usage =
   "tracedump (--bench NAME [TARGET] | FILE.trc) [--summary] [--chunks]\n\
   \       [--dump N] [--from PC] [--to PC] [--loads] [--stores]\n\
-  \       [--working-set] [--traffic] [--grid] [--cpi] [--jobs N]"
+  \       [--working-set] [--traffic] [--grid] [--cpi] [--fused] [--jobs N]"
 
 let int_arg cli name ~default =
   match Cli.flag_arg cli name with
@@ -113,38 +116,18 @@ let working_set rd ~jobs =
     (Hashtbl.length dall)
     (granule * Hashtbl.length dall)
 
-(* Fetch-traffic histogram: memory requests of the cacheless machine at
-   each bus width, chunk-parallel with exact boundary merge. *)
-let traffic rd ~jobs =
-  print_endline "bus   irequests   drequests   requests/insn";
-  List.iter
-    (fun bus ->
-      let counts =
-        Pool.map ~jobs
-          (Replay.nocache_chunk rd ~bus_bytes:bus)
-          (List.init (Reader.n_chunks rd) Fun.id)
-      in
-      let nc = Replay.merge_nocache counts in
-      Printf.printf "%3d  %10d  %10d   %13.3f\n" bus
-        nc.Repro_sim.Memsys.irequests nc.Repro_sim.Memsys.drequests
-        (float_of_int
-           (nc.Repro_sim.Memsys.irequests + nc.Repro_sim.Memsys.drequests)
-        /. float_of_int (max 1 (Reader.n_records rd))))
-    [ 2; 4; 8; 16 ]
+let traffic_buses = [ 2; 4; 8; 16 ]
 
-(* Miss rates for the standard cache grid, every geometry fed by one
-   decode of the trace ([Replay.Grid]): chunks fan out across domains,
-   per-chunk automaton states reconcile exactly at the merge. *)
-let grid rd ~jobs =
-  let geometries = Runs.standard_grid in
-  let specs =
-    List.map
-      (fun (size, block, sub) ->
-        let cfg = Repro_sim.Memsys.cache_config ~size ~block ~sub in
-        { Replay.Grid.icache = cfg; dcache = cfg })
-      geometries
-  in
-  let results = Replay.Grid.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd specs in
+let print_traffic rd buses counts =
+  print_endline "bus   irequests   drequests   requests/insn";
+  List.iter2
+    (fun bus (nc : Repro_sim.Memsys.nocache) ->
+      Printf.printf "%3d  %10d  %10d   %13.3f\n" bus nc.irequests nc.drequests
+        (float_of_int (nc.irequests + nc.drequests)
+        /. float_of_int (max 1 (Reader.n_records rd))))
+    buses counts
+
+let print_grid geometries results =
   print_endline "  size  block  sub   imiss%   dmiss%   fetch words";
   List.iter2
     (fun (size, block, sub) (c : Repro_sim.Memsys.cached) ->
@@ -159,17 +142,7 @@ let grid rd ~jobs =
         c.icache.words_transferred)
     geometries results
 
-(* Per-configuration CPI and stall breakdown over the standard pipeline
-   sweep, all configurations fed by one decode of the trace
-   ([Replay.Upipelines]): a shared scoreboard automaton plus memory
-   automatons deduplicated by behaviour class, chunk-parallel with exact
-   convergence-checked reconciliation.  Needs the image for the
-   instruction descriptors, so it is only available with --bench. *)
-let cpi rd img ~jobs =
-  let cfgs = Runs.standard_uarch_configs in
-  let results =
-    Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd cfgs img
-  in
+let print_cpi cfgs results =
   print_endline
     "config                                    cpi      fetch       load  \
     \      fp      dmiss      wmiss";
@@ -183,13 +156,74 @@ let cpi rd img ~jobs =
         s.Repro_uarch.Stalls.dmiss_stalls s.Repro_uarch.Stalls.wmiss_stalls)
     cfgs results
 
+(* Fetch-traffic histogram: memory requests of the cacheless machine at
+   each bus width, chunk-parallel with exact boundary merge. *)
+let traffic rd ~jobs =
+  print_traffic rd traffic_buses
+    (List.map
+       (fun bus ->
+         Replay.nocache ~map:(fun f xs -> Pool.map ~jobs f xs) rd ~bus_bytes:bus)
+       traffic_buses)
+
+let grid_specs geometries =
+  List.map
+    (fun (size, block, sub) ->
+      let cfg = Repro_sim.Memsys.cache_config ~size ~block ~sub in
+      { Replay.Grid.icache = cfg; dcache = cfg })
+    geometries
+
+(* Miss rates for the standard cache grid, every geometry fed by one
+   decode of the trace ([Replay.Grid]): chunks fan out across domains,
+   per-chunk automaton states reconcile exactly at the merge. *)
+let grid rd ~jobs =
+  let geometries = Runs.standard_grid in
+  let results =
+    Replay.Grid.run
+      ~map:(fun f xs -> Pool.map ~jobs f xs)
+      rd (grid_specs geometries)
+  in
+  print_grid geometries results
+
+(* Per-configuration CPI and stall breakdown over the standard pipeline
+   sweep, all configurations fed by one decode of the trace
+   ([Replay.Upipelines]): a shared scoreboard automaton plus memory
+   automatons deduplicated by behaviour class, chunk-parallel with exact
+   convergence-checked reconciliation.  Needs the image for the
+   instruction descriptors, so it is only available with --bench. *)
+let cpi rd img ~jobs =
+  let cfgs = Runs.standard_uarch_configs in
+  let results =
+    Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd cfgs img
+  in
+  print_cpi cfgs results
+
+(* The whole cross product from one decode ([Replay.Fused]): bus widths,
+   the standard cache grid, and the standard pipeline sweep run their
+   automatons over the same decoded chunks simultaneously. *)
+let fused rd img ~jobs =
+  let geometries = Runs.standard_grid in
+  let cfgs = Runs.standard_uarch_configs in
+  let r =
+    Replay.Fused.run
+      ~map:(fun f xs -> Pool.map ~jobs f xs)
+      ~img rd
+      {
+        Replay.Fused.buses = traffic_buses;
+        caches = grid_specs geometries;
+        pipelines = cfgs;
+      }
+  in
+  print_traffic rd traffic_buses r.Replay.Fused.nocaches;
+  print_grid geometries r.Replay.Fused.cacheds;
+  print_cpi cfgs r.Replay.Fused.pipes
+
 let () =
   let cli =
     Cli.parse
       ~flags_with_arg:[ "--bench"; "--dump"; "--from"; "--to"; "--jobs" ]
       ~flags:
         [ "--summary"; "--chunks"; "--loads"; "--stores"; "--working-set";
-          "--traffic"; "--grid"; "--cpi" ]
+          "--traffic"; "--grid"; "--cpi"; "--fused" ]
       ~usage Sys.argv
   in
   let rd, img =
@@ -219,7 +253,7 @@ let () =
   let any_mode =
     List.exists (Cli.flag cli)
       [ "--chunks"; "--working-set"; "--traffic"; "--grid"; "--cpi";
-        "--loads"; "--stores" ]
+        "--fused"; "--loads"; "--stores" ]
     || Cli.flag_arg cli "--dump" <> None
   in
   if Cli.flag cli "--summary" || not any_mode then summary rd;
@@ -237,10 +271,17 @@ let () =
   if Cli.flag cli "--working-set" then working_set rd ~jobs;
   if Cli.flag cli "--traffic" then traffic rd ~jobs;
   if Cli.flag cli "--grid" then grid rd ~jobs;
-  if Cli.flag cli "--cpi" then
+  (if Cli.flag cli "--cpi" then
+     match img with
+     | Some img -> cpi rd img ~jobs
+     | None ->
+       prerr_endline
+         "tracedump: --cpi needs the program image; use --bench NAME [TARGET]";
+       exit 1);
+  if Cli.flag cli "--fused" then
     match img with
-    | Some img -> cpi rd img ~jobs
+    | Some img -> fused rd img ~jobs
     | None ->
       prerr_endline
-        "tracedump: --cpi needs the program image; use --bench NAME [TARGET]";
+        "tracedump: --fused needs the program image; use --bench NAME [TARGET]";
       exit 1

@@ -797,6 +797,95 @@ let ufig1 () =
       A.series ~label:"DLXe" ~x_label:"wait states" ~xs (lines dlxe);
     ]
 
+(* The fused-sweep flagship: the paper's central trade-off as one
+   design-space scatter.  Every point is (encoding, memory configuration)
+   from the standard pipeline sweep; the three objectives are static code
+   size (suite-average, relative to D16), suite-average CPI from the
+   cycle-accurate model, and suite-average memory traffic per executed
+   instruction.  Cacheless traffic is bus transactions x bus width from
+   the measured request counts; cached traffic is the modeled fill
+   traffic — 4 bytes per i-fetch word transferred plus one d-cache
+   sub-block fill per miss (write-validate, no write-back, matching the
+   paper's memory model).  All pipeline numbers come through
+   {!Runs.uarch}, whose sweep the Fused plan kind populates from a
+   single decode per (benchmark, target). *)
+let pfig1 () =
+  let traffic_per_insn b (t : Target.t) cfg =
+    let s = Runs.stats b t in
+    match cfg with
+    | Uconfig.Nocache { bus_bytes; _ } ->
+      let ireq = if bus_bytes = 4 then s.Runs.ireq32 else s.Runs.ireq64 in
+      let dreq = if bus_bytes = 4 then s.Runs.dreq32 else s.Runs.dreq64 in
+      fl (bus_bytes * (ireq + dreq)) /. fl s.Runs.ic
+    | Uconfig.Cached { dcache; _ } -> (
+      match (Runs.uarch b t cfg).Repro_uarch.Pipeline.caches with
+      | None -> assert false
+      | Some c ->
+        fl
+          ((4 * c.Memsys.icache.Memsys.words_transferred)
+          + dcache.Memsys.sub_block_bytes
+            * (c.Memsys.dcache_read.Memsys.misses
+              + c.Memsys.dcache_write.Memsys.misses))
+        /. fl s.Runs.ic)
+  in
+  let points =
+    List.concat_map
+      (fun (t : Target.t) ->
+        List.map
+          (fun cfg ->
+            let cpi =
+              Stats.mean
+                (List.map
+                   (fun b ->
+                     Stalls.cpi (Runs.uarch b t cfg).Repro_uarch.Pipeline.stalls)
+                   suite_names)
+            in
+            let traffic =
+              Stats.mean
+                (List.map (fun b -> traffic_per_insn b t cfg) suite_names)
+            in
+            (t, cfg, average_density t, cpi, traffic))
+          Runs.standard_uarch_configs)
+      [ d16; dlxe ]
+  in
+  let dominates (_, _, d1, c1, t1) (_, _, d2, c2, t2) =
+    d1 <= d2 && c1 <= c2 && t1 <= t2 && (d1 < d2 || c1 < c2 || t1 < t2)
+  in
+  let pareto =
+    List.filter
+      (fun p -> not (List.exists (fun q -> dominates q p) points))
+      points
+  in
+  let rows =
+    List.map
+      (fun ((t : Target.t), cfg, d, c, tr as p) ->
+        [
+          A.text t.Target.name;
+          A.text (Uconfig.describe cfg);
+          A.f2 d;
+          A.f2 c;
+          A.f2 tr;
+          A.text (if List.memq p pareto then "*" else "");
+        ])
+      points
+  in
+  A.make
+    ~caption:
+      "EXTENSION: encoding x memory-system design space — code size vs CPI \
+       vs memory traffic (suite averages; * = Pareto-minimal)"
+    ~notes:
+      [
+        Printf.sprintf "%d of %d points are Pareto-minimal."
+          (List.length pareto) (List.length points);
+        "Cached traffic is modeled fill traffic: 4 B per fetched i-word plus \
+         one d-cache sub-block per miss.";
+      ]
+    [
+      A.table
+        ~header:[ "target"; "memory config"; "size"; "CPI"; "B/insn"; "pareto" ]
+        rows;
+    ]
+
 (* ---- Extensions beyond the paper's published artifacts ---- *)
 
 (* The Section 3.3.3 extension: D16 with an 8-bit compare-equal immediate
@@ -960,6 +1049,7 @@ let all =
     { id = "xtab1"; title = "EXT: compiler ablation study"; artifact = xtab1 };
     { id = "utab1"; title = "EXT: pipeline-model stall breakdown"; artifact = utab1 };
     { id = "ufig1"; title = "EXT: CPI decomposition vs wait states"; artifact = ufig1 };
+    { id = "pfig1"; title = "EXT: density/CPI/traffic Pareto frontier"; artifact = pfig1 };
   ]
 
 let by_id id = List.find (fun e -> e.id = id) all

@@ -1,7 +1,7 @@
 module Target = Repro_core.Target
 module Suite = Repro_workloads.Suite
 
-type kind = Stats | Grid | Uarch | Trace
+type kind = Stats | Grid | Uarch | Fused | Trace
 type spec = { bench : string; target : Target.t; kind : kind }
 type t = spec list
 
@@ -13,6 +13,7 @@ let specs_of kind ~benches ~targets =
 let stats_specs ~benches ~targets = specs_of Stats ~benches ~targets
 let grid_specs ~benches ~targets = specs_of Grid ~benches ~targets
 let uarch_specs ~benches ~targets = specs_of Uarch ~benches ~targets
+let fused_specs ~benches ~targets = specs_of Fused ~benches ~targets
 let trace_specs ~benches ~targets = specs_of Trace ~benches ~targets
 let spec_id s = (s.bench, s.target.Target.name, s.kind)
 
@@ -36,13 +37,15 @@ let describe s =
     | Stats -> ""
     | Grid -> " (cache grid)"
     | Uarch -> " (uarch sweep)"
+    | Fused -> " (fused sweep)"
     | Trace -> " (trace capture)")
 
-let execute ?grid_map ?uarch_map s =
+let execute ?chunk_map s =
   match s.kind with
   | Stats -> ignore (Runs.stats s.bench s.target)
-  | Grid -> Runs.ensure_grid ?map:grid_map s.bench s.target
-  | Uarch -> Runs.ensure_uarch ?map:uarch_map s.bench s.target
+  | Grid -> Runs.ensure_grid ?map:chunk_map s.bench s.target
+  | Uarch -> Runs.ensure_uarch ?map:chunk_map s.bench s.target
+  | Fused -> Runs.ensure_fused ?map:chunk_map s.bench s.target
   | Trace -> Runs.ensure_trace s.bench s.target
 
 let suite_names = List.map (fun b -> b.Suite.name) Suite.all
@@ -53,16 +56,20 @@ let cache_names =
 (* Trace captures go first: they are the only units that execute the
    machine (everything downstream replays the stored trace), and the
    cache-benchmark captures are the long poles, so under a parallel pool
-   they start immediately.  Grid replays (25 geometries each) rank next,
-   then uarch sweeps, then stats. *)
+   they start immediately.  The cache benchmarks then take one fused
+   sweep each — a single decode feeds all 25 grid geometries plus the
+   full pipeline-configuration sweep — the rest of the suite takes plain
+   uarch sweeps, then stats. *)
 let full () =
+  let non_cache =
+    List.filter (fun b -> not (List.mem b cache_names)) suite_names
+  in
   union
     (trace_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
     (union
-       (grid_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
+       (fused_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
        (union
-          (uarch_specs ~benches:suite_names
-             ~targets:[ Target.d16; Target.dlxe ])
+          (uarch_specs ~benches:non_cache ~targets:[ Target.d16; Target.dlxe ])
           (union
              (stats_specs ~benches:suite_names ~targets:Target.all)
              (stats_specs ~benches:suite_names ~targets:[ Target.d16x ]))))
@@ -82,6 +89,18 @@ let for_experiment id =
     stats_specs ~benches:suite_names ~targets:[ Target.d16; Target.d16x ]
   | "utab1" | "ufig1" ->
     uarch_specs ~benches:suite_names ~targets:cache_pair
+  | "pfig1" ->
+    (* The Pareto frontier reads the pipeline sweep (CPI, cache traffic)
+       and the suite stats (density, bus traffic); the cache benchmarks
+       take the fused unit so the sweep shares the grid's decode. *)
+    let non_cache =
+      List.filter (fun b -> not (List.mem b cache_names)) suite_names
+    in
+    union
+      (fused_specs ~benches:cache_names ~targets:cache_pair)
+      (union
+         (uarch_specs ~benches:non_cache ~targets:cache_pair)
+         (stats_specs ~benches:suite_names ~targets:cache_pair))
   | "tab4" | "xtab1" ->
     (* These drivers run their own traced/ablated compiles and cache the
        derived numbers directly in {!Diskcache}. *)

@@ -10,10 +10,11 @@
 
 (** The unit of work: the {!Runs.stats} measurements, the standard cache
     grid ({!Runs.ensure_grid}), the standard cycle-accurate pipeline
-    sweep ({!Runs.ensure_uarch}), or a trace capture into the store
+    sweep ({!Runs.ensure_uarch}), both at once from a single decode
+    ({!Runs.ensure_fused}), or a trace capture into the store
     ({!Runs.ensure_trace}) — the only kind that executes the machine;
     the others replay its output. *)
-type kind = Stats | Grid | Uarch | Trace
+type kind = Stats | Grid | Uarch | Fused | Trace
 
 type spec = { bench : string; target : Repro_core.Target.t; kind : kind }
 type t = spec list
@@ -27,6 +28,9 @@ val grid_specs :
 val uarch_specs :
   benches:string list -> targets:Repro_core.Target.t list -> t
 
+val fused_specs :
+  benches:string list -> targets:Repro_core.Target.t list -> t
+
 val trace_specs :
   benches:string list -> targets:Repro_core.Target.t list -> t
 
@@ -37,30 +41,22 @@ val dedup : t -> t
 
 val full : unit -> t
 (** Everything {!Experiments.render_all} needs: suite stats on all six
-    targets, the cache grids for the three cache benchmarks, and the
-    pipeline-model sweeps for the paper pair — trace captures (the only
-    machine executions) scheduled ahead of the replays that consume
-    them, most expensive units first. *)
+    targets, fused grid+pipeline sweeps for the three cache benchmarks
+    (one decode each feeds all 25 geometries and the full configuration
+    sweep), and the pipeline-model sweeps for the remaining suite — trace
+    captures (the only machine executions) scheduled ahead of the replays
+    that consume them, most expensive units first. *)
 
 val for_experiment : string -> t
 (** The plan for one experiment id (empty for the two drivers that manage
     their own derived caches). *)
 
-val execute :
-  ?grid_map:
-    ((int -> Repro_trace.Replay.Grid.chunk_result) ->
-    int list ->
-    Repro_trace.Replay.Grid.chunk_result list) ->
-  ?uarch_map:
-    ((int -> Repro_trace.Replay.Upipelines.chunk_result) ->
-    int list ->
-    Repro_trace.Replay.Upipelines.chunk_result list) ->
-  spec ->
-  unit
+val execute : ?chunk_map:Repro_trace.Replay.map -> spec -> unit
 (** Run one spec to completion through {!Runs} (memo + disk cache).
-    [?grid_map] / [?uarch_map] are forwarded to {!Runs.ensure_grid} /
-    {!Runs.ensure_uarch} so a scheduler with spare capacity can spread a
-    replay's trace chunks across domains on top of the across-spec
+    [?chunk_map] is forwarded to the replay engines (every engine runs
+    the same unified automaton, so one scheduler hook serves Grid, Uarch
+    and Fused specs alike) so a scheduler with spare capacity can spread
+    a replay's trace chunks across domains on top of the across-spec
     parallelism (chunks × benchmarks). *)
 
 val describe : spec -> string

@@ -132,14 +132,13 @@ let run_plan ?jobs plan =
     match jobs with Some j -> max 1 j | None -> default_jobs ()
   in
   (* Capacity left over after one domain per spec goes to chunk-level
-     parallelism inside each grid replay (a throwaway pool per replay —
-     workers must not [wait] on their own pool).  With enough specs to
-     saturate, grids run their chunks sequentially. *)
+     parallelism inside each replay (a throwaway pool per replay —
+     workers must not [wait] on their own pool).  Every replay engine
+     runs the unified automaton, so one hook serves grid, uarch and
+     fused specs alike.  With enough specs to saturate, replays run
+     their chunks sequentially. *)
   let spare = jobs / max 1 (List.length specs) in
-  let grid_map =
-    if spare > 1 then Some (fun f xs -> map ~jobs:spare f xs) else None
-  in
-  let uarch_map =
+  let chunk_map =
     if spare > 1 then Some (fun f xs -> map ~jobs:spare f xs) else None
   in
   let t = create ~jobs:(min jobs (max 1 (List.length specs))) in
@@ -147,6 +146,6 @@ let run_plan ?jobs plan =
     ~finally:(fun () -> shutdown t)
     (fun () ->
       List.iter
-        (fun s -> submit t (fun () -> Plan.execute ?grid_map ?uarch_map s))
+        (fun s -> submit t (fun () -> Plan.execute ?chunk_map s))
         specs;
       wait t)

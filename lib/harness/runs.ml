@@ -392,6 +392,72 @@ let ensure_uarch ?map bench (target : Target.t) =
          standard_uarch_configs)
   end
 
+(* One fused pass covering whichever of the two standard sweeps is still
+   cold.  The disk entries and memo installs are exactly {!ensure_grid}'s
+   and {!ensure_uarch}'s — the fusion only shares the decode and the
+   trace traversal, so a later call to either is a no-op. *)
+let ensure_fused ?map bench (target : Target.t) =
+  let need_grid = not (grid_complete bench target) in
+  let need_uarch = not (uarch_complete bench target) in
+  if need_grid || need_uarch then begin
+    let disk_grid : ((int * int * int) * Memsys.cached) list option =
+      if need_grid then Diskcache.find (grid_key bench target) else None
+    in
+    let disk_uarch : (string * Upipeline.result) list option =
+      if need_uarch then Diskcache.find (uarch_sweep_key bench target)
+      else None
+    in
+    let want_grid = need_grid && disk_grid = None in
+    let want_uarch = need_uarch && disk_uarch = None in
+    let computed_grid, computed_uarch =
+      if want_grid || want_uarch then begin
+        let rd = trace_reader bench target in
+        let img = if want_uarch then Some (image bench target) else None in
+        let spec =
+          {
+            Replay.Fused.buses = [];
+            caches =
+              (if want_grid then List.map grid_spec standard_grid else []);
+            pipelines = (if want_uarch then standard_uarch_configs else []);
+          }
+        in
+        let r = Replay.Fused.run ?map ?img rd spec in
+        let g =
+          if want_grid then begin
+            let entries = List.combine standard_grid r.Replay.Fused.cacheds in
+            Diskcache.store (grid_key bench target) entries;
+            Some entries
+          end
+          else None
+        in
+        let u =
+          if want_uarch then begin
+            let entries =
+              List.map2
+                (fun cfg res -> (Uconfig.describe cfg, res))
+                standard_uarch_configs r.Replay.Fused.pipes
+            in
+            Diskcache.store (uarch_sweep_key bench target) entries;
+            Some entries
+          end
+          else None
+        in
+        (g, u)
+      end
+      else (None, None)
+    in
+    (match if computed_grid <> None then computed_grid else disk_grid with
+    | Some entries when need_grid -> install_grid bench target entries
+    | _ -> ());
+    match if computed_uarch <> None then computed_uarch else disk_uarch with
+    | Some entries when need_uarch ->
+      install_uarch bench target
+        (List.map
+           (fun cfg -> (cfg, List.assoc (Uconfig.describe cfg) entries))
+           standard_uarch_configs)
+    | _ -> ()
+  end
+
 let uarch bench (target : Target.t) cfg =
   let key = (bench, target.Target.name, cfg) in
   match with_lock (fun () -> Hashtbl.find_opt uarch_tbl key) with

@@ -58,10 +58,7 @@ val cached :
     grid. *)
 
 val ensure_grid :
-  ?map:
-    ((int -> Repro_trace.Replay.Grid.chunk_result) ->
-    int list ->
-    Repro_trace.Replay.Grid.chunk_result list) ->
+  ?map:Repro_trace.Replay.map ->
   string ->
   Repro_core.Target.t ->
   unit
@@ -86,10 +83,7 @@ val uarch :
     {!standard_uarch_configs}. *)
 
 val ensure_uarch :
-  ?map:
-    ((int -> Repro_trace.Replay.Upipelines.chunk_result) ->
-    int list ->
-    Repro_trace.Replay.Upipelines.chunk_result list) ->
+  ?map:Repro_trace.Replay.map ->
   string ->
   Repro_core.Target.t ->
   unit
@@ -99,6 +93,19 @@ val ensure_uarch :
     automatons ({!Repro_trace.Replay.Upipelines}).  The unit of work
     {!Pool} schedules for stall studies.  [?map] fans the trace's chunks
     out across domains, like {!ensure_grid}'s. *)
+
+val ensure_fused :
+  ?map:Repro_trace.Replay.map ->
+  string ->
+  Repro_core.Target.t ->
+  unit
+(** Populate the standard cache grid {e and} the standard pipeline-model
+    sweep for one (benchmark, target) in a single {!Repro_trace.Replay.Fused}
+    pass: one decode of the stored trace feeds all 25 grid geometries plus
+    every sweep configuration's automaton simultaneously.  Results are
+    byte-equal to {!ensure_grid} + {!ensure_uarch} (same memo tables, same
+    disk entries) — only the decode and traversal are shared.  Axes already
+    complete (memo or disk) are skipped; if both are warm this is free. *)
 
 val standard_uarch_configs : Repro_uarch.Uconfig.t list
 (** Cacheless bus 4 and 8 bytes at wait states 0..3, plus 4K and 16K split

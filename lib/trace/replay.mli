@@ -6,34 +6,150 @@
     {!Repro_uarch.Uarch} runs) — the differential suite in [test/t_trace.ml]
     gates on byte-identical counters.
 
-    Parallelism: the fetch-buffer counters are order-independent up to one
-    block of boundary state, so {!nocache_chunk} computes any chunk in
-    isolation (as if the buffer were cold) and {!merge_nocache} stitches
-    the per-chunk results into the exact sequential totals by cancelling
-    the one request a warm buffer would have avoided at each boundary.
-    Cache and pipeline state is order-dependent (tags and valid bits
-    persist across every access), so {!cached} and {!pipelines} replay
-    sequentially; parallel sweeps run whole configurations concurrently
-    instead, each over its own cursor of a shared reader. *)
+    {1 The chunk-parallel framework}
 
-(** Per-chunk fetch-buffer counters, computed cold. *)
-type nocache_chunk = {
-  cold_irequests : int;  (** Fetch requests with an initially-empty buffer. *)
-  first_block : int;  (** Bus block of the chunk's first fetch, [-1] if none. *)
-  last_block : int;  (** Bus block buffered after the chunk. *)
-  drequests : int;  (** Data bus transactions; order-free. *)
-}
+    Every replay engine here is one instance of the same recipe:
 
-val nocache_chunk : Trace.Reader.t -> bus_bytes:int -> int -> nocache_chunk
+    + {b decode} each trace chunk once into flat arrays ({!Decoded}),
+      shared by every automaton fed from that chunk;
+    + {b cold-simulate} each chunk independently — an {!Automaton} starts
+      from a state that assumes nothing about the carried-in state and
+      records whatever boundary bookkeeping its reconciliation needs
+      (a prefix log of boundary-sensitive events, or a convergence
+      point past which cold provably equals warm);
+    + {b merge} sequentially, in chunk order: fold each chunk's summary
+      into the true carried state ([absorb]), replaying only the logged
+      prefix — never the whole chunk, unless it never converged.
 
-val merge_nocache : nocache_chunk list -> Repro_sim.Memsys.nocache
-(** In chunk order: a chunk whose first fetch hits the block the previous
-    chunk left buffered did not really issue that request. *)
+    The {!Chunked} functor packages steps 1–3 so an engine only supplies
+    its automaton; exactness is the automaton's contract ([absorb] must
+    reconstruct precisely the sequential outcome), and the differential
+    suite gates every shipped instance on byte-equality to direct
+    execution, chunk-parallel equal to sequential. *)
 
-val nocache : Trace.Reader.t -> bus_bytes:int -> Repro_sim.Memsys.nocache
-(** Sequential convenience: per-chunk counts merged in order. *)
+(** One trace chunk decoded into flat arrays, shared by every automaton.
+
+    The i-stream is additionally run-length compressed at 4-byte
+    granularity: consecutive fetches inside the same granule become one
+    event plus a repeat count, which any automaton whose hit/miss outcome
+    is constant across a granule (cache sub-blocks >= 4 bytes on aligned
+    traces; any fetch buffer with a bus >= 4 bytes) replays in one step —
+    the first access decides, the rest are guaranteed hits.
+
+    Decoded chunks are cached (a small MRU over recently-replayed
+    readers, lock-free per-chunk slots), so a multi-engine sweep — or a
+    parallel replay fanning the same chunks out repeatedly — decodes the
+    varint stream once, not once per engine. *)
+module Decoded : sig
+  type t = {
+    pcs : int array;  (** Every record's fetch address, in order. *)
+    dinfos : int array;  (** The nonzero packed data records, in order. *)
+    gran : int array;  (** Run-length compressed i-stream: 4-byte granules. *)
+    cnt : int array;  (** Repeat count per granule run. *)
+    aligned : bool;  (** No fetch straddles a granule. *)
+    insn_bytes : int;
+  }
+
+  val of_chunk : Trace.Reader.t -> int -> t
+  (** Decode chunk [i], bypassing the cache. *)
+
+  val get : Trace.Reader.t -> int -> t
+  (** Decode chunk [i] through the shared cache: the first caller (in any
+      domain) decodes, everyone else reuses the arrays. *)
+end
+
+(** What an engine supplies: a per-chunk cold automaton plus the
+    sequential reconciliation that makes chunk-parallel execution exact.
+
+    [chunk_start]/[step]/[snapshot] run inside a chunk, potentially on
+    another domain, with {e unknown} carried-in state; [carry]/[absorb]
+    run sequentially, in chunk order, and must reconstruct exactly the
+    state and totals a sequential replay would have produced.  The two
+    shipped reconciliation strategies are both expressible:
+
+    - {e prefix log} ({!Repro_sim.Memsys.Cache}, the fetch buffer):
+      the summary carries the boundary-sensitive events, [absorb]
+      replays just those against the true carried state;
+    - {e bounded-horizon convergence} ({!Repro_uarch.Scoreboard}): the
+      summary carries the pre-convergence prefix, [absorb] re-steps it
+      warm and adopts the cold suffix verbatim (falling back to a full
+      re-step if the chunk never converged). *)
+module type Automaton = sig
+  type cfg
+  (** One configuration of the model (geometry, bus width, ...). *)
+
+  type auto
+  (** One chunk's cold automaton. *)
+
+  type summary
+  (** Immutable chunk result: cold counters plus whatever reconciliation
+      needs.  Safe to move across domains. *)
+
+  type carry
+  (** Sequential merge state: the true state carried across chunk
+      boundaries plus the accumulated totals. *)
+
+  val chunk_start : cfg -> auto
+
+  val step : auto -> Decoded.t -> unit
+  (** Advance the cold automaton over one decoded chunk. *)
+
+  val snapshot : auto -> summary
+  (** Freeze the chunk's outcome; the automaton is dead afterwards. *)
+
+  val converged : summary -> bool
+  (** Whether [absorb] can adopt the chunk's cold suffix (prefix-only
+      reconciliation) or must re-step the whole chunk.  Advisory — the
+      merge is exact either way — but a diagnostic for chunk-size
+      tuning, and a hook the functor tests assert on. *)
+
+  val carry : cfg -> carry
+  (** The merge state before any chunk: the stream's true initial state. *)
+
+  val absorb : carry -> summary -> unit
+  (** Fold the next chunk's summary, in stream order. *)
+end
+
+(** Exact chunk-parallel execution for any {!Automaton}: decode each
+    chunk once ({!Decoded.get}), feed every configuration's cold
+    automaton from the same arrays, then reconcile sequentially per
+    configuration. *)
+module Chunked (A : Automaton) : sig
+  type chunk_result = A.summary array
+  (** Per-configuration summaries for one chunk. *)
+
+  val chunk : A.cfg array -> Trace.Reader.t -> int -> chunk_result
+  (** Cold-simulate every configuration over chunk [i].  Independent of
+      every other chunk — safe to fan out across domains. *)
+
+  val merge : A.cfg array -> chunk_result list -> A.carry array
+  (** Sequential reconciliation, in chunk order, per configuration. *)
+
+  val run :
+    ?map:((int -> chunk_result) -> int list -> chunk_result list) ->
+    Trace.Reader.t ->
+    A.cfg array ->
+    A.carry array
+  (** The whole trace: [map] distributes the per-chunk work (default
+      [List.map]); pass [Repro_harness.Pool.map ~pool] or [~jobs] to fan
+      chunks out across domains. *)
+end
+
+type chunk_result
+(** One chunk's summaries for the built-in engines below ({!nocache},
+    {!cached}, {!Grid}, {!Upipelines}, {!Fused} all run the same unified
+    automaton, so their [?map] arguments share this type and one
+    scheduler hook serves every engine). *)
+
+type map = (int -> chunk_result) -> int list -> chunk_result list
+(** The scheduler hook: how per-chunk work is distributed. *)
+
+val nocache : ?map:map -> Trace.Reader.t -> bus_bytes:int -> Repro_sim.Memsys.nocache
+(** Fetch-buffer and data bus-transaction counts for one bus width.
+    Field-for-field equal to {!Repro_sim.Memsys.replay_nocache}. *)
 
 val cached :
+  ?map:map ->
   icache:Repro_sim.Memsys.cache_config ->
   dcache:Repro_sim.Memsys.cache_config ->
   Trace.Reader.t ->
@@ -46,68 +162,94 @@ val pipelines :
   Repro_uarch.Uconfig.t list ->
   Repro_link.Link.image ->
   Repro_uarch.Pipeline.result list
-(** One sequential pass feeding every configuration's pipeline, in
-    configuration order — the trace-driven twin of
-    {!Repro_uarch.Uarch.run_many}. *)
+(** @deprecated Thin wrapper over {!Upipelines.run} (sequential); kept
+    for callers of the historical per-engine API.  New code should call
+    {!Upipelines.run} (or {!Fused.run}) directly. *)
 
-(** Single-pass, chunk-parallel cache grid: decode each chunk once and
-    feed every geometry's cold chunk automaton from the same decoded
-    (and run-length compressed) record stream, then merge the per-chunk
-    summaries sequentially per geometry
-    ({!Repro_sim.Memsys.Cache.absorb}).  Results are byte-equal to one
-    {!cached} pass per geometry — the differential suite gates on it. *)
+(** Single-pass cache grid: one decode feeds every geometry.  Results are
+    byte-equal to one {!cached} pass per geometry — the differential
+    suite gates on it. *)
 module Grid : sig
   type spec = {
     icache : Repro_sim.Memsys.cache_config;
     dcache : Repro_sim.Memsys.cache_config;
   }
 
-  type chunk_result
-  (** Per-spec (icache, dcache) chunk summaries for one chunk. *)
-
-  val chunk : Trace.Reader.t -> spec array -> int -> chunk_result
-  (** Decode chunk [i] once and cold-simulate every spec over it.
-      Independent of every other chunk — safe to fan out across
-      domains. *)
-
-  val merge :
-    spec array -> chunk_result list -> Repro_sim.Memsys.cached list
-  (** Sequential reconciliation, in chunk order, per spec. *)
-
   val run :
-    ?map:((int -> chunk_result) -> int list -> chunk_result list) ->
+    ?map:map ->
     Trace.Reader.t ->
     spec list ->
     Repro_sim.Memsys.cached list
-  (** The whole grid from one reader.  [map] distributes the per-chunk
-      work (default [List.map]); pass [Repro_harness.Pool.map ~pool] or
-      [~jobs] to fan chunks out across domains. *)
 end
 
-(** Single-pass, chunk-parallel pipeline-timing grid: the {!Grid} recipe
-    applied to the cycle-accurate five-stage model.  Each chunk is
-    decoded once; one cold {!Repro_uarch.Scoreboard} chunk automaton
-    (shared by every configuration — interlocks depend only on the
-    instruction stream) and one cold {!Repro_uarch.Pipeline.Mem}
-    automaton per distinct memory-behaviour class are fed from the same
-    decoded stream, in parallel across chunks.  A sequential merge
-    re-steps only each chunk's pre-convergence scoreboard prefix from the
-    true carried-in state (falling back to re-stepping the whole chunk if
-    convergence was never detected), reconciles the memory summaries, and
-    scales per configuration.  Results are integer-equal to
-    {!pipelines} and to {!Repro_uarch.Uarch.run_many} — the differential
-    suite gates on it. *)
+(** Single-pass pipeline-timing grid: one decode feeds every
+    configuration through a shared {!Repro_uarch.Scoreboard} automaton
+    (interlocks depend only on the instruction stream) plus one
+    {!Repro_uarch.Pipeline.Mem} automaton per distinct memory-behaviour
+    class.  Results are integer-equal to per-configuration
+    {!Repro_uarch.Uarch} runs — the differential suite gates on it. *)
 module Upipelines : sig
-  type chunk_result
-  (** One chunk's scoreboard summary plus per-memory-class summaries. *)
-
   val run :
-    ?map:((int -> chunk_result) -> int list -> chunk_result list) ->
+    ?map:map ->
     Trace.Reader.t ->
     Repro_uarch.Uconfig.t list ->
     Repro_link.Link.image ->
     Repro_uarch.Pipeline.result list
-  (** Every configuration's pipeline result, in configuration order —
-      the chunk-parallel twin of {!pipelines}.  [map] distributes the
-      per-chunk work (default [List.map]). *)
+  (** Every configuration's pipeline result, in configuration order. *)
+end
+
+(** The fused cross-product engine: one decode per stored trace feeds
+    bus widths x cache geometries x full pipeline configurations
+    simultaneously.  Memory automatons are deduplicated by behaviour
+    class {e across} the axes — a pipeline configuration whose cache
+    pair also appears in [caches] shares one automaton pair — and the
+    scoreboard (needed only when [pipelines] is nonempty) runs once.
+    Each sub-result is byte-equal to what the dedicated engine above
+    returns for the same axis. *)
+module Fused : sig
+  type spec = {
+    buses : int list;  (** Cacheless fetch/data bus widths, in bytes. *)
+    caches : Grid.spec list;  (** Split I/D geometry pairs. *)
+    pipelines : Repro_uarch.Uconfig.t list;
+        (** Full pipeline configurations; require [?img]. *)
+  }
+
+  type result = {
+    nocaches : Repro_sim.Memsys.nocache list;  (** Per bus, in order. *)
+    cacheds : Repro_sim.Memsys.cached list;  (** Per geometry pair, in order. *)
+    pipes : Repro_uarch.Pipeline.result list;
+        (** Per pipeline configuration, in order. *)
+  }
+
+  val run :
+    ?map:map ->
+    ?img:Repro_link.Link.image ->
+    Trace.Reader.t ->
+    spec ->
+    result
+  (** @raise Invalid_argument if [spec.pipelines] is nonempty and no
+      [?img] was given (the pipeline model needs the image's instruction
+      descriptors). *)
+end
+
+(** Reference implementations: the plain sequential per-record loops the
+    chunk engines replaced.  They share nothing with the {!Chunked}
+    framework — no decode cache, no automata, no reconciliation — so the
+    differential suite uses them as independent baselines. *)
+module Seq : sig
+  val nocache : Trace.Reader.t -> bus_bytes:int -> Repro_sim.Memsys.nocache
+
+  val cached :
+    icache:Repro_sim.Memsys.cache_config ->
+    dcache:Repro_sim.Memsys.cache_config ->
+    Trace.Reader.t ->
+    Repro_sim.Memsys.cached
+
+  val pipelines :
+    Trace.Reader.t ->
+    Repro_uarch.Uconfig.t list ->
+    Repro_link.Link.image ->
+    Repro_uarch.Pipeline.result list
+  (** One sequential pass feeding every configuration's full
+      {!Repro_uarch.Pipeline}, in configuration order. *)
 end

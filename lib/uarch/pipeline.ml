@@ -278,6 +278,43 @@ module Mem = struct
       Cache.absorb c.dcar s.dc
     | _ -> invalid_arg "Pipeline.Mem.absorb: summary from a different key"
 
+  (* The carried request/miss totals as the plain memory-system counter
+     records: a cacheless carry is exactly {!Memsys.replay_nocache}'s
+     output, a cached carry exactly {!Memsys.replay_cached}'s.  These are
+     what the penalty-free replays ({!Repro_trace.Replay}) read off a
+     sweep — {!charge} prices the same totals for one configuration. *)
+
+  let nocache_counters = function
+    | Cnocache c ->
+      { Memsys.irequests = c.irequests; drequests = c.dread + c.dwrite }
+    | Ccached _ -> invalid_arg "Pipeline.Mem.nocache_counters: cached carry"
+
+  let cached_counters = function
+    | Ccached c ->
+      let it = Cache.carry_totals c.icar in
+      let dt = Cache.carry_totals c.dcar in
+      {
+        Memsys.icache =
+          {
+            Memsys.accesses = it.Cache.reads + it.Cache.writes;
+            misses = it.Cache.read_misses + it.Cache.write_misses;
+            words_transferred = it.Cache.fetch_words;
+          };
+        dcache_read =
+          {
+            Memsys.accesses = dt.Cache.reads;
+            misses = dt.Cache.read_misses;
+            words_transferred = 0;
+          };
+        dcache_write =
+          {
+            Memsys.accesses = dt.Cache.writes;
+            misses = dt.Cache.write_misses;
+            words_transferred = 0;
+          };
+      }
+    | Cnocache _ -> invalid_arg "Pipeline.Mem.cached_counters: cacheless carry"
+
   let charge c (cfg : Uconfig.t) ~ic ~interlock_clock ~load_interlocks
       ~fp_interlocks =
     match (c, cfg) with
@@ -289,39 +326,16 @@ module Mem = struct
           ~wmiss_stalls:(wait_states * c.dwrite)
       in
       { stalls; caches = None }
-    | Ccached c, Uconfig.Cached { miss_penalty; _ } ->
-      let it = Cache.carry_totals c.icar in
-      let dt = Cache.carry_totals c.dcar in
-      let imisses = it.Cache.read_misses + it.Cache.write_misses in
+    | Ccached _, Uconfig.Cached { miss_penalty; _ } ->
+      let counters = cached_counters c in
       let stalls =
         Stalls.of_parts ~ic ~interlock_clock ~load_interlocks ~fp_interlocks
-          ~fetch_stalls:(miss_penalty * imisses)
-          ~dmiss_stalls:(miss_penalty * dt.Cache.read_misses)
-          ~wmiss_stalls:(miss_penalty * dt.Cache.write_misses)
+          ~fetch_stalls:(miss_penalty * counters.Memsys.icache.Memsys.misses)
+          ~dmiss_stalls:
+            (miss_penalty * counters.Memsys.dcache_read.Memsys.misses)
+          ~wmiss_stalls:
+            (miss_penalty * counters.Memsys.dcache_write.Memsys.misses)
       in
-      let caches =
-        Some
-          {
-            Memsys.icache =
-              {
-                Memsys.accesses = it.Cache.reads + it.Cache.writes;
-                misses = imisses;
-                words_transferred = it.Cache.fetch_words;
-              };
-            dcache_read =
-              {
-                Memsys.accesses = dt.Cache.reads;
-                misses = dt.Cache.read_misses;
-                words_transferred = 0;
-              };
-            dcache_write =
-              {
-                Memsys.accesses = dt.Cache.writes;
-                misses = dt.Cache.write_misses;
-                words_transferred = 0;
-              };
-          }
-      in
-      { stalls; caches }
+      { stalls; caches = Some counters }
     | _ -> invalid_arg "Pipeline.Mem.charge: carry from a different key"
 end

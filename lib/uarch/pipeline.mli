@@ -85,6 +85,18 @@ module Mem : sig
   (** Fold the next chunk's summary, in stream order.
       @raise Invalid_argument if the summary came from a different key. *)
 
+  val nocache_counters : carry -> Repro_sim.Memsys.nocache
+  (** The carried totals of a cacheless carry as the plain bus-request
+      counters — field-for-field what {!Repro_sim.Memsys.replay_nocache}
+      reports for the same stream.
+      @raise Invalid_argument on a cached carry. *)
+
+  val cached_counters : carry -> Repro_sim.Memsys.cached
+  (** The carried totals of a cached carry as the plain cache counters —
+      field-for-field what {!Repro_sim.Memsys.replay_cached} reports for
+      the same stream.
+      @raise Invalid_argument on a cacheless carry. *)
+
   val charge :
     carry ->
     Uconfig.t ->

@@ -85,7 +85,16 @@ let grid_spec (size, block, sub) =
 
 let grid_equals_cached rd geometries ~jobs =
   let specs = List.map grid_spec geometries in
+  (* The expectation comes from the plain per-record reference loop
+     ([Replay.Seq]), which shares nothing with the chunked framework. *)
   let expect =
+    List.map
+      (fun (s : Replay.Grid.spec) ->
+        Replay.Seq.cached ~icache:s.Replay.Grid.icache
+          ~dcache:s.Replay.Grid.dcache rd)
+      specs
+  in
+  let single =
     List.map
       (fun (s : Replay.Grid.spec) ->
         Replay.cached ~icache:s.Replay.Grid.icache ~dcache:s.Replay.Grid.dcache
@@ -94,7 +103,7 @@ let grid_equals_cached rd geometries ~jobs =
   in
   let seq = Replay.Grid.run rd specs in
   let par = Replay.Grid.run ~map:(fun f xs -> Pool.map ~jobs f xs) rd specs in
-  (seq = expect, par = expect)
+  (seq = expect && single = expect, par = expect)
 
 let synthetic_grid =
   let geometries = [ (32, 4, 2); (64, 8, 8); (256, 16, 4); (1024, 32, 32) ] in
@@ -150,7 +159,7 @@ let synthetic_upipelines =
                 roundtrip ~chunk_records:5 ~insn_bytes:(Target.insn_bytes t)
                   records path
               in
-              let expect = Replay.pipelines rd cfgs img in
+              let expect = Replay.Seq.pipelines rd cfgs img in
               let seq = Replay.Upipelines.run rd cfgs img in
               let par =
                 Replay.Upipelines.run
@@ -159,6 +168,142 @@ let synthetic_upipelines =
               in
               seq = expect && par = expect))
         (Lazy.force images))
+
+(* The Chunked functor itself, on a synthetic automaton with no
+   microarchitecture behind it: a decaying stall counter.  Every record
+   with positive slack stalls and decays it; any nonzero pc divisible by
+   [period] resets slack to [horizon].  A cold chunk converges at the first reset
+   (the state becomes carried-independent) or after [horizon] records
+   (any warm slack has decayed away) — bounded-horizon reconciliation in
+   miniature, with the no-convergence whole-chunk re-step fallback
+   exercised by a period larger than any generated pc. *)
+module Counter_auto = struct
+  type cfg = { period : int; horizon : int }
+
+  type auto = {
+    c : cfg;
+    mutable slack : int;
+    mutable stalls : int;
+    mutable seen : int;
+    mutable conv : int option;
+    mutable prefix : int list;  (* reversed pcs before convergence *)
+    mutable stalls_at_conv : int;
+  }
+
+  type summary = {
+    s_conv : int option;
+    s_prefix : int array;
+    s_stalls_at_conv : int;
+    s_stalls : int;
+    s_end_slack : int;
+  }
+
+  type carry = { k : cfg; mutable k_slack : int; mutable k_stalls : int }
+
+  let resets (c : cfg) pc = pc <> 0 && pc mod c.period = 0
+
+  let advance (c : cfg) ~slack ~stalls pc =
+    let slack, stalls =
+      if slack > 0 then (slack - 1, stalls + 1) else (slack, stalls)
+    in
+    ((if resets c pc then c.horizon else slack), stalls)
+
+  let chunk_start c =
+    {
+      c; slack = 0; stalls = 0; seen = 0; conv = None; prefix = [];
+      stalls_at_conv = 0;
+    }
+
+  let step a (d : Replay.Decoded.t) =
+    Array.iter
+      (fun pc ->
+        if a.conv = None then a.prefix <- pc :: a.prefix;
+        let slack, stalls = advance a.c ~slack:a.slack ~stalls:a.stalls pc in
+        a.slack <- slack;
+        a.stalls <- stalls;
+        a.seen <- a.seen + 1;
+        if a.conv = None && (resets a.c pc || a.seen >= a.c.horizon)
+        then begin
+          a.conv <- Some a.seen;
+          a.stalls_at_conv <- a.stalls
+        end)
+      d.Replay.Decoded.pcs
+
+  let snapshot a =
+    {
+      s_conv = a.conv;
+      s_prefix = Array.of_list (List.rev a.prefix);
+      s_stalls_at_conv =
+        (match a.conv with Some _ -> a.stalls_at_conv | None -> a.stalls);
+      s_stalls = a.stalls;
+      s_end_slack = a.slack;
+    }
+
+  let converged s = s.s_conv <> None
+  let carry c = { k = c; k_slack = 0; k_stalls = 0 }
+
+  let absorb k s =
+    (* Re-step the pre-convergence prefix warm (the whole chunk if it
+       never converged), then adopt the cold suffix verbatim. *)
+    Array.iter
+      (fun pc ->
+        let slack, stalls = advance k.k ~slack:k.k_slack ~stalls:k.k_stalls pc in
+        k.k_slack <- slack;
+        k.k_stalls <- stalls)
+      s.s_prefix;
+    match s.s_conv with
+    | None -> ()
+    | Some _ ->
+      k.k_stalls <- k.k_stalls + (s.s_stalls - s.s_stalls_at_conv);
+      k.k_slack <- s.s_end_slack
+end
+
+module Counter_chunked = Replay.Chunked (Counter_auto)
+
+let counter_direct (c : Counter_auto.cfg) records =
+  List.fold_left
+    (fun (slack, stalls) (pc, _) -> Counter_auto.advance c ~slack ~stalls pc)
+    (0, 0) records
+
+let synthetic_counter =
+  let cfgs =
+    [|
+      { Counter_auto.period = 5; horizon = 9 };
+      { Counter_auto.period = 7; horizon = 3 };
+      (* Larger than any generated pc: never resets, so only chunks long
+         enough to outlive the horizon converge. *)
+      { Counter_auto.period = 0x1FF_FFFF; horizon = 4 };
+    |]
+  in
+  QCheck.Test.make
+    ~name:"Chunked functor: synthetic counter, parallel = sequential = direct"
+    ~count:60
+    (QCheck.make QCheck.Gen.(list_size (int_bound 200) gen_record))
+    (fun records ->
+      with_temp (fun path ->
+          let rd, _ = roundtrip ~chunk_records:7 records path in
+          let state (k : Counter_auto.carry) =
+            (k.Counter_auto.k_slack, k.Counter_auto.k_stalls)
+          in
+          let seq = Array.map state (Counter_chunked.run rd cfgs) in
+          let par =
+            Array.map state
+              (Counter_chunked.run
+                 ~map:(fun f xs -> Pool.map ~jobs:3 f xs)
+                 rd cfgs)
+          in
+          let direct = Array.map (fun c -> counter_direct c records) cfgs in
+          (* The convergence hook: the never-resetting config converges
+             exactly on chunks that outlive its horizon. *)
+          let horizons_ok =
+            List.for_all
+              (fun i ->
+                let s = (Counter_chunked.chunk cfgs rd i).(2) in
+                Counter_auto.converged s
+                = ((Reader.chunk rd i).Reader.n_records >= 4))
+              (List.init (Reader.n_chunks rd) Fun.id)
+          in
+          seq = direct && par = direct && horizons_ok))
 
 (* Real compiled programs, via the statement fuzzer's generator. *)
 let progfuzz_roundtrip () =
@@ -282,18 +427,25 @@ let differential bench (t : Target.t) =
       in
       Alcotest.(check int) (name "records = ic") r.Machine.ic
         (Reader.n_records rd);
-      (* Fetch-buffer counters: sequential and chunk-parallel replays both
-         equal direct execution. *)
+      (* Fetch-buffer counters: the reference per-record loop, the chunked
+         engine sequential, and the chunked engine parallel all equal
+         direct execution. *)
       List.iter
         (fun bus ->
           let direct = Memsys.replay_nocache ~bus_bytes:bus r in
+          let reference = Replay.Seq.nocache rd ~bus_bytes:bus in
           let seq = Replay.nocache rd ~bus_bytes:bus in
           let par =
-            Replay.merge_nocache
-              (Pool.map ~jobs:3
-                 (Replay.nocache_chunk rd ~bus_bytes:bus)
-                 (List.init (Reader.n_chunks rd) Fun.id))
+            Replay.nocache
+              ~map:(fun f xs -> Pool.map ~jobs:3 f xs)
+              rd ~bus_bytes:bus
           in
+          Alcotest.(check int)
+            (name "bus=%d ireq ref" bus)
+            direct.Memsys.irequests reference.Memsys.irequests;
+          Alcotest.(check int)
+            (name "bus=%d dreq ref" bus)
+            direct.Memsys.drequests reference.Memsys.drequests;
           Alcotest.(check int)
             (name "bus=%d ireq seq" bus)
             direct.Memsys.irequests seq.Memsys.irequests;
@@ -345,7 +497,8 @@ let differential bench (t : Target.t) =
          chunk-parallel) all integer-equal on the standard sweep. *)
       let cfgs = Runs.standard_uarch_configs in
       let _, streamed = Uarch.run_many cfgs img in
-      let replayed = Replay.pipelines rd cfgs img in
+      let replayed = Replay.Seq.pipelines rd cfgs img in
+      let wrapped = Replay.pipelines rd cfgs img in
       let useq = Replay.Upipelines.run rd cfgs img in
       let upar =
         Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs:3 f xs) rd cfgs
@@ -365,9 +518,56 @@ let differential bench (t : Target.t) =
               (s.Pipeline.caches = p.Pipeline.caches)
           in
           against "replay" (List.nth replayed i);
+          against "wrapper" (List.nth wrapped i);
           against "grid seq" (List.nth useq i);
           against "grid par" (List.nth upar i))
-        streamed)
+        streamed;
+      (* Fused engine: one decode feeding every axis at once — each
+         sub-result byte-equal to direct execution / the reference loops,
+         sequential and chunk-parallel. *)
+      let fspec =
+        {
+          Replay.Fused.buses = [ 4; 8 ];
+          caches = List.map grid_spec grid_geos;
+          pipelines = cfgs;
+        }
+      in
+      let check_fused what (f : Replay.Fused.result) =
+        List.iter2
+          (fun bus nc ->
+            Alcotest.(check bool)
+              (name "fused %s bus=%d" what bus)
+              true
+              (nc = Memsys.replay_nocache ~bus_bytes:bus r))
+          fspec.Replay.Fused.buses f.Replay.Fused.nocaches;
+        List.iter2
+          (fun (s : Replay.Grid.spec) c ->
+            Alcotest.(check bool)
+              (name "fused %s cached" what)
+              true
+              (c
+              = Replay.Seq.cached ~icache:s.Replay.Grid.icache
+                  ~dcache:s.Replay.Grid.dcache rd))
+          fspec.Replay.Fused.caches f.Replay.Fused.cacheds;
+        List.iteri
+          (fun i (p : Pipeline.result) ->
+            let s = List.nth streamed i in
+            Alcotest.(check string)
+              (name "fused %s pipe %d stalls" what i)
+              (Stalls.to_string s.Pipeline.stalls)
+              (Stalls.to_string p.Pipeline.stalls);
+            Alcotest.(check bool)
+              (name "fused %s pipe %d caches" what i)
+              true
+              (s.Pipeline.caches = p.Pipeline.caches))
+          f.Replay.Fused.pipes
+      in
+      check_fused "seq" (Replay.Fused.run ~img rd fspec);
+      check_fused "par"
+        (Replay.Fused.run ~map:(fun f xs -> Pool.map ~jobs:3 f xs) ~img rd fspec);
+      (match Replay.Fused.run rd { fspec with Replay.Fused.buses = [ 4 ] } with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (name "Fused.run without ~img accepted")))
 
 let differential_case bench =
   Alcotest.test_case ("differential " ^ bench) `Slow (fun () ->
@@ -378,6 +578,7 @@ let tests =
     QCheck_alcotest.to_alcotest synthetic_roundtrip;
     QCheck_alcotest.to_alcotest synthetic_grid;
     QCheck_alcotest.to_alcotest synthetic_upipelines;
+    QCheck_alcotest.to_alcotest synthetic_counter;
     Alcotest.test_case "compiled programs roundtrip" `Slow progfuzz_roundtrip;
     Alcotest.test_case "empty trace" `Quick test_empty_trace;
     Alcotest.test_case "writer validation" `Quick test_writer_validation;

@@ -364,7 +364,35 @@ let test_grid_equals_streamed () =
               in
               against "grid seq" (List.nth seq i);
               against "grid par" (List.nth par i))
-            streamed))
+            streamed;
+          (* The fused engine on a pipelines-only spec is the same sweep
+             through the cross-product path — equally exact, sequential
+             and chunk-parallel, on the same adversarial chunks. *)
+          let fspec =
+            { Replay.Fused.buses = []; caches = []; pipelines = cfgs }
+          in
+          let check_fused what (f : Replay.Fused.result) =
+            List.iteri
+              (fun i (s : Pipeline.result) ->
+                let p = List.nth f.Replay.Fused.pipes i in
+                let d =
+                  t.Target.name ^ " " ^ Uconfig.describe (List.nth cfgs i)
+                in
+                Alcotest.(check string)
+                  (d ^ " " ^ what ^ " stalls")
+                  (Stalls.to_string s.Pipeline.stalls)
+                  (Stalls.to_string p.Pipeline.stalls);
+                Alcotest.(check bool)
+                  (d ^ " " ^ what ^ " caches")
+                  true
+                  (s.Pipeline.caches = p.Pipeline.caches))
+              streamed
+          in
+          check_fused "fused seq" (Replay.Fused.run ~img rd fspec);
+          check_fused "fused par"
+            (Replay.Fused.run
+               ~map:(fun f xs -> Pool.map ~jobs:3 f xs)
+               ~img rd fspec)))
     [ Target.d16; Target.dlxe ]
 
 let test_config_validation () =
