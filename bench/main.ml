@@ -236,6 +236,105 @@ let uarch_tests =
     Test.make ~name:"fused:8x4:queens" (Staged.stage fused);
   ]
 
+(* Service-plane substrates: what the `d16c serve` daemon charges for a
+   request, and what its coalescing/batching save.  One lazy in-process
+   server on a private socket and a private cache dir (created at the
+   first serve test, so its idle worker domains cannot tax the earlier
+   measurements — same reasoning as the lazy pool above).  Every
+   iteration starts COLD (memo and disk cache cleared): the point of
+   comparison is N independent cold clients (serve:direct:8x1, each
+   request pays the full computation, the pre-server workflow) against
+   8 concurrent duplicates answered by one coalesced run
+   (serve:coalesce:8x1) and a grid+uarch pair answered by one fused
+   batch (serve:batch:grid).  CI gates (advisorily) on coalesce <
+   direct. *)
+let serve_tests =
+  let module Diskcache = Repro_harness.Diskcache in
+  let module Runs = Repro_harness.Runs in
+  let module Plan = Repro_harness.Plan in
+  let module Proto = Repro_serve.Proto in
+  let module Server = Repro_serve.Server in
+  let module Client = Repro_serve.Client in
+  let module Digests = Repro_serve.Digests in
+  let spec s =
+    match Plan.spec_of_string s with Ok s -> s | Error m -> failwith m
+  in
+  let grid = spec "grid:queens:d16" and uarch = spec "uarch:queens:d16" in
+  let env =
+    lazy
+      (let tmp = Filename.get_temp_dir_name () in
+       Diskcache.set_dir
+         (Filename.concat tmp
+            (Printf.sprintf "repro-bench-serve-%d" (Unix.getpid ())));
+       let sock =
+         Filename.concat tmp
+           (Printf.sprintf "repro-bench-serve-%d.sock" (Unix.getpid ()))
+       in
+       let cfg =
+         {
+           (Server.default_config ()) with
+           Server.unix_path = Some sock;
+           tcp = None;
+           window_ms = 5.;
+           log = ignore;
+           log_interval_s = 0.;
+         }
+       in
+       match Server.start cfg with
+       | Error m -> failwith m
+       | Ok h ->
+         at_exit (fun () ->
+             Server.stop h;
+             Server.wait h;
+             try Diskcache.clear () with Sys_error _ -> ());
+         Client.Unix_sock sock)
+  in
+  let cold () =
+    Runs.clear_memo ();
+    Diskcache.clear ()
+  in
+  (* One rpc per fresh connection, all in flight at once. *)
+  let volley addr reqs =
+    let reqs = Array.of_list reqs in
+    let slots = Array.make (Array.length reqs) (Error "not run") in
+    let fire i =
+      match Client.connect addr with
+      | Error m -> slots.(i) <- Error m
+      | Ok c ->
+        slots.(i) <- Client.rpc c reqs.(i);
+        Client.close c
+    in
+    let threads =
+      Array.to_list (Array.mapi (fun i _ -> Thread.create fire i) reqs)
+    in
+    List.iter Thread.join threads;
+    Array.iter
+      (function
+        | Ok (Proto.Sweep_r _) -> ()
+        | Ok _ -> failwith "serve bench: unexpected response"
+        | Error m -> failwith ("serve bench: " ^ m))
+      slots
+  in
+  [
+    Test.make ~name:"serve:coalesce:8x1"
+      (Staged.stage (fun () ->
+           let addr = Lazy.force env in
+           cold ();
+           volley addr (List.init 8 (fun _ -> Proto.Sweep grid))));
+    Test.make ~name:"serve:batch:grid"
+      (Staged.stage (fun () ->
+           let addr = Lazy.force env in
+           cold ();
+           volley addr [ Proto.Sweep grid; Proto.Sweep uarch ]));
+    Test.make ~name:"serve:direct:8x1"
+      (Staged.stage (fun () ->
+           ignore (Lazy.force env);
+           for _ = 1 to 8 do
+             cold ();
+             ignore (Digests.of_spec grid)
+           done));
+  ]
+
 let benchmark test =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
@@ -308,9 +407,14 @@ let () =
   end;
   (* Phase 2: time each regeneration and the substrates. *)
   Printf.printf "\n================ bench timings ================\n%!";
+  (* serve_tests stay LAST: their first run redirects the disk cache to
+     a private directory and wakes the server's worker domains, both of
+     which would perturb every measurement after them. *)
   let tests =
-    if smoke then substrate_tests @ trace_tests @ uarch_tests
-    else experiment_tests @ substrate_tests @ trace_tests @ uarch_tests
+    if smoke then substrate_tests @ trace_tests @ uarch_tests @ serve_tests
+    else
+      experiment_tests @ substrate_tests @ trace_tests @ uarch_tests
+      @ serve_tests
   in
   let results =
     List.concat_map

@@ -1,5 +1,8 @@
 (* Regenerate every table and figure of the paper.  With arguments, only
-   the named experiment ids (e.g. "fig4 tab11").  [--jobs N] sets the
+   the named experiment ids (e.g. "fig4 tab11") and/or raw measurement
+   specs in {!Plan} syntax ("grid:queens:d16") — specs are prefetched
+   into the run cache alongside the experiments' own plans, the one
+   spec spelling shared with `d16c serve`.  [--jobs N] sets the
    measurement-pool width (default: REPRO_JOBS or the domain count). *)
 
 module Experiments = Repro_harness.Experiments
@@ -7,16 +10,17 @@ module Plan = Repro_harness.Plan
 module Pool = Repro_harness.Pool
 
 let usage () =
-  prerr_endline "usage: report [--jobs N] [id ...]";
+  prerr_endline "usage: report [--jobs N] [id | kind:bench:target ...]";
   prerr_endline "known ids:";
   List.iter
     (fun (e : Experiments.t) -> prerr_endline ("  " ^ e.id))
     Experiments.all;
+  prerr_endline "spec kinds: stats, grid, uarch, fused, trace";
   exit 1
 
 let () =
   let jobs = ref (Pool.default_jobs ()) in
-  let ids = ref [] in
+  let words = ref [] in
   let rec parse = function
     | [] -> ()
     | "--jobs" :: n :: rest ->
@@ -25,28 +29,49 @@ let () =
       | _ -> usage ());
       parse rest
     | "--jobs" :: [] -> usage ()
-    | id :: rest ->
-      ids := id :: !ids;
+    | w :: rest ->
+      words := w :: !words;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  let ids, specs =
+    List.partition (fun w -> not (Plan.looks_like_spec w)) (List.rev !words)
+  in
+  let specs =
+    List.map
+      (fun w ->
+        match Plan.spec_of_string w with
+        | Ok s -> s
+        | Error e ->
+          prerr_endline e;
+          usage ())
+      specs
+  in
   let experiments =
-    match List.rev !ids with
-    | [] -> Experiments.all
+    match ids with
+    | [] when specs = [] -> Experiments.all
+    | [] -> []
     | ids -> (
       try List.map Experiments.by_id ids
       with Not_found ->
         prerr_endline "unknown experiment id";
         usage ())
   in
-  (* Prefetch every measurement the selected experiments need, in
-     parallel; rendering below is serial and deterministic. *)
+  (* Prefetch every measurement the selected experiments need, plus the
+     raw specs, in parallel; rendering below is serial and
+     deterministic. *)
   let plan =
-    match List.rev !ids with
-    | [] -> Plan.full ()
-    | ids -> List.fold_left (fun acc id -> Plan.union acc (Plan.for_experiment id)) [] ids
+    match (ids, specs) with
+    | [], [] -> Plan.full ()
+    | _ ->
+      List.fold_left
+        (fun acc id -> Plan.union acc (Plan.for_experiment id))
+        (Plan.dedup specs) ids
   in
   Pool.run_plan ~jobs:!jobs plan;
+  List.iter
+    (fun s -> Printf.printf "warmed %s\n" (Plan.describe s))
+    (Plan.dedup specs);
   List.iter
     (fun (e : Experiments.t) ->
       Printf.printf "================ %s: %s ================\n%s\n" e.id

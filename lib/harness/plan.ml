@@ -31,6 +31,67 @@ let dedup plan =
 
 let union a b = dedup (a @ b)
 
+(* Spec syntax: "kind:bench:target", the one spelling shared by the
+   report CLI, the serve protocol, and the tests. *)
+
+let kind_to_string = function
+  | Stats -> "stats"
+  | Grid -> "grid"
+  | Uarch -> "uarch"
+  | Fused -> "fused"
+  | Trace -> "trace"
+
+let kind_of_string = function
+  | "stats" -> Ok Stats
+  | "grid" -> Ok Grid
+  | "uarch" -> Ok Uarch
+  | "fused" -> Ok Fused
+  | "trace" -> Ok Trace
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown plan kind %S (expected stats, grid, uarch, fused or trace)"
+         s)
+
+(* The canonical short spelling of a target: the first [Target.all_names]
+   entry that parses back to it (aliases like dlxe-32-3 normalize to
+   dlxe), falling back to the slugged full name. *)
+let target_short (t : Target.t) =
+  match
+    List.find_opt
+      (fun n ->
+        match Target.of_name n with
+        | Ok u -> u.Target.name = t.Target.name
+        | Error _ -> false)
+      Target.all_names
+  with
+  | Some n -> n
+  | None ->
+    String.lowercase_ascii
+      (String.map (fun c -> if c = '/' then '-' else c) t.Target.name)
+
+let spec_to_string s =
+  Printf.sprintf "%s:%s:%s" (kind_to_string s.kind) s.bench
+    (target_short s.target)
+
+let spec_of_string w =
+  match String.split_on_char ':' w with
+  | [ kind; bench; target ] -> (
+    match kind_of_string kind with
+    | Error e -> Error e
+    | Ok kind -> (
+      if not (List.exists (fun b -> b.Suite.name = bench) Suite.all) then
+        Error
+          (Printf.sprintf "unknown benchmark %S (expected one of: %s)" bench
+             (String.concat ", " (List.map (fun b -> b.Suite.name) Suite.all)))
+      else
+        match Target.of_name target with
+        | Error e -> Error e
+        | Ok target -> Ok { bench; target; kind }))
+  | _ -> Error (Printf.sprintf "malformed spec %S (expected kind:bench:target)" w)
+
+let looks_like_spec w = String.contains w ':'
+
 let describe s =
   Printf.sprintf "%s on %s%s" s.bench s.target.Target.name
     (match s.kind with

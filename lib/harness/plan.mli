@@ -39,6 +39,29 @@ val union : t -> t -> t
 
 val dedup : t -> t
 
+(** {2 Spec syntax}
+
+    One canonical spelling per spec — ["kind:bench:target"], e.g.
+    ["grid:queens:d16"] — shared by every front end (the report CLI, the
+    {!Repro_serve} protocol, tests) so nobody hand-rolls plan
+    construction.  [spec_of_string] validates all three fields (unknown
+    kinds, benchmarks, and targets are [Error]s naming the valid
+    choices) and round-trips [spec_to_string] exactly. *)
+
+val kind_to_string : kind -> string
+(** ["stats" | "grid" | "uarch" | "fused" | "trace"]. *)
+
+val kind_of_string : string -> (kind, string) result
+
+val spec_to_string : spec -> string
+(** ["kind:bench:target"] with the target's canonical short name. *)
+
+val spec_of_string : string -> (spec, string) result
+
+val looks_like_spec : string -> bool
+(** The word contains [':'] — cheap syntactic test for CLIs that mix
+    spec arguments with other words. *)
+
 val full : unit -> t
 (** Everything {!Experiments.render_all} needs: suite stats on all six
     targets, fused grid+pipeline sweeps for the three cache benchmarks

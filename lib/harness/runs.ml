@@ -471,7 +471,7 @@ let uarch bench (target : Target.t) cfg =
       let res =
         Diskcache.memo (uarch_one_key bench target cfg) (fun () ->
             match
-              Replay.pipelines
+              Replay.Upipelines.run
                 (trace_reader bench target)
                 [ cfg ] (image bench target)
             with

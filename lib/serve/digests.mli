@@ -1,0 +1,20 @@
+(** Canonical digests of a plan spec's results.
+
+    [of_spec] ensures the spec's measurements exist (through {!Runs},
+    so memo- or disk-warm axes cost nothing) and returns the MD5 hex of
+    their marshaled values, read back from the same accessors every
+    experiment uses.  Two executions that produce byte-equal
+    measurements produce equal digests — which is how the server's
+    clients, the differential tests, and the CI smoke job check that a
+    batched or coalesced request returned exactly what a directly-run
+    plan would have. *)
+
+val of_spec :
+  ?map:Repro_trace.Replay.map -> Repro_harness.Plan.spec -> string
+(** [?map] is forwarded to the replay engines, like
+    {!Repro_harness.Plan.execute}'s. *)
+
+val key_of_spec : Repro_harness.Plan.spec -> string
+(** The spec's single-flight identity: the same {!Repro_harness.Runs}
+    digest keys the disk cache files use (kind-tagged), so two requests
+    coalesce exactly when they would read the same cache entries. *)

@@ -1,0 +1,66 @@
+module Json = Repro_util.Json
+
+type conn = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  buf : Buffer.t;  (** Bytes read but not yet consumed. *)
+  mutable eof : bool;
+}
+
+let of_fd ?(max_frame = 16 * 1024 * 1024) fd =
+  { fd; max_frame; buf = Buffer.create 512; eof = false }
+
+let fd c = c.fd
+
+let send c v =
+  let line = Json.to_string v ^ "\n" in
+  let b = Bytes.unsafe_of_string line in
+  let rec write off =
+    if off >= Bytes.length b then Ok ()
+    else
+      match Unix.write c.fd b off (Bytes.length b - off) with
+      | 0 -> Error "send: peer closed"
+      | n -> write (off + n)
+      | exception Unix.Unix_error (e, _, _) ->
+        Error ("send: " ^ Unix.error_message e)
+  in
+  write 0
+
+(* Pull the next '\n'-terminated line out of the buffer, refilling from
+   the socket as needed.  The buffer survives across calls, so a read
+   that straddles two frames loses nothing. *)
+let recv c =
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents c.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear c.buf;
+      Buffer.add_substring c.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+  in
+  let rec next () =
+    match take_line () with
+    | Some line -> (
+      match Json.parse line with
+      | Ok v -> Ok (Some v)
+      | Error e -> Error ("recv: bad frame: " ^ e))
+    | None ->
+      if c.eof then
+        if Buffer.length c.buf = 0 then Ok None
+        else Error "recv: EOF inside a frame"
+      else if Buffer.length c.buf > c.max_frame then
+        Error "recv: frame too long"
+      else (
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+          c.eof <- true;
+          next ()
+        | n ->
+          Buffer.add_subbytes c.buf chunk 0 n;
+          next ()
+        | exception Unix.Unix_error (e, _, _) ->
+          Error ("recv: " ^ Unix.error_message e))
+  in
+  next ()

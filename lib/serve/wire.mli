@@ -1,0 +1,26 @@
+(** Newline-delimited JSON framing over a socket.
+
+    One message is one {!Repro_util.Json} value on one line — the
+    compact printer never emits a newline and escapes any newline inside
+    a string, so ['\n'] is an unambiguous frame boundary.  Reads are
+    buffered per connection; a frame longer than [max_frame] (default
+    16 MiB) is an error rather than an unbounded allocation, and a
+    malformed frame is an [Error] that leaves the connection usable for
+    the next line. *)
+
+type conn
+
+val of_fd : ?max_frame:int -> Unix.file_descr -> conn
+(** The [conn] owns its read buffer, not the descriptor — closing is the
+    caller's job ({!Client.close}, the server's connection handler). *)
+
+val fd : conn -> Unix.file_descr
+
+val send : conn -> Repro_util.Json.t -> (unit, string) result
+(** Write the value and a terminating newline.  [Error] on a closed or
+    broken peer (EPIPE and friends) — never an exception. *)
+
+val recv : conn -> (Repro_util.Json.t option, string) result
+(** Next frame: [Ok None] on orderly EOF at a frame boundary, [Ok (Some
+    v)] on a parsed frame, [Error] on junk, oversized frames, EOF inside
+    a frame, or a socket error. *)

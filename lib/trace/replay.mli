@@ -162,6 +162,9 @@ val pipelines :
   Repro_uarch.Uconfig.t list ->
   Repro_link.Link.image ->
   Repro_uarch.Pipeline.result list
+  [@@deprecated
+    "use Replay.Upipelines.run (or Replay.Fused.run) — this sequential \
+     wrapper survives only for the historical per-engine API"]
 (** @deprecated Thin wrapper over {!Upipelines.run} (sequential); kept
     for callers of the historical per-engine API.  New code should call
     {!Upipelines.run} (or {!Fused.run}) directly. *)

@@ -1,0 +1,325 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* Parsing. ---------------------------------------------------------------
+
+   Recursive descent over the raw string with one cursor.  Errors abort
+   through a local exception that never escapes [parse]; the depth
+   parameter bounds recursion so a ["[[[[..."] bomb fails cleanly instead
+   of overflowing the stack. *)
+
+exception Bad of int * string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Bad (c.pos, msg))
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let next c =
+  match peek c with
+  | Some ch ->
+    c.pos <- c.pos + 1;
+    ch
+  | None -> fail c "unexpected end of input"
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c ch =
+  let got = next c in
+  if got <> ch then fail c (Printf.sprintf "expected %C, got %C" ch got)
+
+let literal c word value =
+  String.iter (fun ch -> expect c ch) word;
+  value
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let hex_digit c =
+  match next c with
+  | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+  | _ -> fail c "invalid hex digit in \\u escape"
+
+let hex4 c =
+  let a = hex_digit c in
+  let b = hex_digit c in
+  let d = hex_digit c in
+  let e = hex_digit c in
+  (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+
+(* Decoded string bytes: escapes resolved, \uXXXX (with surrogate pairs)
+   encoded as UTF-8.  Raw bytes >= 0x20 other than '"' and '\\' pass
+   through untouched, so arbitrary byte payloads survive a print/parse
+   round-trip. *)
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match next c with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (match next c with
+      | '"' -> Buffer.add_char b '"'
+      | '\\' -> Buffer.add_char b '\\'
+      | '/' -> Buffer.add_char b '/'
+      | 'b' -> Buffer.add_char b '\b'
+      | 'f' -> Buffer.add_char b '\012'
+      | 'n' -> Buffer.add_char b '\n'
+      | 'r' -> Buffer.add_char b '\r'
+      | 't' -> Buffer.add_char b '\t'
+      | 'u' ->
+        let u = hex4 c in
+        let u =
+          if u >= 0xD800 && u <= 0xDBFF then begin
+            (* High surrogate: the low half must follow. *)
+            expect c '\\';
+            expect c 'u';
+            let lo = hex4 c in
+            if lo < 0xDC00 || lo > 0xDFFF then fail c "unpaired surrogate";
+            0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+          end
+          else if u >= 0xDC00 && u <= 0xDFFF then fail c "unpaired surrogate"
+          else u
+        in
+        Buffer.add_utf_8_uchar b (Uchar.of_int u)
+      | _ -> fail c "invalid escape");
+      loop ()
+    | ch when Char.code ch < 0x20 ->
+      fail c "unescaped control character in string"
+    | ch ->
+      Buffer.add_char b ch;
+      loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  if peek c = Some '-' then c.pos <- c.pos + 1;
+  (match peek c with
+  | Some '0' -> c.pos <- c.pos + 1
+  | Some ch when is_digit ch ->
+    while (match peek c with Some ch -> is_digit ch | None -> false) do
+      c.pos <- c.pos + 1
+    done
+  | _ -> fail c "invalid number");
+  let integral = ref true in
+  (if peek c = Some '.' then begin
+     integral := false;
+     c.pos <- c.pos + 1;
+     if not (match peek c with Some ch -> is_digit ch | None -> false) then
+       fail c "digits required after decimal point";
+     while (match peek c with Some ch -> is_digit ch | None -> false) do
+       c.pos <- c.pos + 1
+     done
+   end);
+  (match peek c with
+  | Some ('e' | 'E') ->
+    integral := false;
+    c.pos <- c.pos + 1;
+    (match peek c with
+    | Some ('+' | '-') -> c.pos <- c.pos + 1
+    | _ -> ());
+    if not (match peek c with Some ch -> is_digit ch | None -> false) then
+      fail c "digits required in exponent";
+    while (match peek c with Some ch -> is_digit ch | None -> false) do
+      c.pos <- c.pos + 1
+    done
+  | _ -> ());
+  let text = String.sub c.s start (c.pos - start) in
+  if !integral then
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> (
+      (* Magnitude beyond [int]: keep the value as a float. *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail c "unrepresentable number")
+  else
+    match float_of_string_opt text with
+    | Some f when Float.is_finite f -> Float f
+    | _ -> fail c "unrepresentable number"
+
+let rec parse_value c depth =
+  if depth <= 0 then fail c "nesting too deep";
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec elems acc =
+        let v = parse_value c (depth - 1) in
+        skip_ws c;
+        match next c with
+        | ',' -> elems (v :: acc)
+        | ']' -> Arr (List.rev (v :: acc))
+        | _ -> fail c "expected ',' or ']'"
+      in
+      elems []
+    end
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let member () =
+        skip_ws c;
+        let name = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c (depth - 1) in
+        (name, v)
+      in
+      let rec members acc =
+        let m = member () in
+        skip_ws c;
+        match next c with
+        | ',' -> members (m :: acc)
+        | '}' -> Obj (List.rev (m :: acc))
+        | _ -> fail c "expected ',' or '}'"
+      in
+      members []
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected character %C" ch)
+
+let parse ?(max_depth = 256) s =
+  let c = { s; pos = 0 } in
+  match parse_value c max_depth with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "byte %d: trailing garbage" c.pos)
+    else Ok v
+  | exception Bad (pos, msg) -> Error (Printf.sprintf "byte %d: %s" pos msg)
+
+(* Printing. -------------------------------------------------------------- *)
+
+let escape_into b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.add_char b '"'
+
+(* Shortest float rendering that survives a parse round-trip and is
+   always valid JSON (OCaml's own [Float.to_string] prints "1." which
+   JSON rejects). *)
+let float_text f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let b = Buffer.create 64 in
+  let rec emit = function
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f -> Buffer.add_string b (float_text f)
+    | Str s -> escape_into b s
+    | Arr vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          emit v)
+        vs;
+      Buffer.add_char b ']'
+    | Obj ms ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (name, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape_into b name;
+          Buffer.add_char b ':';
+          emit v)
+        ms;
+      Buffer.add_char b '}'
+  in
+  emit v;
+  Buffer.contents b
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y ->
+    Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | Str x, Str y -> String.equal x y
+  | Arr x, Arr y -> List.compare_lengths x y = 0 && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.compare_lengths x y = 0
+    && List.for_all2
+         (fun (nx, vx) (ny, vy) -> String.equal nx ny && equal vx vy)
+         x y
+  | _ -> false
+
+(* Accessors. ------------------------------------------------------------- *)
+
+let member name = function
+  | Obj ms -> List.assoc_opt name ms
+  | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f
+    when Float.is_integer f
+         && f >= Int.to_float min_int
+         && f <= Int.to_float max_int ->
+    Some (Float.to_int f)
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr vs -> Some vs | _ -> None
+let obj_ok ms = Obj (List.filter (fun (_, v) -> v <> Null) ms)

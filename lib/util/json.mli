@@ -1,0 +1,54 @@
+(** Dependency-free JSON codec for the service plane's wire protocol.
+
+    The value type is deliberately small: objects are association lists
+    (member order preserved on print, first binding wins on lookup),
+    numbers keep OCaml's [int]/[float] split so protocol counters
+    round-trip exactly, and strings are the decoded (unescaped) bytes.
+
+    {!parse} is total — malformed input is an [Error], never an
+    exception — and hardened against adversarial input: nesting depth is
+    bounded, numbers that do not fit are rejected, and garbage after the
+    top-level value is an error.  {!to_string} always produces valid
+    JSON ([parse (to_string v)] succeeds for every [v]; the round-trip
+    is the identity up to the int/float representation of numbers). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string  (** Decoded bytes; escaped on print. *)
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : ?max_depth:int -> string -> (t, string) result
+(** Parse one JSON value plus optional trailing whitespace.  Every error
+    message carries the byte offset.  [max_depth] (default 256) bounds
+    array/object nesting so adversarial input cannot overflow the
+    stack. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no newlines — one message per line is
+    the wire framing).  Strings are escaped per RFC 8259; non-finite
+    floats print as [null] (JSON has no NaN/infinity). *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Float] compared by bit pattern so [nan] equals
+    itself — what the round-trip tests need). *)
+
+(** {2 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the name in an [Obj]. *)
+
+val to_int : t -> int option
+(** [Int n], or a [Float] that is exactly an integer. *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val obj_ok : (string * t) list -> t
+(** [Obj] with [Null]-valued members dropped — keeps optional protocol
+    fields off the wire. *)

@@ -18,4 +18,5 @@ let () =
       ("integration", T_integration.tests);
       ("runs", T_runs.tests);
       ("experiments", T_experiments.tests);
+      ("serve", T_serve.tests);
     ]
