@@ -236,6 +236,46 @@ let uarch_tests =
     Test.make ~name:"fused:8x4:queens" (Staged.stage fused);
   ]
 
+(* ISA-variant substrates (lib/isavar): what the fusion replay pass costs
+   on a stored trace (plan construction is hoisted — it is per-image, not
+   per-replay), and what the cache grid costs over a mixed-width D16m
+   trace, whose wide-marked records take the two-fetch path. *)
+let isavar_tests =
+  let module Fusion = Repro_isavar.Fusion in
+  let capture t name =
+    let img = Compile.compile t queens in
+    let path = Filename.temp_file name ".trc" in
+    at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+    let w = Trace.Writer.create ~insn_bytes:(Target.insn_bytes t) path in
+    ignore
+      (Machine.run ~trace:false
+         ~on_insn:(fun ~iaddr ~dinfo -> Trace.Writer.step w ~pc:iaddr ~dinfo)
+         img);
+    Trace.Writer.close w;
+    match Trace.Reader.open_file path with
+    | Ok rd -> (img, rd)
+    | Error e -> failwith e
+  in
+  let d16_img, d16_rd = capture Target.d16 "repro-bench-fusion" in
+  let plan = Fusion.plan Fusion.default_rules d16_img in
+  let _, d16m_rd = capture Target.d16m "repro-bench-mixed" in
+  let mixed_grid_cfgs =
+    List.map
+      (fun size -> Memsys.cache_config ~size ~block:32 ~sub:4)
+      [ 1024; 2048; 4096; 8192 ]
+  in
+  [
+    Test.make ~name:"fusion:queens"
+      (Staged.stage (fun () -> ignore (Fusion.replay plan d16_rd)));
+    Test.make ~name:"mixed:grid:queens"
+      (Staged.stage (fun () ->
+           ignore
+             (Replay.Grid.run d16m_rd
+                (List.map
+                   (fun cfg -> { Replay.Grid.icache = cfg; dcache = cfg })
+                   mixed_grid_cfgs))));
+  ]
+
 (* Service-plane substrates: what the `d16c serve` daemon charges for a
    request, and what its coalescing/batching save.  One lazy in-process
    server on a private socket and a private cache dir (created at the
@@ -411,10 +451,11 @@ let () =
      a private directory and wakes the server's worker domains, both of
      which would perturb every measurement after them. *)
   let tests =
-    if smoke then substrate_tests @ trace_tests @ uarch_tests @ serve_tests
+    if smoke then
+      substrate_tests @ trace_tests @ uarch_tests @ isavar_tests @ serve_tests
     else
       experiment_tests @ substrate_tests @ trace_tests @ uarch_tests
-      @ serve_tests
+      @ isavar_tests @ serve_tests
   in
   let results =
     List.concat_map

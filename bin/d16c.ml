@@ -437,6 +437,60 @@ let serve_cmd =
           $ tcp_arg ~doc:"Also listen on TCP HOST:PORT."
           $ jobs $ window $ queue $ deadline $ log_interval $ once)
 
+(* fusion ---------------------------------------------------------------- *)
+
+(* The macro-op fusion accounting on D16, one line per benchmark: baseline
+   path length, dynamically fused pairs, and the fused op count.  Exits
+   nonzero unless fusion strictly shortens the path on every benchmark
+   given (the CI advisory gate). *)
+let fusion_main benches =
+  let module Fusion = Repro_isavar.Fusion in
+  let module Suite = Repro_workloads.Suite in
+  let benches =
+    match benches with
+    | [] -> List.map (fun (b : Suite.benchmark) -> b.Suite.name) Suite.all
+    | bs -> bs
+  in
+  let t = Repro_core.Target.d16 in
+  let ok = ref true in
+  List.iter
+    (fun bench ->
+      match
+        try Some (Suite.find bench).Repro_workloads.Suite.source
+        with Not_found -> None
+      with
+      | None ->
+        prerr_endline ("unknown benchmark " ^ bench);
+        ok := false
+      | Some source ->
+        let img, r = Repro_harness.Compile.compile_and_run ~trace:true t source in
+        let plan = Fusion.plan Fusion.default_rules img in
+        let c = Fusion.direct plan r in
+        let ops = Fusion.dynamic_ops c in
+        Printf.printf "%-12s path=%9d fused=%8d ops=%9d (%.1f%% of baseline)\n%!"
+          bench c.Fusion.ic c.Fusion.fused ops
+          (100. *. float_of_int ops /. float_of_int c.Fusion.ic);
+        if ops >= c.Fusion.ic then begin
+          Printf.eprintf "%s: fused path is not strictly shorter\n" bench;
+          ok := false
+        end)
+    benches;
+  if !ok then 0 else 1
+
+let fusion_cmd =
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCH"
+          ~doc:"Suite benchmarks to check (default: the whole suite).")
+  in
+  Cmd.v
+    (Cmd.info "fusion"
+       ~doc:
+         "Report macro-op fusion path-length savings on D16; fail unless \
+          strictly positive on every benchmark.")
+    Term.(const fusion_main $ benches)
+
 (* ----------------------------------------------------------------------- *)
 
 let group =
@@ -444,7 +498,7 @@ let group =
     (Cmd.info "d16c" ~doc:"mini-C compiler, simulator and experiment server for D16/DLXe")
     ~default:run_term
     [ Cmd.v (Cmd.info "run" ~doc:"Compile and run (the default command).") run_term;
-      serve_cmd; client_cmd ]
+      serve_cmd; client_cmd; fusion_cmd ]
 
 let () =
   exit

@@ -10,12 +10,19 @@ module Insn = Repro_core.Insn
 module Link = Repro_link.Link
 module Cli = Repro_util.Cli
 
-let encode_for (t : Target.t) i =
+(* Encoding column, fixed width so the mnemonics line up: a narrow
+   halfword, a wide pair (mixed targets), or a 32-bit word. *)
+let encoding_for (t : Target.t) i =
   match t.Target.isa with
+  | Target.D16 when t.Target.mixed -> (
+    match Repro_core.D16m.encode i with
+    | h0, None -> Printf.sprintf "%04x      " h0
+    | h0, Some h1 -> Printf.sprintf "%04x %04x " h0 h1)
   | Target.D16 ->
-    if t.Target.ext_cmpeqi then Repro_core.D16x.encode i
-    else Repro_core.D16.encode i
-  | Target.Dlxe -> Repro_core.Dlxe.encode i
+    Printf.sprintf "%04x      "
+      (if t.Target.ext_cmpeqi then Repro_core.D16x.encode i
+       else Repro_core.D16.encode i)
+  | Target.Dlxe -> Printf.sprintf "%08x  " (Repro_core.Dlxe.encode i)
 
 let () =
   let cli =
@@ -42,7 +49,6 @@ let () =
     | _ -> Cli.usage_exit cli
   in
   let img = Repro_harness.Compile.compile target source in
-  let b = Target.insn_bytes target in
   Printf.printf
     "target %s: text 0x%x..0x%x (%d bytes), data 0x%x (+%d bytes), entry 0x%x\n\n"
     target.Target.name img.Link.text_base
@@ -65,9 +71,8 @@ let () =
       (match Hashtbl.find_opt fn_at addr with
       | Some s -> Printf.printf "\n%08x <%s>:\n" addr s
       | None -> ());
-      let word = encode_for target insn in
-      if b = 2 then Printf.printf "%08x:  %04x       %s\n" addr word (Insn.to_string insn)
-      else Printf.printf "%08x:  %08x   %s\n" addr word (Insn.to_string insn))
+      Printf.printf "%08x:  %s %s\n" addr (encoding_for target insn)
+        (Insn.to_string insn))
     img.Link.insns;
   Printf.printf "\nsymbols:\n";
   Hashtbl.fold (fun s a acc -> (a, s) :: acc) img.Link.symbols []

@@ -63,6 +63,9 @@ let dump rd ~limit ~from_pc ~to_pc ~loads_only ~stores_only =
   (try
      Reader.iter rd (fun ~pc ~dinfo ->
          if !printed >= limit then raise Exit;
+         (* Bit 0 marks a wide instruction on mixed-width targets. *)
+         let wide = pc land 1 <> 0 in
+         let pc = pc land lnot 1 in
          if pc >= from_pc && pc <= to_pc then begin
            let daccess =
              match Repro_sim.Machine.decode_daccess dinfo with
@@ -75,12 +78,13 @@ let dump rd ~limit ~from_pc ~to_pc ~loads_only ~stores_only =
            let wanted = (not (loads_only || stores_only)) || daccess <> None in
            if wanted then begin
              incr printed;
+             let w = if wide then " (wide)" else "" in
              match daccess with
              | Some (is_write, addr, bytes) ->
-               Printf.printf "%08x  %s %db @ %08x\n" pc
+               Printf.printf "%08x  %s %db @ %08x%s\n" pc
                  (if is_write then "store" else "load ")
-                 bytes addr
-             | None -> Printf.printf "%08x\n" pc
+                 bytes addr w
+             | None -> Printf.printf "%08x%s\n" pc w
            end
          end)
    with Exit -> ());

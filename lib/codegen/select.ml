@@ -175,10 +175,12 @@ let select target (alloc : Regalloc.t) (f : Ir.func) =
   let slot_addr id extra = Hashtbl.find frame.slot_off id + extra in
 
   (* Load a constant into a register.  On D16 wide constants go through the
-     literal pool (Lc); a shifted 9-bit form is cheaper when available. *)
+     literal pool (Lc); a shifted 9-bit form is cheaper when available.
+     Pool-less targets (DLXe, the mixed-width d16m) synthesize with
+     mvhi/ori. *)
   let emit_const rd k =
     if Target.mvi_fits target k then op (Insn.Mvi (rd, k))
-    else if is_d16 then begin
+    else if Target.has_ldc target then begin
       let rec strip v s = if v land 1 = 0 && v <> 0 then strip (v asr 1) (s + 1) else (v, s) in
       let m, s = strip k 0 in
       if s > 0 && Target.mvi_fits target m then begin

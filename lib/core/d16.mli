@@ -23,3 +23,10 @@ val encode : Insn.t -> int
 
 val decode : int -> Insn.t option
 (** Decode a 16-bit word; [None] for reserved encodings. *)
+
+(** Field-index helpers shared with the {!D16m} wide forms. *)
+
+val cond_index : Insn.cond -> int
+val cond_of_index : int -> Insn.cond
+val fbin_index : Insn.fbin -> int
+val fbin_of_index : int -> Insn.fbin

@@ -1,0 +1,233 @@
+open Repro_util
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+(* Wide-class selectors (bits 10..8 of the prefix halfword). *)
+let wop_alu = 0
+and wop_alui = 1
+and wop_mem = 2
+and wop_mvi = 3
+and wop_mvhi = 4
+and wop_cmpi = 5
+and wop_ori = 6
+and wop_br = 7
+
+(* WALU second-halfword opcode (bits 15..12): integer ALU ops share
+   {!D16}'s register-register order; FP binops sit at 8 + fbin index. *)
+let walu_fbin_base = 8
+
+(* WMEM width selector (bits 15..12). *)
+let wmem_code (i : Insn.t) =
+  match i with
+  | Load (Lw, _, _, _) -> 0
+  | Load (Lh, _, _, _) -> 1
+  | Load (Lhu, _, _, _) -> 2
+  | Load (Lb, _, _, _) -> 3
+  | Load (Lbu, _, _, _) -> 4
+  | Store (Sw, _, _, _) -> 5
+  | Store (Sh, _, _, _) -> 6
+  | Store (Sb, _, _, _) -> 7
+  | Fload (Df, _, _, _) -> 8
+  | Fstore (Df, _, _, _) -> 9
+  | _ -> assert false
+
+let alu_index (op : Insn.alu) =
+  match op with
+  | Add -> 0
+  | Sub -> 1
+  | And -> 2
+  | Or -> 3
+  | Xor -> 4
+  | Shl -> 5
+  | Shr -> 6
+  | Shra -> 7
+
+let alu_of_index = function
+  | 0 -> Insn.Add
+  | 1 -> Sub
+  | 2 -> And
+  | 3 -> Or
+  | 4 -> Xor
+  | 5 -> Shl
+  | 6 -> Shr
+  | _ -> Shra
+
+(* Can the D16 narrow formats express this instruction verbatim? *)
+let narrow_ok (i : Insn.t) =
+  match i with
+  | Load (Lw, _, _, off)
+  | Store (Sw, _, _, off)
+  | Fload (Df, _, _, off)
+  | Fstore (Df, _, _, off) -> off >= 0 && off <= 124 && off land 3 = 0
+  | Load (_, _, _, off) | Store (_, _, _, off) -> off = 0
+  | Alu (_, rd, ra, _) -> rd = ra
+  | Alui (op, rd, ra, imm) -> (
+    rd = ra
+    && match op with
+       | Add | Sub | Shl | Shr | Shra -> Bitops.fits_unsigned ~width:5 imm
+       | And | Or | Xor -> false)
+  | Mvi (_, imm) -> Bitops.fits_signed ~width:9 imm
+  | Mvhi _ | Cmpi _ -> false
+  | Br off | Brl off | Bz (_, off) | Bnz (_, off) ->
+    off land 1 = 0 && Bitops.fits_signed ~width:10 (off asr 1)
+  | Fbin (_, _, fd, fa, _) -> fd = fa
+  | Fload (Sf, _, _, _) | Fstore (Sf, _, _, _)
+  | Ldc _ | Mv _ | Neg _ | Inv _ | Cmp _ | J _ | Jz _ | Jnz _ | Jl _
+  | Fmv _ | Fneg _ | Fcmp _ | Cvtif _ | Cvtfi _ | Rdsr _ | Trap _ | Nop ->
+    true
+
+let is_wide i = not (narrow_ok i)
+let size i = if is_wide i then 4 else 2
+
+let prefix ~wop ~ry ~rx =
+  Bitops.(0 |> put ~lo:8 ~hi:10 wop |> put ~lo:4 ~hi:7 ry |> put ~lo:0 ~hi:3 rx)
+
+let encode_wide (i : Insn.t) =
+  match i with
+  | Alu (op, rd, ra, rb) ->
+    ( prefix ~wop:wop_alu ~ry:ra ~rx:rd,
+      Bitops.(0 |> put ~lo:12 ~hi:15 (alu_index op) |> put ~lo:0 ~hi:3 rb) )
+  | Fbin (op, s, fd, fa, fb) ->
+    ( prefix ~wop:wop_alu ~ry:fa ~rx:fd,
+      Bitops.(
+        0
+        |> put ~lo:12 ~hi:15 (walu_fbin_base + D16.fbin_index op)
+        |> put ~lo:11 ~hi:11 (match s with Df -> 0 | Sf -> 1)
+        |> put ~lo:0 ~hi:3 fb) )
+  | Alui (op, rd, ra, imm) ->
+    let ok =
+      match op with
+      | Add | Sub -> Bitops.fits_signed ~width:13 imm
+      | And | Xor -> Bitops.fits_unsigned ~width:13 imm
+      | Shl | Shr | Shra -> Bitops.fits_unsigned ~width:5 imm
+      | Or -> false (* wide or goes through WORI's 16-bit immediate *)
+    in
+    if op = Or then
+      if Bitops.fits_unsigned ~width:16 imm then
+        ( prefix ~wop:wop_ori ~ry:ra ~rx:rd,
+          Bitops.zext ~width:16 imm )
+      else bad "D16m: ori immediate %d" imm
+    else if not ok then bad "D16m: alui immediate %d" imm
+    else
+      ( prefix ~wop:wop_alui ~ry:ra ~rx:rd,
+        Bitops.(
+          0
+          |> put ~lo:13 ~hi:15 (alu_index op)
+          |> put ~lo:0 ~hi:12 (zext ~width:13 imm)) )
+  | Load (_, rd, base, off) | Store (_, rd, base, off) ->
+    if not (Bitops.fits_signed ~width:12 off) then
+      bad "D16m: memory offset %d" off;
+    ( prefix ~wop:wop_mem ~ry:base ~rx:rd,
+      Bitops.(
+        0 |> put ~lo:12 ~hi:15 (wmem_code i)
+        |> put ~lo:0 ~hi:11 (zext ~width:12 off)) )
+  | Fload (Df, fd, base, off) | Fstore (Df, fd, base, off) ->
+    if not (Bitops.fits_signed ~width:12 off) then
+      bad "D16m: FP memory offset %d" off;
+    ( prefix ~wop:wop_mem ~ry:base ~rx:fd,
+      Bitops.(
+        0 |> put ~lo:12 ~hi:15 (wmem_code i)
+        |> put ~lo:0 ~hi:11 (zext ~width:12 off)) )
+  | Mvi (rd, imm) ->
+    if not (Bitops.fits_signed ~width:16 imm) then bad "D16m: mvi imm %d" imm;
+    (prefix ~wop:wop_mvi ~ry:0 ~rx:rd, Bitops.zext ~width:16 imm)
+  | Mvhi (rd, imm) ->
+    if imm < 0 || imm > 0xFFFF then bad "D16m: mvhi imm %d" imm;
+    (prefix ~wop:wop_mvhi ~ry:0 ~rx:rd, imm)
+  | Cmpi (c, 0, ra, imm) ->
+    if not (Bitops.fits_signed ~width:16 imm) then bad "D16m: cmpi imm %d" imm;
+    ( prefix ~wop:wop_cmpi ~ry:(D16.cond_index c) ~rx:ra,
+      Bitops.zext ~width:16 imm )
+  | Cmpi (_, rd, _, _) -> bad "D16m: compare destination r%d (must be r0)" rd
+  | Br off | Bz (0, off) | Bnz (0, off) | Brl off ->
+    let op =
+      match i with
+      | Br _ -> 0
+      | Bz _ -> 1
+      | Bnz _ -> 2
+      | Brl _ -> 3
+      | _ -> assert false
+    in
+    if off land 1 <> 0 then bad "D16m: branch offset %d unaligned" off;
+    if not (Bitops.fits_signed ~width:16 (off asr 1)) then
+      bad "D16m: branch offset %d out of range" off;
+    (prefix ~wop:wop_br ~ry:0 ~rx:op, Bitops.zext ~width:16 (off asr 1))
+  | Bz (r, _) | Bnz (r, _) ->
+    bad "D16m: conditional branch on r%d (must be r0)" r
+  | Ldc _ -> bad "D16m: ldc does not exist (no literal pool)"
+  | _ -> bad "D16m: no wide form of %s" (Insn.to_string i)
+
+let encode (i : Insn.t) =
+  match i with
+  | Ldc _ -> bad "D16m: ldc does not exist (no literal pool)"
+  | _ ->
+    if narrow_ok i then (D16.encode i, None)
+    else
+      let h0, h1 = encode_wide i in
+      (h0, Some h1)
+
+let is_wide_prefix w = w land 0xF800 = 0
+
+let decode_wide h0 h1 =
+  let wop = Bitops.bits ~lo:8 ~hi:10 h0 in
+  let ry = Bitops.bits ~lo:4 ~hi:7 h0 in
+  let rx = Bitops.bits ~lo:0 ~hi:3 h0 in
+  if wop = wop_alu then begin
+    let op = Bitops.bits ~lo:12 ~hi:15 h1 in
+    let rb = Bitops.bits ~lo:0 ~hi:3 h1 in
+    if op < 8 then Some (Insn.Alu (alu_of_index op, rx, ry, rb))
+    else if op < walu_fbin_base + 4 then
+      let s = if Bitops.bits ~lo:11 ~hi:11 h1 = 0 then Insn.Df else Insn.Sf in
+      Some (Insn.Fbin (D16.fbin_of_index (op - walu_fbin_base), s, rx, ry, rb))
+    else None
+  end
+  else if wop = wop_alui then begin
+    let op = alu_of_index (Bitops.bits ~lo:13 ~hi:15 h1) in
+    let raw = Bitops.bits ~lo:0 ~hi:12 h1 in
+    match op with
+    | Or -> None (* reserved: wide or is WORI *)
+    | Add | Sub -> Some (Insn.Alui (op, rx, ry, Bitops.sext ~width:13 raw))
+    | And | Xor | Shl | Shr | Shra -> Some (Insn.Alui (op, rx, ry, raw))
+  end
+  else if wop = wop_mem then begin
+    let off = Bitops.sext ~width:12 (Bitops.bits ~lo:0 ~hi:11 h1) in
+    match Bitops.bits ~lo:12 ~hi:15 h1 with
+    | 0 -> Some (Insn.Load (Lw, rx, ry, off))
+    | 1 -> Some (Load (Lh, rx, ry, off))
+    | 2 -> Some (Load (Lhu, rx, ry, off))
+    | 3 -> Some (Load (Lb, rx, ry, off))
+    | 4 -> Some (Load (Lbu, rx, ry, off))
+    | 5 -> Some (Store (Sw, rx, ry, off))
+    | 6 -> Some (Store (Sh, rx, ry, off))
+    | 7 -> Some (Store (Sb, rx, ry, off))
+    | 8 -> Some (Fload (Df, rx, ry, off))
+    | 9 -> Some (Fstore (Df, rx, ry, off))
+    | _ -> None
+  end
+  else if wop = wop_mvi then
+    if ry <> 0 then None else Some (Insn.Mvi (rx, Bitops.sext ~width:16 h1))
+  else if wop = wop_mvhi then
+    if ry <> 0 then None else Some (Insn.Mvhi (rx, h1))
+  else if wop = wop_cmpi then
+    if ry > 5 then None
+    else
+      Some
+        (Insn.Cmpi (D16.cond_of_index ry, 0, rx, Bitops.sext ~width:16 h1))
+  else if wop = wop_ori then Some (Insn.Alui (Or, rx, ry, h1))
+  else begin
+    (* wop_br *)
+    if ry <> 0 || rx > 3 then None
+    else
+      let off = 2 * Bitops.sext ~width:16 h1 in
+      Some
+        (match rx with
+        | 0 -> Insn.Br off
+        | 1 -> Bz (0, off)
+        | 2 -> Bnz (0, off)
+        | _ -> Brl off)
+  end
+
+let decode h0 h1 =
+  let h0 = h0 land 0xFFFF in
+  if is_wide_prefix h0 then decode_wide h0 (h1 land 0xFFFF)
+  else D16.decode h0

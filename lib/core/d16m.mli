@@ -1,0 +1,48 @@
+(** D16m binary encoding: the mixed 16/32-bit variant ({!Target.d16m}).
+
+    Every D16 16-bit format is kept verbatim; instructions the narrow
+    formats cannot express use 32-bit {e wide} forms built from two
+    16-bit halfwords emitted in stream order.  The first halfword lives
+    in the encoding space D16 leaves free (top five bits all zero — D16
+    decodes nothing there), so a D16m stream is self-describing at any
+    instruction boundary:
+
+    - WIDE0 [00000 | wop3 | ry4 | rx4] — the prefix halfword; [wop]
+      selects the wide class, [rx]/[ry] carry register operands;
+    - WIDE1 — the second halfword, class-specific.
+
+    Wide classes ([wop]):
+    + WALU  — three-address register ops: integer ALU and FP binops
+      (WIDE1 = [op4 | sz1 | pad7 | rb4]; rd=rx, ra=ry);
+    + WALUI — three-address ALU immediate (WIDE1 = [aluop3 | imm13];
+      add/sub signed, and/xor zero-extended, shifts 0..31);
+    + WMEM  — long-displacement memory, every width incl. FP doubles
+      (WIDE1 = [w4 | off12 signed]; base=ry, data=rx);
+    + WMVI  — move signed 16-bit immediate (WIDE1 = imm16);
+    + WMVHI — move immediate into the upper halfword (WIDE1 = imm16);
+    + WCMPI — compare immediate to r0, all six D16 conditions
+      (ra=rx, cond=ry; WIDE1 = imm16 signed);
+    + WORI  — three-address or with zero-extended 16-bit immediate
+      (the mvhi/ori constant-synthesis pair);
+    + WBR   — br/bz/bnz/brl with reach +/-2^16 (op2=rx low bits;
+      WIDE1 = off16, 2-scaled). *)
+
+val is_wide : Insn.t -> bool
+(** Whether the instruction needs a wide form — i.e. the D16 narrow
+    formats cannot encode it.  Total over D16m-legal instructions. *)
+
+val size : Insn.t -> int
+(** Encoded size in bytes: 2 (narrow) or 4 (wide). *)
+
+val encode : Insn.t -> int * int option
+(** [(half0, None)] for narrow instructions (byte-identical to
+    {!D16.encode}); [(half0, Some half1)] for wide ones.
+    @raise Invalid_argument if the instruction is not D16m-legal
+    (use {!Target.legal} with {!Target.d16m} first). *)
+
+val is_wide_prefix : int -> bool
+(** Whether a halfword opens a wide form (top five bits zero). *)
+
+val decode : int -> int -> Insn.t option
+(** Decode one instruction from [half0] and, when [half0] is a wide
+    prefix, [half1]; [None] for reserved encodings. *)

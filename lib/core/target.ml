@@ -10,6 +10,7 @@ type t = {
   three_address : bool;
   zero_r0 : bool;
   ext_cmpeqi : bool;
+  mixed : bool;
 }
 
 let d16 =
@@ -21,11 +22,19 @@ let d16 =
     three_address = false;
     zero_r0 = false;
     ext_cmpeqi = false;
+    mixed = false;
   }
 
 (* The Section 3.3.3 extension: one MVI-format bit buys an 8-bit
    compare-equal immediate, at the cost of the 9th move-immediate bit. *)
 let d16x = { d16 with name = "D16x/16/2"; ext_cmpeqi = true }
+
+(* Mixed 16/32-bit encoding: D16's base formats plus 32-bit wide forms
+   (three-address ALU, 16-bit immediates, long offsets) in the free
+   [00000...] prefix space.  No literal pool — wide constants use the
+   DLXe-style mvhi/ori synthesis. *)
+let d16m =
+  { d16 with name = "D16m/16/3"; three_address = true; mixed = true }
 
 let dlxe =
   {
@@ -36,6 +45,7 @@ let dlxe =
     three_address = true;
     zero_r0 = true;
     ext_cmpeqi = false;
+    mixed = false;
   }
 
 let dlxe_16_3 = { dlxe with name = "DLXe/16/3"; n_gpr = 16; n_fpr = 16 }
@@ -48,6 +58,7 @@ let all = [ d16; dlxe_16_2; dlxe_16_3; dlxe_32_2; dlxe ]
 let named = [
     ("d16", d16);
     ("d16x", d16x);
+    ("d16m", d16m);
     ("dlxe", dlxe);
     ("dlxe-16-2", dlxe_16_2);
     ("dlxe-16-3", dlxe_16_3);
@@ -55,7 +66,8 @@ let named = [
     ("dlxe-32-3", dlxe);
   ]
 
-let all_names = [ "d16"; "d16x"; "dlxe"; "dlxe-16-2"; "dlxe-16-3"; "dlxe-32-2" ]
+let all_names =
+  [ "d16"; "d16x"; "d16m"; "dlxe"; "dlxe-16-2"; "dlxe-16-3"; "dlxe-32-2" ]
 
 let slug name =
   String.lowercase_ascii (String.map (fun c -> if c = '/' then '-' else c) name)
@@ -65,25 +77,35 @@ let of_name s =
   match List.assoc_opt s named with
   | Some t -> Ok t
   | None -> (
-    match List.find_opt (fun t -> slug t.name = s) (d16x :: all) with
+    match List.find_opt (fun t -> slug t.name = s) (d16x :: d16m :: all) with
     | Some t -> Ok t
     | None ->
       Error
         (Printf.sprintf "unknown target %s (expected one of: %s)" s
            (String.concat ", " all_names)))
 
+(* New fields are rendered only when set, so the five seed targets'
+   describe strings — and every persistent-cache key derived from them —
+   stay byte-identical to the pre-variant repo. *)
 let describe t =
-  Printf.sprintf "%s;isa=%s;gpr=%d;fpr=%d;three_address=%b;zero_r0=%b;ext_cmpeqi=%b"
+  Printf.sprintf "%s;isa=%s;gpr=%d;fpr=%d;three_address=%b;zero_r0=%b;ext_cmpeqi=%b%s"
     t.name
     (match t.isa with D16 -> "D16" | Dlxe -> "DLXe")
     t.n_gpr t.n_fpr t.three_address t.zero_r0 t.ext_cmpeqi
+    (if t.mixed then ";mixed=true" else "")
 
 let insn_bytes t = match t.isa with D16 -> 2 | Dlxe -> 4
 
 let alui_fits t (op : Insn.alu) imm =
   match (t.isa, op) with
-  | D16, (Add | Sub | Shl | Shr | Shra) -> Bitops.fits_unsigned ~width:5 imm
-  | D16, (And | Or | Xor) -> false
+  | D16, (Shl | Shr | Shra) -> Bitops.fits_unsigned ~width:5 imm
+  | D16, (Add | Sub) ->
+    Bitops.fits_unsigned ~width:5 imm
+    || (t.mixed && Bitops.fits_signed ~width:13 imm)
+  | D16, (And | Xor) -> t.mixed && Bitops.fits_unsigned ~width:13 imm
+  (* Wide ori takes a full zero-extended 16-bit immediate (the mvhi/ori
+     constant-synthesis pair needs it). *)
+  | D16, Or -> t.mixed && Bitops.fits_unsigned ~width:16 imm
   | Dlxe, (Shl | Shr | Shra) -> Bitops.fits_unsigned ~width:5 imm
   | Dlxe, (Add | Sub) -> Bitops.fits_signed ~width:16 imm
   (* Logical immediates are zero-extended (MIPS-style). *)
@@ -91,31 +113,42 @@ let alui_fits t (op : Insn.alu) imm =
 
 let cmpi_fits t imm =
   match t.isa with
-  | D16 -> t.ext_cmpeqi && Bitops.fits_signed ~width:8 imm
+  | D16 ->
+    if t.mixed then Bitops.fits_signed ~width:16 imm
+    else t.ext_cmpeqi && Bitops.fits_signed ~width:8 imm
   | Dlxe -> Bitops.fits_signed ~width:16 imm
 
 
 
 let mvi_fits t imm =
   match t.isa with
-  | D16 -> Bitops.fits_signed ~width:(if t.ext_cmpeqi then 8 else 9) imm
+  | D16 ->
+    if t.mixed then Bitops.fits_signed ~width:16 imm
+    else Bitops.fits_signed ~width:(if t.ext_cmpeqi then 8 else 9) imm
   | Dlxe -> Bitops.fits_signed ~width:16 imm
 
-let has_mvhi t = t.isa = Dlxe
+let has_mvhi t = t.isa = Dlxe || t.mixed
 
 let mem_offset_fits t ~word off =
   match t.isa with
-  | D16 -> if word then off >= 0 && off <= 124 && off land 3 = 0 else off = 0
+  | D16 ->
+    if t.mixed then Bitops.fits_signed ~width:12 off
+    else if word then off >= 0 && off <= 124 && off land 3 = 0
+    else off = 0
   | Dlxe -> Bitops.fits_signed ~width:16 off
 
-let has_ldc t = t.isa = D16
-let ldc_reach t = match t.isa with D16 -> 8188 | Dlxe -> 0
+let has_ldc t = t.isa = D16 && not t.mixed
+let ldc_reach t = if has_ldc t then 8188 else 0
 
 let branch_range t =
-  match t.isa with D16 -> 1024 | Dlxe -> (1 lsl 17) - 4
+  match t.isa with
+  | D16 -> if t.mixed then 1 lsl 16 else 1024
+  | Dlxe -> (1 lsl 17) - 4
 
 let call_range t =
-  match t.isa with D16 -> 1024 | Dlxe -> (1 lsl 27) - 4
+  match t.isa with
+  | D16 -> if t.mixed then 1 lsl 16 else 1024
+  | Dlxe -> (1 lsl 27) - 4
 
 let cond_supported t (c : Insn.cond) =
   match (t.isa, c) with
@@ -129,7 +162,9 @@ let cmp_dest_fixed t = t.isa = D16
    provides equality. *)
 let cmpi_ok t (c : Insn.cond) imm =
   match t.isa with
-  | D16 -> t.ext_cmpeqi && c = Insn.Eq && Bitops.fits_signed ~width:8 imm
+  | D16 ->
+    if t.mixed then cond_supported t c && Bitops.fits_signed ~width:16 imm
+    else t.ext_cmpeqi && c = Insn.Eq && Bitops.fits_signed ~width:8 imm
   | Dlxe -> cond_supported t c && Bitops.fits_signed ~width:16 imm
 
 let caller_saved_gpr t = Regs.caller_saved_gpr ~n_gpr:t.n_gpr ~zero_r0:t.zero_r0

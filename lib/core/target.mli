@@ -20,6 +20,12 @@ type t = private {
   ext_cmpeqi : bool;
       (** The Section 3.3.3 D16 extension: 8-bit compare-equal immediate,
           paid for with one bit of the move immediate. *)
+  mixed : bool;
+      (** Mixed 16/32-bit encoding ({!d16m}): the D16 base formats plus
+          32-bit "wide" forms in the free [00000...] prefix space —
+          three-address ALU, 16-bit immediates and branch offsets, 12-bit
+          memory displacements.  No literal pool; wide constants use
+          DLXe-style mvhi/ori synthesis.  See {!D16m}. *)
 }
 
 val d16 : t
@@ -27,6 +33,11 @@ val d16x : t
 (** D16 with the paper's proposed extension (Section 3.3.3): mvi shrinks to
     8 bits signed; an 8-bit compare-equal immediate appears.  The paper
     predicts "up to 2 percent" improvement. *)
+
+val d16m : t
+(** The mixed-width variant: D16's 16-bit formats where they reach,
+    32-bit wide forms where they don't (Chen et al.'s multi-width
+    instructions).  Three-address, 16 registers, no literal pool. *)
 
 val dlxe : t  (** Full DLXe: 32 registers, three-address. *)
 
@@ -46,7 +57,7 @@ val of_name : string -> (t, string) result
 
 val all_names : string list
 (** The canonical short spellings accepted by {!of_name}:
-    d16, d16x, dlxe, dlxe-16-2, dlxe-16-3, dlxe-32-2. *)
+    d16, d16x, d16m, dlxe, dlxe-16-2, dlxe-16-3, dlxe-32-2. *)
 
 val describe : t -> string
 (** A stable one-line rendering of every field of the description, used
@@ -54,7 +65,9 @@ val describe : t -> string
     keyed on it. *)
 
 val insn_bytes : t -> int
-(** 2 for D16, 4 for DLXe. *)
+(** The {e base} instruction granule: 2 for D16 (including the mixed
+    variant, whose wide forms occupy two granules — see {!D16m.size}),
+    4 for DLXe. *)
 
 val alui_fits : t -> Insn.alu -> int -> bool
 (** May [op] take this immediate?  D16: add/sub/shifts with unsigned 5-bit
@@ -76,7 +89,8 @@ val has_mvhi : t -> bool
 val mem_offset_fits : t -> word:bool -> int -> bool
 (** Displacement reach of normal loads/stores.  D16: word modes take
     word-aligned displacements in [0, 124]; subword modes are not
-    offsettable.  DLXe: signed 16 bits, any mode. *)
+    offsettable.  D16m: signed 12 bits, any mode (wide form).  DLXe:
+    signed 16 bits, any mode. *)
 
 val has_ldc : t -> bool
 (** D16's PC-relative literal-pool load. *)
@@ -86,7 +100,8 @@ val ldc_reach : t -> int
 
 val branch_range : t -> int
 (** Conditional/unconditional PC-relative branch reach in bytes (+/-).
-    D16: 1024.  DLXe: 2^17 (16-bit word offset). *)
+    D16: 1024.  D16m: 2^16 (wide form).  DLXe: 2^17 (16-bit word
+    offset). *)
 
 val call_range : t -> int
 (** Direct-call reach: D16 brl +/-1024; DLXe jal 26-bit. *)

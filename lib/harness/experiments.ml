@@ -886,6 +886,159 @@ let pfig1 () =
         rows;
     ]
 
+(* ---- ISA variants (lib/isavar): macro-op fusion and mixed widths ---- *)
+
+module Fusion = Repro_isavar.Fusion
+
+let d16m = Target.d16m
+
+(* Fusion counters always come from the D16 trace: the pass recovers path
+   length inside the decoder without touching the encoding, so size and
+   fetch-traffic numbers are D16's own. *)
+let fused_stalls b cfg = Fusion.charge (Runs.fusion b d16) (Runs.uarch b d16 cfg)
+
+let vtab1 () =
+  let cfg = Uconfig.nocache ~bus_bytes:4 ~wait_states:1 in
+  let header =
+    [ "program"; "machine"; "bytes"; "ops"; "ifetch32"; "cycles"; "CPI" ]
+  in
+  let plain b (t : Target.t) =
+    let s = Runs.stats b t in
+    let u = (Runs.uarch b t cfg).Repro_uarch.Pipeline.stalls in
+    [
+      A.text b; A.text t.Target.name; A.int s.Runs.size_bytes; A.int s.Runs.ic;
+      A.int s.Runs.ireq32; A.int u.Stalls.cycles; A.f2 (Stalls.cpi u);
+    ]
+  in
+  let fused b =
+    let s = Runs.stats b d16 in
+    let u = fused_stalls b cfg in
+    [
+      A.text b; A.text "D16+fusion"; A.int s.Runs.size_bytes; A.int u.Stalls.ic;
+      A.int s.Runs.ireq32; A.int u.Stalls.cycles; A.f2 (Stalls.cpi u);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun b -> [ plain b d16; fused b; plain b d16m; plain b dlxe ])
+      suite_names
+  in
+  let fused_ratio b =
+    Stats.ratio (Fusion.dynamic_ops (Runs.fusion b d16)) (Runs.stats b d16).Runs.ic
+  in
+  let strictly_lower =
+    List.for_all
+      (fun b ->
+        Fusion.dynamic_ops (Runs.fusion b d16) < (Runs.stats b d16).Runs.ic)
+      suite_names
+  in
+  let rule_totals =
+    let names = List.map (fun r -> r.Fusion.name) Fusion.default_rules in
+    let totals = Array.make (List.length names) 0 in
+    List.iter
+      (fun b ->
+        Array.iteri
+          (fun i n -> totals.(i) <- totals.(i) + n)
+          (Runs.fusion b d16).Fusion.rule_hits)
+      suite_names;
+    String.concat ", "
+      (List.mapi (fun i n -> Printf.sprintf "%s %d" n totals.(i)) names)
+  in
+  A.make
+    ~caption:
+      "EXTENSION: ISA-variant comparison — D16, fused D16, mixed-width D16m, \
+       DLXe (no cache, 32-bit bus, 1 wait state)"
+    ~notes:
+      [
+        Printf.sprintf
+          "Fused path length / D16: %.3f average; strictly lower on every \
+           benchmark: %s"
+          (Stats.mean (List.map fused_ratio suite_names))
+          (if strictly_lower then "yes" else "NO");
+        Printf.sprintf "Suite fusion pairs by rule: %s" rule_totals;
+        Printf.sprintf
+          "D16m density %.2f, path %.2f (DLXe: %.2f, %.2f; D16 = 1.00)"
+          (average_density d16m) (average_pathlen d16m) (average_density dlxe)
+          (average_pathlen dlxe);
+        "Fusion leaves size and fetch traffic at D16's numbers; D16m trades \
+         density for DLXe-style three-address path length.";
+      ]
+    [ A.table ~header rows ]
+
+let vfig1 () =
+  let variants =
+    [
+      ("D16", average_density d16, fun b cfg ->
+        (Runs.uarch b d16 cfg).Repro_uarch.Pipeline.stalls);
+      ("D16+fusion", average_density d16, fused_stalls);
+      ("D16m", average_density d16m, fun b cfg ->
+        (Runs.uarch b d16m cfg).Repro_uarch.Pipeline.stalls);
+      ("DLXe", average_density dlxe, fun b cfg ->
+        (Runs.uarch b dlxe cfg).Repro_uarch.Pipeline.stalls);
+    ]
+  in
+  (* Per-op CPI is misleading across variants that do the same work in
+     different op counts (fusion shrinks the denominator), so the Pareto
+     axis is the paper's normalized CPI: cycles per DLXe instruction of
+     work, as in fig14. *)
+  let points =
+    List.concat_map
+      (fun (name, density, stalls_of) ->
+        List.map
+          (fun cfg ->
+            let per b =
+              let u = stalls_of b cfg in
+              ( Stalls.cpi u,
+                Memsys.normalized_cpi ~cycles:u.Stalls.cycles
+                  ~reference_ic:(Runs.stats b dlxe).Runs.ic )
+            in
+            let samples = List.map per suite_names in
+            let cpi = Stats.mean (List.map fst samples) in
+            let ncpi = Stats.mean (List.map snd samples) in
+            (name, cfg, density, cpi, ncpi))
+          Runs.standard_uarch_configs)
+      variants
+  in
+  let dominates (_, _, d1, _, n1) (_, _, d2, _, n2) =
+    d1 <= d2 && n1 <= n2 && (d1 < d2 || n1 < n2)
+  in
+  let pareto =
+    List.filter
+      (fun p -> not (List.exists (fun q -> dominates q p) points))
+      points
+  in
+  let rows =
+    List.map
+      (fun ((name, cfg, d, c, n) as p) ->
+        [
+          A.text name;
+          A.text (Uconfig.describe cfg);
+          A.f2 d;
+          A.f2 c;
+          A.f2 n;
+          A.text (if List.memq p pareto then "*" else "");
+        ])
+      points
+  in
+  A.make
+    ~caption:
+      "EXTENSION: density x CPI scatter across ISA variants and memory \
+       configurations (suite averages; * = Pareto-minimal on size x nCPI)"
+    ~notes:
+      [
+        Printf.sprintf "%d of %d points are Pareto-minimal."
+          (List.length pareto) (List.length points);
+        "nCPI is cycles per DLXe instruction of work (fig14's \
+         normalization), comparable across variants; CPI is cycles per \
+         the variant's own issued op.  Fused-D16 keeps D16's density.  \
+         Extends pfig1's frontier with the lib/isavar variants.";
+      ]
+    [
+      A.table
+        ~header:[ "variant"; "memory config"; "size"; "CPI"; "nCPI"; "pareto" ]
+        rows;
+    ]
+
 (* ---- Extensions beyond the paper's published artifacts ---- *)
 
 (* The Section 3.3.3 extension: D16 with an 8-bit compare-equal immediate
@@ -1050,6 +1203,8 @@ let all =
     { id = "utab1"; title = "EXT: pipeline-model stall breakdown"; artifact = utab1 };
     { id = "ufig1"; title = "EXT: CPI decomposition vs wait states"; artifact = ufig1 };
     { id = "pfig1"; title = "EXT: density/CPI/traffic Pareto frontier"; artifact = pfig1 };
+    { id = "vtab1"; title = "EXT: ISA-variant comparison (fusion, D16m)"; artifact = vtab1 };
+    { id = "vfig1"; title = "EXT: density x CPI scatter with ISA variants"; artifact = vfig1 };
   ]
 
 let by_id id = List.find (fun e -> e.id = id) all

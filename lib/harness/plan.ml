@@ -125,15 +125,20 @@ let full () =
   let non_cache =
     List.filter (fun b -> not (List.mem b cache_names)) suite_names
   in
+  (* The ISA-variant artifacts sweep the mixed-width target through the
+     same plane as the paper pair; fusion counters replay the D16 traces
+     the pair's units already capture. *)
+  let swept = [ Target.d16; Target.dlxe; Target.d16m ] in
   union
-    (trace_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
+    (trace_specs ~benches:cache_names ~targets:swept)
     (union
-       (fused_specs ~benches:cache_names ~targets:[ Target.d16; Target.dlxe ])
+       (fused_specs ~benches:cache_names ~targets:swept)
        (union
-          (uarch_specs ~benches:non_cache ~targets:[ Target.d16; Target.dlxe ])
+          (uarch_specs ~benches:non_cache ~targets:swept)
           (union
              (stats_specs ~benches:suite_names ~targets:Target.all)
-             (stats_specs ~benches:suite_names ~targets:[ Target.d16x ]))))
+             (stats_specs ~benches:suite_names
+                ~targets:[ Target.d16x; Target.d16m ]))))
 
 let for_experiment id =
   let cache_pair = [ Target.d16; Target.dlxe ] in
@@ -162,6 +167,18 @@ let for_experiment id =
       (union
          (uarch_specs ~benches:non_cache ~targets:cache_pair)
          (stats_specs ~benches:suite_names ~targets:cache_pair))
+  | "vtab1" | "vfig1" ->
+    (* Variant table and scatter: full pipeline sweep for the three
+       machines plus D16m; fusion replays the D16 traces in-process. *)
+    let swept = [ Target.d16; Target.dlxe; Target.d16m ] in
+    let non_cache =
+      List.filter (fun b -> not (List.mem b cache_names)) suite_names
+    in
+    union
+      (fused_specs ~benches:cache_names ~targets:swept)
+      (union
+         (uarch_specs ~benches:non_cache ~targets:swept)
+         (stats_specs ~benches:suite_names ~targets:swept))
   | "tab4" | "xtab1" ->
     (* These drivers run their own traced/ablated compiles and cache the
        derived numbers directly in {!Diskcache}. *)

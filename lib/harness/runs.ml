@@ -8,6 +8,7 @@ module Uconfig = Repro_uarch.Uconfig
 module Upipeline = Repro_uarch.Pipeline
 module Trace = Repro_trace.Trace
 module Replay = Repro_trace.Replay
+module Fusion = Repro_isavar.Fusion
 
 type stats = {
   bench : string;
@@ -96,12 +97,16 @@ let cache_tbl : (string * string * int * int * int, Memsys.cached) Hashtbl.t =
 let uarch_tbl : (string * string * Uconfig.t, Upipeline.result) Hashtbl.t =
   Hashtbl.create 64
 
+let fusion_tbl : (string * string, Fusion.counters) Hashtbl.t =
+  Hashtbl.create 32
+
 let clear_memo () =
   with_lock (fun () ->
       Hashtbl.reset image_tbl;
       Hashtbl.reset stats_tbl;
       Hashtbl.reset cache_tbl;
       Hashtbl.reset uarch_tbl;
+      Hashtbl.reset fusion_tbl;
       Hashtbl.reset trace_tbl)
 
 (* Disk-cache keys.  Every key digests the benchmark source (runtime
@@ -151,6 +156,17 @@ let uarch_one_key bench (target : Target.t) cfg =
   Diskcache.key
     [
       "uarch-one"; Uconfig.describe cfg; bench; bench_fingerprint bench;
+      Target.describe target; knobs_descr;
+    ]
+
+let fusion_rules_descr =
+  String.concat ","
+    (List.map (fun (r : Fusion.rule) -> r.Fusion.name) Fusion.default_rules)
+
+let fusion_key bench (target : Target.t) =
+  Diskcache.key
+    [
+      "fusion"; fusion_rules_descr; bench; bench_fingerprint bench;
       Target.describe target; knobs_descr;
     ]
 
@@ -457,6 +473,23 @@ let ensure_fused ?map bench (target : Target.t) =
            standard_uarch_configs)
     | _ -> ()
   end
+
+(* Macro-op fusion counters under the default rule table: one sequential
+   pass over the stored trace through the shared chunk-decode cache, so a
+   sweep that also replays memory behaviour decodes each chunk once. *)
+let fusion bench (target : Target.t) =
+  let key = (bench, target.Target.name) in
+  match with_lock (fun () -> Hashtbl.find_opt fusion_tbl key) with
+  | Some c -> c
+  | None ->
+    let c =
+      Diskcache.memo (fusion_key bench target) (fun () ->
+          Fusion.replay
+            (Fusion.plan Fusion.default_rules (image bench target))
+            (trace_reader bench target))
+    in
+    with_lock (fun () -> Hashtbl.replace fusion_tbl key c);
+    c
 
 let uarch bench (target : Target.t) cfg =
   let key = (bench, target.Target.name, cfg) in

@@ -107,6 +107,12 @@ val ensure_fused :
     disk entries) — only the decode and traversal are shared.  Axes already
     complete (memo or disk) are skipped; if both are warm this is free. *)
 
+val fusion : string -> Repro_core.Target.t -> Repro_isavar.Fusion.counters
+(** Macro-op fusion counters ({!Repro_isavar.Fusion.default_rules}) for
+    one (benchmark, target): dynamic op count, per-rule fused pairs, and
+    the fused interlock clock, replayed from the stored trace through the
+    shared chunk-decode cache.  Memoized in process and on disk. *)
+
 val standard_uarch_configs : Repro_uarch.Uconfig.t list
 (** Cacheless bus 4 and 8 bytes at wait states 0..3, plus 4K and 16K split
     caches (32-byte blocks, 4-byte sub-blocks) at miss penalty 8. *)
@@ -153,6 +159,10 @@ val clear_memo : unit -> unit
 val stats_key : string -> Repro_core.Target.t -> string
 val grid_key : string -> Repro_core.Target.t -> string
 val uarch_sweep_key : string -> Repro_core.Target.t -> string
+
+val fusion_key : string -> Repro_core.Target.t -> string
+(** Also digests the rule-table names: changing the shipped rules
+    invalidates stored fusion counters. *)
 
 val trace_key : string -> Repro_core.Target.t -> string
 (** Also digests {!Repro_trace.Trace.format_version}: bumping the format

@@ -1,4 +1,5 @@
 module Insn = Repro_core.Insn
+module D16m = Repro_core.D16m
 module Target = Repro_core.Target
 module Regs = Repro_core.Regs
 module Trapcode = Repro_core.Trapcode
@@ -75,24 +76,31 @@ let pool_addr lf k = lf.base + (4 * key_index lf k)
 
 (* The shape of an item: how many instructions it expands to.  [resolve] is
    only consulted during final emission; during sizing the shapes depend on
-   the relaxation state alone. *)
+   the relaxation state alone.  On the mixed-width target a plain Op's size
+   is a property of the instruction itself (2 or 4 bytes), branch items use
+   [st.wide] for the long form, and La/Lc expand DLXe-style (mvhi/ori) since
+   there is no literal pool. *)
 let item_size target (st : state) (it : Asm.item) =
   let b = Target.insn_bytes target in
-  let is_d16 = target.Target.isa = Target.D16 in
+  let mixed = target.Target.mixed in
+  let pooled = Target.has_ldc target in
   match it with
   | Asm.Lbl _ -> 0
-  | Asm.Op _ -> b
-  | Asm.Br_lbl _ -> if st.far then 2 * b else b
-  | Asm.Bz_lbl _ | Asm.Bnz_lbl _ -> if st.far then 4 * b else b
-  | Asm.Call_sym _ -> if st.far then 2 * b else b
+  | Asm.Op ins -> if mixed then D16m.size ins else b
+  | Asm.Br_lbl _ | Asm.Call_sym _ ->
+    if mixed then if st.wide then 4 else 2 else if st.far then 2 * b else b
+  | Asm.Bz_lbl _ | Asm.Bnz_lbl _ ->
+    if mixed then if st.wide then 4 else 2 else if st.far then 4 * b else b
   | Asm.La (r, _, _) ->
-    if is_d16 then if r = 0 then b else 2 * b
-    else if st.wide then 2 * b
+    if pooled then if r = 0 then b else 2 * b
+    else if st.wide then 8 (* mvhi + ori, wide on both encodings *)
+    else if mixed then 4 (* symbol addresses never fit the 9-bit mvi *)
     else b
   | Asm.Lc (r, v) ->
-    if is_d16 then if r = 0 then b else 2 * b
-    else if Target.mvi_fits target v then b
-    else 2 * b
+    if pooled then if r = 0 then b else 2 * b
+    else if Target.mvi_fits target v then
+      if mixed then D16m.size (Insn.Mvi (r, v)) else b
+    else 8
 
 let start_fragment () =
   {
@@ -107,7 +115,8 @@ let start_fragment () =
   }
 
 let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
-  let is_d16 = target.Target.isa = Target.D16 in
+  let pooled = Target.has_ldc target in
+  let mixed = target.Target.mixed in
   let fragments = start_fragment () :: fragments in
   let lfrags =
     List.map
@@ -127,7 +136,7 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
   (* Static pool needs. *)
   List.iter
     (fun lf ->
-      if is_d16 then
+      if pooled then
         List.iter
           (function
             | Asm.Lc (_, v) -> add_key lf (Kconst v)
@@ -141,7 +150,7 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
     let cursor = ref text_base in
     List.iter
       (fun lf ->
-        if is_d16 then begin
+        if pooled then begin
           lf.base <- (!cursor + 3) / 4 * 4;
           cursor := lf.base + (4 * List.length lf.pool_keys)
         end
@@ -163,6 +172,12 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
     !cursor
   in
   let reach = Target.branch_range target - Target.insn_bytes target in
+  (* The D16 narrow branch format's reach, used by the mixed target to pick
+     between the 16-bit and 32-bit forms.  Distances are monotone
+     nondecreasing across relaxation passes (item sizes only grow), so a
+     branch marked wide stays out of narrow reach at the fixpoint and the
+     emitted instruction is guaranteed to take the wide form. *)
+  let narrow_reach = 1024 in
   let relax_pass () =
     let changed = ref false in
     List.iter
@@ -177,10 +192,17 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
                 let dest = Hashtbl.find lf.labels l in
                 let off = dest - here in
                 if off < -Target.branch_range target || off > reach then begin
-                  if not is_d16 then
-                    fail "%s: DLXe branch out of range (%d)" lf.frag.fn_name off;
+                  if not pooled then
+                    fail "%s: branch out of range (%d)" lf.frag.fn_name off;
                   st.far <- true;
                   add_key lf (Klabel l);
+                  changed := true
+                end
+                else if
+                  mixed && (not st.wide)
+                  && (off < -narrow_reach || off > narrow_reach - 2)
+                then begin
+                  st.wide <- true;
                   changed := true
                 end
               | Asm.Call_sym s -> (
@@ -191,13 +213,20 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
                   let off = dest - here in
                   if off < -range || off > range - Target.insn_bytes target
                   then begin
-                    if not is_d16 then
-                      fail "%s: DLXe call out of range" lf.frag.fn_name;
+                    if not pooled then
+                      fail "%s: call out of range" lf.frag.fn_name;
                     st.far <- true;
                     add_key lf (Ksym (s, 0));
                     changed := true
+                  end
+                  else if
+                    mixed && (not st.wide)
+                    && (off < -narrow_reach || off > narrow_reach - 2)
+                  then begin
+                    st.wide <- true;
+                    changed := true
                   end)
-              | Asm.La _ when not is_d16 ->
+              | Asm.La _ when not pooled ->
                 (* Wide when the final address may not fit mvi; decided after
                    data layout, conservatively by current upper bound. *)
                 ()
@@ -225,7 +254,7 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
   in
   let widen_la_pass text_end =
     let changed = ref false in
-    if not is_d16 then begin
+    if not pooled then begin
       let data_end = layout_data ((text_end + 7) / 8 * 8) in
       ignore data_end;
       List.iter
@@ -295,7 +324,7 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
   in
   List.iter
     (fun lf ->
-      if is_d16 && lf.pool_keys <> [] then begin
+      if pooled && lf.pool_keys <> [] then begin
         let b = Bytes.create (4 * List.length lf.pool_keys) in
         List.iteri
           (fun i k ->
@@ -357,20 +386,21 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
             end
             else check addr (Insn.Brl (dest - addr))
           | Asm.La (r, s, o) ->
-            if is_d16 then begin
+            if pooled then begin
               check addr (ldc_to addr (Ksym (s, o)));
               if r <> 0 then check (addr + b) (Insn.Mv (r, 0))
             end
             else begin
               let v = symbol_addr s o in
               if st.wide then begin
+                (* mvhi is 4 bytes on both encodings (wide on mixed). *)
                 check addr (Insn.Mvhi (r, (v lsr 16) land 0xFFFF));
-                check (addr + b) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
+                check (addr + 4) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
               end
               else check addr (Insn.Mvi (r, v))
             end
           | Asm.Lc (r, v) ->
-            if is_d16 then begin
+            if pooled then begin
               check addr (ldc_to addr (Kconst v));
               if r <> 0 then check (addr + b) (Insn.Mv (r, 0))
             end
@@ -378,7 +408,7 @@ let link target (fragments : Asm.fragment list) (data : Lower.data_item list) =
               check addr (Insn.Mvi (r, v))
             else begin
               check addr (Insn.Mvhi (r, (v lsr 16) land 0xFFFF));
-              check (addr + b) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
+              check (addr + 4) (Insn.Alui (Insn.Or, r, r, v land 0xFFFF))
             end)
         lf.frag.items)
     lfrags;

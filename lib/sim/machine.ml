@@ -1,5 +1,6 @@
 module Insn = Repro_core.Insn
 module Target = Repro_core.Target
+module D16m = Repro_core.D16m
 module Regs = Repro_core.Regs
 module Trapcode = Repro_core.Trapcode
 module Bitops = Repro_util.Bitops
@@ -67,6 +68,24 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
   let insns = img.Link.insns in
   let addr_of = img.Link.addr_of in
   let n_insns = Array.length insns in
+  (* On a mixed-width target the trace marks wide (4-byte) instructions by
+     setting bit 0 of the (always even) instruction address, so downstream
+     fetch models can recover instruction sizes without the image. *)
+  let tr_addr =
+    if t.Target.mixed then
+      Array.mapi
+        (fun i a -> if D16m.is_wide insns.(i) then a lor 1 else a)
+        addr_of
+    else addr_of
+  in
+  let isize i =
+    if t.Target.mixed then D16m.size insns.(i) else insn_bytes
+  in
+  (* Return address of a branch-and-link at index [i]: past the branch and
+     its delay slot, whatever their encoded sizes. *)
+  let link_ret addr i =
+    addr + isize i + (if i + 1 < n_insns then isize (i + 1) else insn_bytes)
+  in
   let output = Buffer.create 256 in
   let ic = ref 0 in
   let loads = ref 0 in
@@ -287,7 +306,7 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
        | Insn.Bz (r, off) -> if useg r = 0 then branch_static off
        | Insn.Bnz (r, off) -> if useg r <> 0 then branch_static off
        | Insn.Brl off ->
-         setg_lat Regs.link (addr + (2 * insn_bytes)) 0;
+         setg_lat Regs.link (link_ret addr !idx) 0;
          branch_static off
        | Insn.J r -> branch_to (useg r)
        | Insn.Jz (rt, rd) ->
@@ -298,7 +317,7 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
          if useg rt <> 0 then branch_to target
        | Insn.Jl r ->
          let target = useg r in
-         setg_lat Regs.link (addr + (2 * insn_bytes)) 0;
+         setg_lat Regs.link (link_ret addr !idx) 0;
          branch_to target
        | Insn.Fbin (op, _, fd, fa, fb) ->
          let va = usef fa in
@@ -342,12 +361,13 @@ let run ?(trace = true) ?on_insn ?(max_steps = 400_000_000) (img : Link.image)
        | Insn.Nop -> ());
        incr ic;
        incr cycle;
+       let taddr = tr_addr.(!idx) in
        (match on_insn with
-       | Some f -> f ~iaddr:addr ~dinfo:!cur_d
+       | Some f -> f ~iaddr:taddr ~dinfo:!cur_d
        | None -> ());
        (match (tr_iaddr, tr_dinfo) with
        | Some ia, Some di ->
-         ibuf_push ia addr;
+         ibuf_push ia taddr;
          ibuf_push di !cur_d
        | _ -> ());
        if !just_branched then idx := !idx + 1

@@ -55,7 +55,14 @@ let replay_nocache ~bus_bytes (r : Machine.result) =
   let dreq = ref 0 in
   let n = Array.length t.Machine.iaddr in
   for i = 0 to n - 1 do
-    ignore (Fetchbuf.fetch buf ~addr:t.Machine.iaddr.(i));
+    (* Bit 0 of a traced instruction address marks a wide (4-byte)
+       instruction on a mixed-width target; the tail halfword may need a
+       second bus request. *)
+    let a = t.Machine.iaddr.(i) in
+    let wide = a land 1 <> 0 in
+    let a = a land lnot 1 in
+    ignore (Fetchbuf.fetch buf ~addr:a);
+    if wide then ignore (Fetchbuf.fetch buf ~addr:(a + 2));
     let d = t.Machine.dinfo.(i) in
     if d <> 0 then begin
       let bytes = (d lsr 1) land 0xF in
@@ -548,9 +555,12 @@ let replay_cached ~insn_bytes ~icache ~dcache (r : Machine.result) =
   let dwrite_miss = ref 0 in
   let n = Array.length t.Machine.iaddr in
   for i = 0 to n - 1 do
+    let a = t.Machine.iaddr.(i) in
+    let wide = a land 1 <> 0 in
+    let a = a land lnot 1 in
     ignore
-      (Cache.access ic ~is_read:true ~addr:t.Machine.iaddr.(i)
-         ~bytes:insn_bytes);
+      (Cache.access ic ~is_read:true ~addr:a
+         ~bytes:(if wide then 4 else insn_bytes));
     let d = t.Machine.dinfo.(i) in
     if d <> 0 then begin
       let is_write = d land 1 = 1 in

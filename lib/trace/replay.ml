@@ -214,7 +214,9 @@ module Engine = struct
     | Ascore { ch; img; descs } ->
       let pcs = d.Decoded.pcs in
       for k = 0 to Array.length pcs - 1 do
-        let idx = Link.index_at img (Array.unsafe_get pcs k) in
+        (* Strip the wide-instruction mark (bit 0) before the index
+           lookup; the scoreboard itself is size-blind. *)
+        let idx = Link.index_at img (Array.unsafe_get pcs k land lnot 1) in
         Scoreboard.chunk_step ch ~index:idx (Array.unsafe_get descs idx)
       done
 
@@ -367,8 +369,6 @@ module Upipelines = struct
     end
 end
 
-let pipelines rd cfgs img = Upipelines.run rd cfgs img
-
 module Fused = struct
   type spec = {
     buses : int list;
@@ -436,7 +436,10 @@ module Seq = struct
     let buf = Memsys.Fetchbuf.make ~bus_bytes in
     let dreq = ref 0 in
     Trace.Reader.iter rd (fun ~pc ~dinfo ->
+        let wide = pc land 1 <> 0 in
+        let pc = pc land lnot 1 in
         ignore (Memsys.Fetchbuf.fetch buf ~addr:pc);
+        if wide then ignore (Memsys.Fetchbuf.fetch buf ~addr:(pc + 2));
         if dinfo <> 0 then begin
           let bytes = (dinfo lsr 1) land 0xF in
           dreq := !dreq + Memsys.data_requests ~bus_bytes ~bytes
@@ -452,7 +455,11 @@ module Seq = struct
     let dwrites = ref 0 in
     let dwrite_miss = ref 0 in
     Trace.Reader.iter rd (fun ~pc ~dinfo ->
-        ignore (Memsys.Cache.access ic ~is_read:true ~addr:pc ~bytes:insn_bytes);
+        let wide = pc land 1 <> 0 in
+        let pc = pc land lnot 1 in
+        ignore
+          (Memsys.Cache.access ic ~is_read:true ~addr:pc
+             ~bytes:(if wide then 4 else insn_bytes));
         if dinfo <> 0 then begin
           let is_write = dinfo land 1 = 1 in
           let bytes = (dinfo lsr 1) land 0xF in

@@ -157,18 +157,6 @@ val cached :
 (** Split I/D cache replay; instruction fetch width comes from the trace
     header.  Field-for-field equal to {!Repro_sim.Memsys.replay_cached}. *)
 
-val pipelines :
-  Trace.Reader.t ->
-  Repro_uarch.Uconfig.t list ->
-  Repro_link.Link.image ->
-  Repro_uarch.Pipeline.result list
-  [@@deprecated
-    "use Replay.Upipelines.run (or Replay.Fused.run) — this sequential \
-     wrapper survives only for the historical per-engine API"]
-(** @deprecated Thin wrapper over {!Upipelines.run} (sequential); kept
-    for callers of the historical per-engine API.  New code should call
-    {!Upipelines.run} (or {!Fused.run}) directly. *)
-
 (** Single-pass cache grid: one decode feeds every geometry.  Results are
     byte-equal to one {!cached} pass per geometry — the differential
     suite gates on it. *)

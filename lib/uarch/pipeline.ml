@@ -61,6 +61,10 @@ let create (cfg : Uconfig.t) (img : Link.image) =
   }
 
 let step t ~iaddr ~dinfo =
+  (* Bit 0 of the traced address marks a wide (4-byte) instruction on a
+     mixed-width target; addresses proper are always even. *)
+  let wide = iaddr land 1 <> 0 in
+  let iaddr = iaddr land lnot 1 in
   (* IF. *)
   (match t.mem with
   | Mnocache m ->
@@ -68,9 +72,18 @@ let step t ~iaddr ~dinfo =
     if block <> m.buffer then begin
       t.fetch_stalls <- t.fetch_stalls + m.wait_states;
       m.buffer <- block
+    end;
+    if wide then begin
+      let tail = (iaddr + 2) / m.bus_bytes in
+      if tail <> m.buffer then begin
+        t.fetch_stalls <- t.fetch_stalls + m.wait_states;
+        m.buffer <- tail
+      end
     end
   | Mcached m ->
-    if Memsys.Cache.access m.icache ~is_read:true ~addr:iaddr ~bytes:t.insn_bytes
+    if
+      Memsys.Cache.access m.icache ~is_read:true ~addr:iaddr
+        ~bytes:(if wide then 4 else t.insn_bytes)
     then t.fetch_stalls <- t.fetch_stalls + m.penalty);
   (* ID/EX. *)
   Scoreboard.step t.sb t.descs.(Link.index_at t.img iaddr);
@@ -167,9 +180,12 @@ module Mem = struct
      whenever the bus is at least granule-sized — alignment is irrelevant.
      Cached: the whole [addr, addr + insn_bytes) span is accessed, so the
      trace must be granule-aligned and the sub-block at least
-     granule-sized (the same gate as [Replay.Grid]). *)
+     granule-sized (the same gate as [Replay.Grid]).  Both classes also
+     need the trace granule-aligned so a wide (marked) fetch never leaks
+     into the next granule; traces without wide marks are always
+     granule-aligned, so the extra conjunct changes nothing for them. *)
   let fetch_run_ok ~aligned = function
-    | Knocache { bus_bytes } -> bus_bytes >= 4
+    | Knocache { bus_bytes } -> aligned && bus_bytes >= 4
     | Kcached { icache; _ } -> aligned && icache.Memsys.sub_block_bytes >= 4
 
   type auto =
@@ -198,12 +214,16 @@ module Mem = struct
           insn_bytes }
 
   let fetch a ~addr =
+    let wide = addr land 1 <> 0 in
+    let addr = addr land lnot 1 in
     match a with
     | Anocache m ->
       ignore (Fetchbuf.fetch m.buf ~addr);
-      if m.first_block < 0 then m.first_block <- addr / m.bus_bytes
+      if m.first_block < 0 then m.first_block <- addr / m.bus_bytes;
+      if wide then ignore (Fetchbuf.fetch m.buf ~addr:(addr + 2))
     | Acached m ->
-      Cache.chunk_access m.ia ~is_read:true ~addr ~bytes:m.insn_bytes
+      Cache.chunk_access m.ia ~is_read:true ~addr
+        ~bytes:(if wide then 4 else m.insn_bytes)
 
   let fetch_run a ~addr ~count =
     match a with

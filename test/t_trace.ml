@@ -498,9 +498,6 @@ let differential bench (t : Target.t) =
       let cfgs = Runs.standard_uarch_configs in
       let _, streamed = Uarch.run_many cfgs img in
       let replayed = Replay.Seq.pipelines rd cfgs img in
-      (* The deprecated wrapper must stay equal too — it is the one
-         permitted use, so the alert is silenced here and only here. *)
-      let[@alert "-deprecated"] wrapped = Replay.pipelines rd cfgs img in
       let useq = Replay.Upipelines.run rd cfgs img in
       let upar =
         Replay.Upipelines.run ~map:(fun f xs -> Pool.map ~jobs:3 f xs) rd cfgs
@@ -520,7 +517,6 @@ let differential bench (t : Target.t) =
               (s.Pipeline.caches = p.Pipeline.caches)
           in
           against "replay" (List.nth replayed i);
-          against "wrapper" (List.nth wrapped i);
           against "grid seq" (List.nth useq i);
           against "grid par" (List.nth upar i))
         streamed;

@@ -12,6 +12,7 @@ let () =
       ("memsys", T_memsys.tests);
       ("uarch", T_uarch.tests);
       ("trace", T_trace.tests);
+      ("isavar", T_isavar.tests);
       ("link", T_link.tests);
       ("regalloc", T_regalloc.tests);
       ("extension", T_extension.tests);
